@@ -1,0 +1,108 @@
+//! Figure 10: time (ms) to recover all the events to replay when
+//! restarting rank 0 halfway through BT A, CG B and LU A runs, with and
+//! without the Event Logger (Vcausal protocol).
+//!
+//! Paper shape: with the EL, recovery takes ~10-17% of the no-EL time on
+//! BT and stays nearly flat with rank count (one bulk transfer from the
+//! EL plus n-1 small reclaim responses); without the EL every alive rank
+//! ships its whole causality knowledge — time inflates ~10× from 2 to 16
+//! ranks (CG B: 80.75 ms → 832 ms, a 930% increase).
+
+use std::rc::Rc;
+
+use vlog_bench::{banner, fmt3, Scale, Table};
+use vlog_core::{CausalSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{FaultPlan, Suite};
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+/// Runs one recovery experiment; returns the event-collection time in ms.
+fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> f64 {
+    let nas = NasConfig::new(bench, class, np).fraction(frac);
+    let mut cfg = vlog_vmpi::ClusterConfig::new(np);
+    cfg.event_limit = Some(2_000_000_000);
+    cfg.detect_delay = SimDuration::from_millis(50);
+    // Probe the pure application span without checkpoint traffic (with
+    // checkpoints, the reported makespan includes the image-drain tail on
+    // the checkpoint server's link, long after the applications ended).
+    let mut probe_nas = nas.clone();
+    probe_nas.checkpoints = false;
+    let probe = run_nas(
+        &probe_nas,
+        &cfg,
+        Rc::new(CausalSuite::new(Technique::Vcausal, el)),
+        &FaultPlan::none(),
+    );
+    assert!(probe.report.completed);
+    let t_app = probe.report.makespan;
+    // One to two checkpoints before the kill; the victim dies mid-run
+    // ("process of rank zero is killed at the middle of its correct
+    // execution time", §V-E).
+    let suite: Rc<dyn Suite> = Rc::new(
+        CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)),
+    );
+    let kill = t_app.mul_f64(0.55);
+    let run = run_nas(&nas, &cfg, suite, &FaultPlan::kill_at(kill, 0));
+    assert!(
+        run.report.completed,
+        "{} np={np} el={el}: faulted run incomplete",
+        bench.label()
+    );
+    let collects = &run.report.rank_stats[0].recovery_collect;
+    assert!(
+        !collects.is_empty(),
+        "{} np={np} el={el}: no recovery recorded",
+        bench.label()
+    );
+    collects[0].as_millis_f64()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cases: &[(NasBench, Class, &[usize], f64, &str)] = &[
+        (
+            NasBench::BT,
+            Class::A,
+            &[4, 9, 16, 25][..],
+            0.10,
+            "paper: EL 9.6/16.6/21.2/32.4 ms | no-EL 32.5/97.3/183.5/330.9 ms",
+        ),
+        (
+            NasBench::CG,
+            Class::B,
+            &[2, 4, 8, 16][..],
+            0.15,
+            "paper: EL 78.7/81.7/93.3/92.8 ms | no-EL 80.8/118.6/510.9/832.2 ms",
+        ),
+        (
+            NasBench::LU,
+            Class::A,
+            &[2, 4, 8, 16][..],
+            0.03,
+            "paper: EL 37.6/76.8/58.6/42.6 ms | no-EL 42.5/219.1/360.2/505.5 ms",
+        ),
+    ];
+    for (bench, class, nps, frac, note) in cases {
+        let frac = scale.fraction(*frac);
+        banner(
+            &format!(
+                "Figure 10 — ms to recover all events to replay, {} class {:?} (Vcausal)",
+                bench.label(),
+                class
+            ),
+            note,
+        );
+        let mut table = Table::new(&["np", "with EL (ms)", "without EL (ms)", "EL/no-EL"]);
+        for &np in nps.iter() {
+            let with_el = recover_ms(*bench, *class, np, frac, true);
+            let without = recover_ms(*bench, *class, np, frac, false);
+            table.row(vec![
+                np.to_string(),
+                fmt3(with_el),
+                fmt3(without),
+                format!("{}%", fmt3(100.0 * with_el / without)),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 1: fault resilience — execution slowdown of NAS BT on 25 nodes
+//! as the fault frequency increases, for coordinated checkpointing
+//! (Chandy-Lamport), pessimistic message logging (sender-based + EL) and
+//! causal message logging (sender-based + EL).
+//!
+//! Paper shape: all protocols degrade with fault frequency; coordinated
+//! checkpointing hits a vertical asymptote (no progress) at a much lower
+//! frequency than the message-logging protocols because *every* fault
+//! rolls *all* ranks back to the last global snapshot and restreams every
+//! image from the checkpoint server, while message logging restarts only
+//! the victim.
+
+use std::rc::Rc;
+
+use vlog_bench::{banner, fmt3, Scale, Table};
+use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{ClusterConfig, Suite};
+use vlog_workloads::{run_nas, runner::faults, Class, NasBench, NasConfig};
+
+const NP: usize = 25;
+
+fn suite(kind: &str, ckpt: SimDuration) -> Rc<dyn Suite> {
+    match kind {
+        "coordinated" => Rc::new(CoordinatedSuite::new(ckpt)),
+        "pessimistic" => Rc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
+        "causal" => {
+            Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt))
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Run long enough that several faults land: a few virtual minutes.
+    let frac = match scale {
+        vlog_bench::Scale::Quick => 0.3,
+        vlog_bench::Scale::Default => 3.0,
+        vlog_bench::Scale::Full => 6.0,
+    };
+    let ckpt = SimDuration::from_secs(30);
+    // Quick runs are only ~10s of virtual time, so faults must come much
+    // faster than the paper's axis to land at all.
+    let freqs: &[f64] = match scale {
+        Scale::Quick => &[0.0, 6.0, 12.0],
+        _ => &[0.0, 1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0, 1.0, 1.5, 2.0],
+    };
+    banner(
+        "Figure 1 — slowdown (% of fault-free time) vs faults per minute, BT A / 25 ranks",
+        "paper shape: coordinated hits the wall first; causal degrades most gracefully",
+    );
+    let protocols = ["coordinated", "pessimistic", "causal"];
+    // Fault-free baselines per protocol.
+    let nas = NasConfig::new(NasBench::BT, Class::A, NP).fraction(frac);
+    let mut base = Vec::new();
+    for kind in protocols {
+        let mut cfg = ClusterConfig::new(NP);
+        cfg.event_limit = Some(4_000_000_000);
+        cfg.detect_delay = SimDuration::from_millis(250);
+        let run = run_nas(&nas, &cfg, suite(kind, ckpt), &vlog_vmpi::FaultPlan::none());
+        assert!(run.report.completed, "{kind} baseline incomplete");
+        base.push(run.report.makespan);
+    }
+    let mut table = Table::new(&["faults/min", "Coordinated", "Pessimistic+EL", "Causal+EL"]);
+    let mut curves: Vec<(String, Vec<(f64, f64)>)> = protocols
+        .iter()
+        .map(|k| (k.to_string(), Vec::new()))
+        .collect();
+    for &f in freqs {
+        let mut row = vec![fmt3(f)];
+        for (i, kind) in protocols.iter().enumerate() {
+            if f == 0.0 {
+                row.push("100%".into());
+                curves[i].1.push((0.0, 100.0));
+                continue;
+            }
+            let mut cfg = ClusterConfig::new(NP);
+            cfg.event_limit = Some(4_000_000_000);
+            cfg.detect_delay = SimDuration::from_millis(250);
+            // Give the run a generous budget: if it cannot finish within
+            // 8x the fault-free time, the protocol makes no progress at
+            // this frequency (the paper's vertical slope).
+            cfg.time_limit = Some(base[i].mul_f64(8.0));
+            let horizon = base[i].mul_f64(8.0);
+            let plan = faults::periodic_per_minute(f, NP, horizon);
+            let run = run_nas(&nas, &cfg, suite(kind, ckpt), &plan);
+            if run.report.completed {
+                let pct = 100.0 * run.report.makespan.as_secs_f64() / base[i].as_secs_f64();
+                row.push(format!("{}%", fmt3(pct)));
+                curves[i].1.push((f, pct));
+            } else {
+                row.push("no progress".into());
+                curves[i].1.push((f, 800.0)); // off-the-chart wall marker
+            }
+        }
+        table.row(row);
+    }
+    table.print();
+    println!();
+    println!(
+        "baselines: coordinated {}, pessimistic {}, causal {} (virtual)",
+        base[0], base[1], base[2]
+    );
+    println!();
+    vlog_bench::AsciiChart::default().render(
+        "Figure 1 — slowdown (%) vs faults per minute (800 = no progress)",
+        &curves,
+    );
+}

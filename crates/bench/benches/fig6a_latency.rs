@@ -1,0 +1,124 @@
+//! Figure 6(a): 1-byte NetPIPE latency (µs) across the software stacks.
+//!
+//! Paper values on Fast Ethernet:
+//!   P4 99.56 | Vdummy 134.84 | EL: Vcausal 156.92, Manetho 156.80,
+//!   LogOn 155.83 | no EL: Vcausal 165.17, Manetho 173.15, LogOn 172.80.
+//!
+//! Also checks the §V-C claim that with an EL roughly half of the
+//! ping-pong messages carry no piggyback at all (2397 of 4999 in the
+//! paper), while without an EL every message carries one event.
+
+use vlog_bench::{banner, fmt3, run_netpipe, Scale, Stack, Table};
+use vlog_core::Technique;
+use vlog_vmpi::FaultPlan;
+use vlog_workloads::netpipe;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.reps(1.0);
+    banner(
+        "Figure 6(a) — NetPIPE 1-byte latency (us)",
+        "paper: P4 99.56 | Vdummy 134.84 | EL ~156-157 | no-EL 165-173",
+    );
+    let mut table = Table::new(&["stack", "latency (us)", "paper (us)"]);
+    let paper: &[(Stack, f64)] = &[
+        (Stack::Raw, f64::NAN),
+        (Stack::P4, 99.56),
+        (Stack::Vdummy, 134.84),
+        (
+            Stack::Causal {
+                technique: Technique::Vcausal,
+                el: true,
+            },
+            156.92,
+        ),
+        (
+            Stack::Causal {
+                technique: Technique::Manetho,
+                el: true,
+            },
+            156.80,
+        ),
+        (
+            Stack::Causal {
+                technique: Technique::LogOn,
+                el: true,
+            },
+            155.83,
+        ),
+        (
+            Stack::Causal {
+                technique: Technique::Vcausal,
+                el: false,
+            },
+            165.17,
+        ),
+        (
+            Stack::Causal {
+                technique: Technique::Manetho,
+                el: false,
+            },
+            173.15,
+        ),
+        (
+            Stack::Causal {
+                technique: Technique::LogOn,
+                el: false,
+            },
+            172.80,
+        ),
+    ];
+    for (stack, paper_us) in paper {
+        let points = run_netpipe(*stack, 1, reps);
+        let lat = points[0].latency_us;
+        table.row(vec![
+            stack.label(),
+            fmt3(lat),
+            if paper_us.is_nan() {
+                "-".into()
+            } else {
+                fmt3(*paper_us)
+            },
+        ]);
+    }
+    table.print();
+
+    // Piggyback census (paper §V-C: with an EL, 2397 of 4999 ping-pong
+    // messages carried no piggyback — an EL-ack vs send-turnaround race
+    // their testbed sometimes won. Our deterministic model always loses
+    // that race on strict ping-pong (ack RTT ≈ 117us > turnaround ≈
+    // 45us), so every message carries exactly the one newest event; the
+    // EL's latency benefit — the actual Figure 6(a) metric — comes from
+    // keeping the stores small. Documented in EXPERIMENTS.md.)
+    banner(
+        "Fig 6(a) companion — piggyback census of the 1-byte ping-pong",
+        "events/msg stays at ~1 for both; no-EL pays growing-store costs instead",
+    );
+    let mut t2 = Table::new(&["stack", "app msgs", "events piggybacked", "empty pb", "retained growth"]);
+    for el in [true, false] {
+        let stack = Stack::Causal {
+            technique: Technique::Vcausal,
+            el,
+        };
+        let (prog, _) = netpipe::program(1, reps);
+        let cfg = stack.cluster(2);
+        let report = vlog_vmpi::run_cluster(&cfg, stack.suite(), prog, &FaultPlan::none());
+        assert!(report.completed);
+        let msgs: u64 = report.rank_stats.iter().map(|s| s.app_msgs_sent).sum();
+        let events: u64 = report.rank_stats.iter().map(|s| s.pb_events_sent).sum();
+        let empty: u64 = report.rank_stats.iter().map(|s| s.empty_pb_msgs).sum();
+        let acked: u64 = report.rank_stats.iter().map(|s| s.el_acked_events).sum();
+        t2.row(vec![
+            stack.label(),
+            msgs.to_string(),
+            events.to_string(),
+            empty.to_string(),
+            if el {
+                format!("bounded (acked {acked})")
+            } else {
+                "unbounded".into()
+            },
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,90 @@
+//! Figure 6(b): NetPIPE ping-pong bandwidth (Mbit/s) vs message size,
+//! 1 B … 8 MB, across the software stacks.
+//!
+//! Paper shape: RAW TCP tops out near 90 Mbit/s; MPICH-P4 slightly below;
+//! MPICH-Vdummy below P4 (pipe copies); the causal protocols track
+//! Vdummy closely (sender-based copy costs), EL or not — in a ping-pong
+//! the piggyback is one event regardless.
+
+use vlog_bench::{banner, fmt3, run_netpipe, Scale, Stack, Table};
+use vlog_core::Technique;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.reps(0.25);
+    let max = match scale {
+        Scale::Quick => 1 << 20,
+        _ => 8 << 20,
+    };
+    let stacks = [
+        Stack::Raw,
+        Stack::P4,
+        Stack::Vdummy,
+        Stack::Causal {
+            technique: Technique::Vcausal,
+            el: true,
+        },
+        Stack::Causal {
+            technique: Technique::Manetho,
+            el: true,
+        },
+        Stack::Causal {
+            technique: Technique::LogOn,
+            el: true,
+        },
+        Stack::Causal {
+            technique: Technique::Manetho,
+            el: false,
+        },
+        Stack::Causal {
+            technique: Technique::LogOn,
+            el: false,
+        },
+    ];
+    banner(
+        "Figure 6(b) — NetPIPE bandwidth (Mbit/s) vs message size",
+        "paper shape: RAW ~90 peak > P4 > Vdummy >= causal variants",
+    );
+    let mut sweeps = Vec::new();
+    for stack in &stacks {
+        sweeps.push(run_netpipe(*stack, max, reps));
+    }
+    let mut headers: Vec<String> = vec!["bytes".into()];
+    headers.extend(stacks.iter().map(|s| s.label()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    for (i, point) in sweeps[0].iter().enumerate() {
+        let mut row = vec![point.bytes.to_string()];
+        for sweep in &sweeps {
+            row.push(fmt3(sweep[i].mbps));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!();
+    let mut t2 = Table::new(&["stack", "peak Mbit/s"]);
+    for (stack, sweep) in stacks.iter().zip(&sweeps) {
+        let peak = sweep.iter().map(|p| p.mbps).fold(0.0, f64::max);
+        t2.row(vec![stack.label(), fmt3(peak)]);
+    }
+    t2.print();
+
+    // The paper's figure, rendered: bandwidth vs message size (log x).
+    println!();
+    let series: Vec<(String, Vec<(f64, f64)>)> = stacks
+        .iter()
+        .zip(&sweeps)
+        .map(|(s, sweep)| {
+            (
+                s.label(),
+                sweep.iter().map(|p| (p.bytes as f64, p.mbps)).collect(),
+            )
+        })
+        .collect();
+    vlog_bench::AsciiChart {
+        log_x: true,
+        ..vlog_bench::AsciiChart::default()
+    }
+    .render("Figure 6(b) — Mbit/s vs message size (log2 x-axis)", &series);
+}

@@ -1,0 +1,61 @@
+//! Figure 7: amount of piggybacked data exchanged during BT, CG and LU
+//! class A, as a percentage of the total exchanged data, for the three
+//! reduction techniques with and without the Event Logger.
+//!
+//! Paper shape: without the EL the share grows steeply with rank count
+//! (LU/16: Vcausal 50.3%, LogOn 39.8%, Manetho 13.1%); with the EL it
+//! collapses (CG/16: ~0.5% instead of 4-12%); Vcausal always piggybacks
+//! the most; LogOn carries more bytes than Manetho (no factoring).
+
+use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_core::Technique;
+use vlog_vmpi::FaultPlan;
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+fn techniques() -> [Technique; 3] {
+    [Technique::Vcausal, Technique::Manetho, Technique::LogOn]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cases: &[(NasBench, &[usize], f64)] = &[
+        (NasBench::BT, &[4, 9, 16][..], 0.10),
+        (NasBench::CG, &[2, 4, 8, 16][..], 1.0),
+        (NasBench::LU, &[2, 4, 8, 16][..], 0.03),
+    ];
+    for (bench, nps, frac) in cases {
+        let frac = scale.fraction(*frac);
+        banner(
+            &format!(
+                "Figure 7 — piggybacked data in % of total exchanged, {} class A",
+                bench.label()
+            ),
+            &format!("iteration fraction {frac} (VLOG_SCALE=full for published counts)"),
+        );
+        let mut table = Table::new(&[
+            "np",
+            "Vcausal EL",
+            "Manetho EL",
+            "LogOn EL",
+            "Vcausal noEL",
+            "Manetho noEL",
+            "LogOn noEL",
+        ]);
+        for &np in nps.iter() {
+            let mut row = vec![np.to_string()];
+            for el in [true, false] {
+                for technique in techniques() {
+                    let stack = Stack::Causal { technique, el };
+                    let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
+                    let mut cfg = stack.cluster(np);
+                    cfg.event_limit = Some(2_000_000_000);
+                    let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+                    assert!(run.report.completed, "{} np={np}", stack.label());
+                    row.push(fmt3(run.report.piggyback_percent()));
+                }
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+}

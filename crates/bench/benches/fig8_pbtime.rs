@@ -1,0 +1,106 @@
+//! Figure 8: time spent managing piggyback information on BT, CG, LU and
+//! FT class A — (a) cumulative seconds split into send-side (serialize)
+//! and receive-side (integrate) work, and (b) the same as a percentage of
+//! total execution time.
+//!
+//! Paper shape: Vcausal's serialization is far cheaper than the graph
+//! methods; LogOn pays more on send (reordering), Manetho more on
+//! receive (edge generation); without the EL everything inflates —
+//! up to 41.5% of execution time for LogOn on LU/16.
+
+use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_core::Technique;
+use vlog_vmpi::FaultPlan;
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+struct Cell {
+    send_s: f64,
+    recv_s: f64,
+    pct_of_exec: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cases: &[(NasBench, &[usize], f64)] = &[
+        (NasBench::BT, &[4, 9, 16][..], 0.10),
+        (NasBench::CG, &[2, 4, 8, 16][..], 1.0),
+        (NasBench::LU, &[2, 4, 8, 16][..], 0.03),
+        (NasBench::FT, &[2, 4, 8, 16][..], 1.0),
+    ];
+    let configs: Vec<(Technique, bool)> = [true, false]
+        .into_iter()
+        .flat_map(|el| {
+            [Technique::Vcausal, Technique::Manetho, Technique::LogOn]
+                .into_iter()
+                .map(move |t| (t, el))
+        })
+        .collect();
+    for (bench, nps, frac) in cases {
+        let frac = scale.fraction(*frac);
+        banner(
+            &format!(
+                "Figure 8(a) — piggyback management time (s), {} class A",
+                bench.label()
+            ),
+            &format!(
+                "cumulative over ranks, 'send+recv (send/recv)'; iteration fraction {frac}"
+            ),
+        );
+        let mut ta = Table::new(&[
+            "np",
+            "Vcausal EL",
+            "Manetho EL",
+            "LogOn EL",
+            "Vcausal noEL",
+            "Manetho noEL",
+            "LogOn noEL",
+        ]);
+        let mut tb = Table::new(&[
+            "np",
+            "Vcausal EL",
+            "Manetho EL",
+            "LogOn EL",
+            "Vcausal noEL",
+            "Manetho noEL",
+            "LogOn noEL",
+        ]);
+        for &np in nps.iter() {
+            let mut row_a = vec![np.to_string()];
+            let mut row_b = vec![np.to_string()];
+            for (technique, el) in &configs {
+                let stack = Stack::Causal {
+                    technique: *technique,
+                    el: *el,
+                };
+                let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
+                let mut cfg = stack.cluster(np);
+                cfg.event_limit = Some(2_000_000_000);
+                let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+                assert!(run.report.completed, "{} np={np}", stack.label());
+                let (send, recv) = run.report.pb_times();
+                let cell = Cell {
+                    send_s: send.as_secs_f64(),
+                    recv_s: recv.as_secs_f64(),
+                    pct_of_exec: 100.0 * (send.as_secs_f64() + recv.as_secs_f64())
+                        / (np as f64 * run.report.makespan.as_secs_f64()),
+                };
+                row_a.push(format!(
+                    "{} ({}/{})",
+                    fmt3(cell.send_s + cell.recv_s),
+                    fmt3(cell.send_s),
+                    fmt3(cell.recv_s)
+                ));
+                row_b.push(format!("{}%", fmt3(cell.pct_of_exec)));
+            }
+            ta.row(row_a);
+            tb.row(row_b);
+        }
+        ta.print();
+        println!();
+        println!(
+            "Figure 8(b) — causality computation in % of total execution time, {} class A",
+            bench.label()
+        );
+        tb.print();
+    }
+}

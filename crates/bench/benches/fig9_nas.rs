@@ -1,0 +1,60 @@
+//! Figure 9: NAS benchmark performance (total Megaflops) for MPICH-P4,
+//! MPICH-Vdummy and the six causal configurations.
+//!
+//! Paper shape: Vdummy tracks (sometimes beats) P4 thanks to full-duplex
+//! links; causal protocols with the EL stay close to Vdummy; without the
+//! EL the gap widens, dramatically so for the high message-rate LU/16
+//! (LogOn suffering the most) — and the Event Logger benefit exceeds the
+//! difference between the two antecedence-graph techniques.
+
+use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_vmpi::FaultPlan;
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cases: &[(NasBench, Class, &[usize], f64)] = &[
+        (NasBench::CG, Class::A, &[2, 4, 8, 16][..], 1.0),
+        (NasBench::CG, Class::B, &[2, 4, 8, 16][..], 0.2),
+        (NasBench::MG, Class::A, &[2, 4, 8, 16][..], 1.0),
+        (NasBench::BT, Class::A, &[4, 9, 16][..], 0.10),
+        (NasBench::BT, Class::B, &[4, 9, 16][..], 0.05),
+        (NasBench::SP, Class::A, &[4, 9, 16][..], 0.08),
+        (NasBench::LU, Class::A, &[2, 4, 8, 16][..], 0.03),
+        (NasBench::FT, Class::A, &[2, 4, 8, 16][..], 1.0),
+    ];
+    let stacks = Stack::fig9_eight();
+    for (bench, class, nps, frac) in cases {
+        let frac = scale.fraction(*frac);
+        banner(
+            &format!(
+                "Figure 9 — {} class {:?}, total Megaflops (higher is better)",
+                bench.label(),
+                class
+            ),
+            &format!("iteration fraction {frac}"),
+        );
+        let mut headers: Vec<String> = vec!["np".into()];
+        headers.extend(stacks.iter().map(|s| s.label()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        for &np in nps.iter() {
+            let mut row = vec![np.to_string()];
+            for stack in &stacks {
+                let nas = NasConfig::new(*bench, *class, np).fraction(frac);
+                let mut cfg = stack.cluster(np);
+                cfg.event_limit = Some(2_000_000_000);
+                let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+                assert!(
+                    run.report.completed,
+                    "{} {} np={np}",
+                    bench.label(),
+                    stack.label()
+                );
+                row.push(fmt3(run.mflops()));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+}

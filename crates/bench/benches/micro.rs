@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks: the real (wall-clock) cost of the
+//! protocol hot paths, complementing the calibrated virtual-time cost
+//! model with measured Rust numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use vlog_core::{
+    decode_factored, decode_flat, encode_factored, encode_flat, make_reduction, AGraph,
+    Determinant, SenderLog, Technique,
+};
+use vlog_vmpi::Payload;
+
+fn dets(n: usize, receivers: usize) -> Vec<Determinant> {
+    (0..n)
+        .map(|i| Determinant {
+            receiver: i % receivers,
+            clock: (i / receivers + 1) as u64,
+            sender: (i + 1) % receivers,
+            ssn: i as u64,
+            cause: (i / receivers) as u64,
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("piggyback_codecs");
+    for &n in &[1usize, 16, 256] {
+        let mut input = dets(n, 4);
+        input.sort_by_key(|d| (d.receiver, d.clock));
+        g.bench_with_input(BenchmarkId::new("encode_factored", n), &input, |b, d| {
+            b.iter(|| encode_factored(d))
+        });
+        g.bench_with_input(BenchmarkId::new("encode_flat", n), &input, |b, d| {
+            b.iter(|| encode_flat(d))
+        });
+        let enc_f = encode_factored(&input);
+        let enc_l = encode_flat(&input);
+        g.bench_with_input(BenchmarkId::new("decode_factored", n), &enc_f, |b, d| {
+            b.iter(|| decode_factored(d.clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode_flat", n), &enc_l, |b, d| {
+            b.iter(|| decode_flat(d.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("antecedence_graph");
+    for &n in &[100usize, 1_000, 10_000] {
+        // Build a chain-with-crosslinks graph of n events over 8 ranks.
+        let build = || {
+            let mut graph = AGraph::new(8);
+            for d in dets(n, 8) {
+                graph.insert(d);
+            }
+            graph
+        };
+        g.bench_with_input(BenchmarkId::new("insert_n", n), &n, |b, &n| {
+            b.iter_batched(
+                || dets(n, 8),
+                |ds| {
+                    let mut graph = AGraph::new(8);
+                    for d in ds {
+                        graph.insert(d);
+                    }
+                    graph
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let graph = build();
+        g.bench_with_input(BenchmarkId::new("causal_past", n), &graph, |b, graph| {
+            b.iter(|| graph.causal_past(&[(0, graph.head(0))]))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_build");
+    for t in [Technique::Vcausal, Technique::Manetho, Technique::LogOn] {
+        for &n in &[100usize, 2_000] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_build", t.label()), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            let mut red = make_reduction(t, 8);
+                            red.absorb(&dets(n, 8));
+                            red
+                        },
+                        |mut red| red.build(3, (n / 8) as u64),
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_sender_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sender_log");
+    g.bench_function("insert_1k", |b| {
+        b.iter_batched(
+            || SenderLog::new(8),
+            |mut log| {
+                for ssn in 0..1_000u64 {
+                    log.insert((ssn % 7) as usize, ssn, 0, &Payload::synthetic(256));
+                }
+                log
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("prune_half_of_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut log = SenderLog::new(8);
+                for ssn in 0..1_000u64 {
+                    log.insert(1, ssn, 0, &Payload::synthetic(256));
+                }
+                log
+            },
+            |mut log| {
+                log.prune_below(1, 500);
+                log
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_graph,
+    bench_reductions,
+    bench_sender_log
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+use std::rc::Rc;
+use vlog_core::{CausalSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{app, run_cluster, ClusterConfig, FaultPlan, Payload, RecvSelector};
+
+#[test]
+fn dbg() {
+    let prog = app(move |mpi| async move {
+        let n = mpi.size();
+        let me = mpi.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for it in 0..40u64 {
+            let mut state = Payload::new(it.to_le_bytes().to_vec());
+            state.pad = 6 << 20;
+            mpi.checkpoint_point(state).await;
+            let m = mpi.sendrecv(right, 0, Payload::new(vec![(it & 0xff) as u8]), RecvSelector::of(left, 0)).await;
+            if m.payload.data[0] != (it & 0xff) as u8 {
+                eprintln!("MISMATCH rank {me} it {it} got {}", m.payload.data[0]);
+            }
+            mpi.elapse(SimDuration::from_millis(5)).await;
+        }
+    });
+    let mut cfg = ClusterConfig::new(3);
+    cfg.event_limit = Some(10_000_000);
+    cfg.time_limit = Some(SimDuration::from_secs(60));
+    let suite = Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)));
+    let report = run_cluster(&cfg, suite, prog, &FaultPlan::none());
+    eprintln!("completed={}", report.completed);
+}

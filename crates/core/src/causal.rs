@@ -1,0 +1,660 @@
+//! The causal message logging V-protocol (paper §III).
+//!
+//! One implementation hosts all three piggyback-reduction techniques
+//! behind [`Reduction`], with or without the Event Logger, exactly like
+//! the paper's shared `Vcausal` V-protocol hosts the Manetho and LogOn
+//! piggyback methods (Figure 4).
+//!
+//! Fault-free path: every reception creates a determinant which is added
+//! to the causality store and (with an EL) shipped asynchronously to the
+//! Event Logger; every emission piggybacks the determinants the
+//! destination may miss; EL acknowledgements garbage-collect stable
+//! determinants everywhere.
+//!
+//! Recovery (paper §III-A): the restarted process restores its last
+//! checkpoint image, then *"collects from the EL and from every other
+//! alive node all the causality information and conforms its execution to
+//! this information until it reaches the same state as preceding the
+//! crash"*. Payloads are re-obtained from the senders' volatile logs and
+//! deliveries are replayed in determinant order; messages that arrive
+//! meanwhile are buffered and re-accepted afterwards.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use vlog_sim::{SimDuration, SimTime};
+use vlog_vmpi::{
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd,
+    SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+};
+
+use crate::costs::CausalCosts;
+use crate::el::{ElMsg, ElReply, EL_RECORD_BYTES};
+use crate::event::Determinant;
+use crate::piggyback::PbBody;
+use crate::reduction::{make_reduction, Reduction, Technique};
+use crate::sender_log::SenderLog;
+
+/// Control messages between causal protocol instances.
+pub enum CausalCtl {
+    /// Recovery request: send me your causality knowledge and re-send
+    /// your logged payloads for me from my channel watermarks.
+    Reclaim {
+        victim: Rank,
+        from_clock: RClock,
+        watermarks: Vec<Ssn>,
+    },
+    /// Causality knowledge response.
+    ReclaimResp { from: Rank, dets: Vec<Determinant> },
+    /// Checkpoint-commit notice: my image covers receptions below these
+    /// per-sender sequence numbers — prune your sender logs.
+    GcNotice { from: Rank, received: Vec<Ssn> },
+}
+
+/// Protocol section of a checkpoint image.
+pub struct CausalBlob {
+    red: Box<dyn Reduction>,
+    slog: SenderLog,
+    rclock: RClock,
+    stable: Vec<RClock>,
+}
+
+impl CausalBlob {
+    fn wire_bytes(&self, n: usize) -> u64 {
+        Determinant::BODY_BYTES * self.red.retained_count() as u64
+            + self.slog.payload_bytes()
+            + 16 * self.slog.len() as u64
+            + 16 * n as u64
+    }
+}
+
+/// A message buffered while recovering.
+struct SupplyMsg {
+    tag: Tag,
+    payload: Payload,
+    piggyback: PiggybackBlob,
+    replayed: bool,
+}
+
+/// Recovery bookkeeping.
+struct Recovery {
+    started: SimTime,
+    /// Reception clock covered by the restored image.
+    wm: RClock,
+    /// Determinants to replay, keyed by clock.
+    collected: BTreeMap<RClock, Determinant>,
+    /// Buffered message arrivals keyed by (sender, ssn).
+    supply: BTreeMap<(Rank, Ssn), SupplyMsg>,
+    /// Next clock to replay.
+    next: RClock,
+    /// Peers that answered the reclaim.
+    resp_from: BTreeSet<Rank>,
+    /// The Event Logger answered.
+    resp_el: bool,
+    /// Still waiting for responses.
+    collecting: bool,
+    /// Highest collected clock (0 before collection completes).
+    max_clock: RClock,
+}
+
+/// Retry period for unanswered recovery requests (peers may themselves be
+/// down and restart later).
+const RECLAIM_RETRY: SimDuration = SimDuration::from_millis(200);
+const TIMER_RECLAIM: u64 = 1;
+
+/// The causal message logging protocol for one rank.
+pub struct CausalProtocol {
+    technique: Technique,
+    el: bool,
+    rank: Rank,
+    n: usize,
+    costs: CausalCosts,
+    stats: SharedRankStats,
+
+    red: Box<dyn Reduction>,
+    slog: SenderLog,
+    /// Reception clock: the last event created here.
+    rclock: RClock,
+    /// EL stability watermarks (all ranks).
+    stable: Vec<RClock>,
+
+    /// Scheduler asked for a checkpoint.
+    ckpt_due: bool,
+    /// Receive watermarks captured per assembled image version. GC
+    /// notices must carry the watermarks of the *committed* version:
+    /// with slow image transfers several checkpoints overlap in flight,
+    /// and pruning with a newer version's watermarks would delete logged
+    /// payloads a victim restored from the older image still needs.
+    ckpt_expected: BTreeMap<u64, Vec<Ssn>>,
+
+    rec: Option<Recovery>,
+}
+
+impl CausalProtocol {
+    pub fn new(
+        technique: Technique,
+        el: bool,
+        rank: Rank,
+        n: usize,
+        costs: CausalCosts,
+        stats: SharedRankStats,
+    ) -> Self {
+        CausalProtocol {
+            technique,
+            el,
+            rank,
+            n,
+            costs,
+            stats,
+            red: make_reduction(technique, n),
+            slog: SenderLog::new(n),
+            rclock: 0,
+            stable: vec![0; n],
+            ckpt_due: false,
+            ckpt_expected: BTreeMap::new(),
+            rec: None,
+        }
+    }
+
+    fn el_actor(&self, ctx: &Ctx<'_>) -> Option<vlog_sim::ActorId> {
+        if self.el {
+            // With distributed Event Loggers, each rank logs to its
+            // assigned shard (round-robin; see `el_multi`).
+            ctx.core.topo().el_for(self.rank).map(|(a, _)| a)
+        } else {
+            None
+        }
+    }
+
+    fn ship_to_el(&mut self, ctx: &mut Ctx<'_>, det: Determinant) {
+        if let Some(el) = self.el_actor(ctx) {
+            let me = ctx.core.actor();
+            ctx.core.control_to_actor(
+                ctx.sim,
+                el,
+                EL_RECORD_BYTES,
+                Box::new(ElMsg::Record {
+                    from: self.rank,
+                    det,
+                    reply_to: me,
+                }),
+            );
+        }
+    }
+
+    fn integrate_cost(&self, dets: usize, inserts: u64, visits: u64) -> SimDuration {
+        let c = &self.costs;
+        let ns = match self.technique {
+            Technique::Vcausal => c.integrate_event_ns * dets as u64,
+            Technique::Manetho => c.graph_insert_ns * inserts + c.graph_visit_ns * visits,
+            Technique::LogOn => c.logon_insert_ns * inserts + c.graph_visit_ns * visits,
+        };
+        SimDuration::from_nanos(ns)
+    }
+
+    fn build_cost(&self, emitted: usize, visits: u64) -> SimDuration {
+        let c = &self.costs;
+        let ns = match self.technique {
+            Technique::Vcausal => {
+                c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits
+            }
+            Technique::Manetho => {
+                c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits
+            }
+            Technique::LogOn => {
+                (c.serialize_event_ns + c.logon_reorder_ns) * emitted as u64
+                    + c.graph_visit_ns * visits
+            }
+        };
+        SimDuration::from_nanos(ns + self.mem_penalty_ns())
+    }
+
+    /// Cache-pressure penalty of the causality store, growing with the
+    /// number of retained determinants (see `CausalCosts`).
+    fn mem_penalty_ns(&self) -> u64 {
+        let retained = self.red.retained_count() as u64;
+        let k = match self.technique {
+            Technique::Vcausal => self.costs.mem_ns_log2_seq,
+            _ => self.costs.mem_ns_log2_graph,
+        };
+        k * (64 - (retained + 1).leading_zeros() as u64)
+    }
+
+    fn apply_stable_vec(&mut self, stable: &[RClock]) {
+        for c in 0..self.n {
+            self.stable[c] = self.stable[c].max(stable[c]);
+        }
+        self.red.apply_stable(&self.stable);
+        self.stats.borrow_mut().el_acked_events = self.stable[self.rank];
+    }
+
+    // ---- recovery ----------------------------------------------------
+
+    fn send_reclaims(&mut self, ctx: &mut Ctx<'_>) {
+        let wm = self.rec.as_ref().map_or(0, |r| r.wm);
+        let watermarks = ctx.core.expected_watermarks();
+        let already: BTreeSet<Rank> = self
+            .rec
+            .as_ref()
+            .map(|r| r.resp_from.clone())
+            .unwrap_or_default();
+        for peer in 0..self.n {
+            if peer == self.rank || already.contains(&peer) {
+                continue;
+            }
+            ctx.core.control_to_rank(
+                ctx.sim,
+                peer,
+                24 + 8 * self.n as u64,
+                Box::new(CausalCtl::Reclaim {
+                    victim: self.rank,
+                    from_clock: wm,
+                    watermarks: watermarks.clone(),
+                }),
+            );
+        }
+        let need_el = self.el && !self.rec.as_ref().is_some_and(|r| r.resp_el);
+        if need_el {
+            if let Some(el) = self.el_actor(ctx) {
+                let me = ctx.core.actor();
+                ctx.core.control_to_actor(
+                    ctx.sim,
+                    el,
+                    16,
+                    Box::new(ElMsg::Query {
+                        victim: self.rank,
+                        from: wm,
+                        reply_to: me,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn collection_complete(&self) -> bool {
+        let Some(rec) = &self.rec else { return false };
+        rec.resp_from.len() == self.n - 1 && (!self.el || rec.resp_el)
+    }
+
+    fn maybe_finish_collection(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.collection_complete() {
+            return;
+        }
+        let now = ctx.sim.now();
+        let rec = self.rec.as_mut().unwrap();
+        if rec.collecting {
+            rec.collecting = false;
+            rec.max_clock = rec.collected.keys().next_back().copied().unwrap_or(rec.wm);
+            let dt = now.saturating_since(rec.started);
+            self.stats.borrow_mut().recovery_collect.push(dt);
+        }
+        self.try_replay(ctx);
+    }
+
+    fn try_replay(&mut self, ctx: &mut Ctx<'_>) {
+        enum Step {
+            Done,
+            Wait,
+            Deliver(Determinant, SupplyMsg),
+        }
+        loop {
+            let step = {
+                let Some(rec) = self.rec.as_mut() else { return };
+                if rec.collecting {
+                    return;
+                }
+                match rec.collected.get(&rec.next).copied() {
+                    // No determinant at `next`: either replay is complete
+                    // or a gap means the tail was lost consistently with
+                    // the rest of the system — both end the replay.
+                    None => {
+                        if rec.next > rec.max_clock {
+                            Step::Done
+                        } else {
+                            Step::Wait
+                        }
+                    }
+                    Some(det) => match rec.supply.remove(&(det.sender, det.ssn)) {
+                        Some(supply) => {
+                            rec.next += 1;
+                            Step::Deliver(det, supply)
+                        }
+                        None => Step::Wait, // wait for the payload re-send
+                    },
+                }
+            };
+            match step {
+                Step::Done => {
+                    self.finish_replay(ctx);
+                    return;
+                }
+                Step::Wait => return,
+                Step::Deliver(det, supply) => {
+                    self.rclock = det.clock;
+                    if self.el && det.clock > self.stable[self.rank] {
+                        self.ship_to_el(ctx, det);
+                    }
+                    ctx.core.inject_deliver(
+                        det.sender,
+                        supply.tag,
+                        supply.payload,
+                        SimDuration::from_nanos(self.costs.event_create_ns),
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish_replay(&mut self, ctx: &mut Ctx<'_>) {
+        let rec = self.rec.take().unwrap();
+        ctx.core.set_recovered(ctx.sim);
+        // Re-accept buffered live messages in channel order.
+        for ((src, ssn), m) in rec.supply {
+            ctx.core.reaccept(AppMsg {
+                src,
+                dst: self.rank,
+                tag: m.tag,
+                ssn,
+                payload: m.payload,
+                piggyback: m.piggyback,
+                replayed: m.replayed,
+            });
+        }
+    }
+
+    fn handle_ctl(&mut self, ctx: &mut Ctx<'_>, ctl: CausalCtl) {
+        match ctl {
+            CausalCtl::Reclaim {
+                victim,
+                from_clock,
+                watermarks,
+            } => {
+                // Causality knowledge: everything retained (with an EL the
+                // store is small — that is the entire point of the paper).
+                let dets = self.red.retained();
+                let bytes = 8 + (Determinant::BODY_BYTES + 2) * dets.len() as u64;
+                let cost = SimDuration::from_nanos(
+                    self.costs.serialize_event_ns * dets.len() as u64,
+                );
+                ctx.sim.charge_cpu(ctx.core.node(), cost);
+                ctx.core.control_to_rank(
+                    ctx.sim,
+                    victim,
+                    bytes,
+                    Box::new(CausalCtl::ReclaimResp {
+                        from: self.rank,
+                        dets,
+                    }),
+                );
+                // Payload re-sends from the sender-based log.
+                let from_ssn = watermarks[self.rank];
+                let entries: Vec<(Ssn, Tag, Payload)> = self
+                    .slog
+                    .entries_from(victim, from_ssn)
+                    .map(|(ssn, e)| (ssn, e.tag, e.payload.clone()))
+                    .collect();
+                for (ssn, tag, payload) in entries {
+                    ctx.core.transmit_replay(ctx.sim, victim, tag, ssn, payload);
+                }
+                let _ = from_clock;
+            }
+            CausalCtl::ReclaimResp { from, dets } => {
+                self.red.absorb(&dets);
+                if let Some(rec) = self.rec.as_mut() {
+                    for d in &dets {
+                        if d.receiver == self.rank && d.clock > rec.wm {
+                            rec.collected.insert(d.clock, *d);
+                        }
+                    }
+                    rec.resp_from.insert(from);
+                    self.maybe_finish_collection(ctx);
+                }
+            }
+            CausalCtl::GcNotice { from, received } => {
+                self.slog.prune_below(from, received[self.rank]);
+            }
+        }
+    }
+
+    fn handle_el_reply(&mut self, ctx: &mut Ctx<'_>, reply: ElReply) {
+        match reply {
+            ElReply::Ack { stable } => {
+                ctx.sim.charge_cpu(
+                    ctx.core.node(),
+                    SimDuration::from_nanos(self.costs.el_ack_ns),
+                );
+                self.apply_stable_vec(&stable);
+            }
+            ElReply::QueryResp { dets, stable } => {
+                self.apply_stable_vec(&stable);
+                if let Some(rec) = self.rec.as_mut() {
+                    for d in &dets {
+                        debug_assert_eq!(d.receiver, self.rank);
+                        if d.clock > rec.wm {
+                            rec.collected.insert(d.clock, *d);
+                        }
+                    }
+                    rec.resp_el = true;
+                    self.maybe_finish_collection(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl VProtocol for CausalProtocol {
+    fn name(&self) -> String {
+        format!(
+            "{}{}",
+            self.technique.label(),
+            if self.el { "+EL" } else { "" }
+        )
+    }
+
+    fn on_send_accept(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        dst: Rank,
+        tag: Tag,
+        ssn: Ssn,
+        payload: &Payload,
+    ) -> SendGate {
+        let inserted = self.slog.insert(dst, ssn, tag, payload);
+        let cost = if inserted {
+            self.costs.sender_log_cost(payload.len())
+        } else {
+            SimDuration::ZERO
+        };
+        SendGate::Go { cost }
+    }
+
+    fn on_transmit(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        dst: Rank,
+        _ssn: Ssn,
+    ) -> (PiggybackBlob, SimDuration) {
+        let (dets, work) = self.red.build(dst, self.rclock);
+        let bytes = self.technique.wire_len(&dets);
+        let cost = self.build_cost(dets.len(), work.visits);
+        self.stats.borrow_mut().pb_events_sent += dets.len() as u64;
+        let body = PbBody {
+            sender_clock: self.rclock,
+            dets,
+        };
+        (
+            PiggybackBlob {
+                body: Some(Box::new(body)),
+                bytes,
+            },
+            cost,
+        )
+    }
+
+    fn on_app_msg(&mut self, ctx: &mut Ctx<'_>, msg: &mut AppMsg) -> RecvGate {
+        if self.rec.is_some() {
+            // Buffer everything while recovering: replay supply or
+            // post-replay live traffic; sorted out when collection ends.
+            let key = (msg.src, msg.ssn);
+            let supply = SupplyMsg {
+                tag: msg.tag,
+                payload: std::mem::take(&mut msg.payload),
+                piggyback: std::mem::replace(&mut msg.piggyback, PiggybackBlob::empty()),
+                replayed: msg.replayed,
+            };
+            let rec = self.rec.as_mut().unwrap();
+            rec.supply.entry(key).or_insert(supply);
+            self.try_replay(ctx);
+            return RecvGate::Consume;
+        }
+        // Normal path: create the reception event.
+        let body = msg
+            .piggyback
+            .body
+            .take()
+            .and_then(|b| b.downcast::<PbBody>().ok());
+        let (sender_clock, dets) = match body {
+            Some(b) => (b.sender_clock, b.dets),
+            None => (0, Vec::new()),
+        };
+        self.rclock += 1;
+        let det = Determinant {
+            receiver: self.rank,
+            clock: self.rclock,
+            sender: msg.src,
+            ssn: msg.ssn,
+            cause: sender_clock,
+        };
+        let w_add = self.red.add_local(det);
+        let w_int = self.red.integrate(msg.src, sender_clock, &dets);
+        self.ship_to_el(ctx, det);
+        // The Figure 8 "receive" metric is the piggyback-management part
+        // only: integrating the piggybacked determinants into the store.
+        let pb_part = SimDuration::from_nanos(self.mem_penalty_ns())
+            + self.integrate_cost(dets.len(), w_int.inserts + w_add.inserts, w_int.visits);
+        self.stats.borrow_mut().pb_recv_time += pb_part;
+        let mut cost = SimDuration::from_nanos(self.costs.event_create_ns) + pb_part;
+        if self.el {
+            cost += SimDuration::from_nanos(self.costs.el_ship_ns);
+        }
+        RecvGate::Deliver { cost }
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any>) {
+        let body = match body.downcast::<ElReply>() {
+            Ok(r) => {
+                self.handle_el_reply(ctx, *r);
+                return;
+            }
+            Err(b) => b,
+        };
+        let body = match body.downcast::<CausalCtl>() {
+            Ok(c) => {
+                self.handle_ctl(ctx, *c);
+                return;
+            }
+            Err(b) => b,
+        };
+        if let Ok(cmd) = body.downcast::<SchedulerCmd>() {
+            if matches!(*cmd, SchedulerCmd::TakeCheckpoint) {
+                self.ckpt_due = true;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_RECLAIM && self.rec.as_ref().is_some_and(|r| r.collecting) {
+            self.send_reclaims(ctx);
+            ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        }
+    }
+
+    fn checkpoint_due(&mut self, _ctx: &mut Ctx<'_>) -> bool {
+        std::mem::take(&mut self.ckpt_due)
+    }
+
+    fn on_image_assembled(&mut self, ctx: &mut Ctx<'_>, version: u64) {
+        self.ckpt_expected
+            .insert(version, ctx.core.expected_watermarks());
+        ctx.core.request_ship();
+    }
+
+    fn checkpoint_blob(&mut self, _ctx: &mut Ctx<'_>) -> ProtoBlob {
+        let blob = CausalBlob {
+            red: self.red.clone_box(),
+            slog: self.slog.clone(),
+            rclock: self.rclock,
+            stable: self.stable.clone(),
+        };
+        let bytes = blob.wire_bytes(self.n);
+        ProtoBlob {
+            body: Some(Rc::new(blob)),
+            bytes,
+        }
+    }
+
+    fn on_checkpoint_committed(&mut self, ctx: &mut Ctx<'_>, version: u64) {
+        // Prune with exactly the committed version's watermarks; newer
+        // in-flight images may never complete before a crash.
+        let Some(received) = self.ckpt_expected.remove(&version) else {
+            return;
+        };
+        self.ckpt_expected.retain(|v, _| *v > version);
+        for peer in 0..self.n {
+            if peer != self.rank {
+                ctx.core.control_to_rank(
+                    ctx.sim,
+                    peer,
+                    8 + 8 * self.n as u64,
+                    Box::new(CausalCtl::GcNotice {
+                        from: self.rank,
+                        received: received.clone(),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>, blob: Option<ProtoBlob>) {
+        let wm = match blob.and_then(|b| b.body) {
+            Some(body) => match body.downcast::<CausalBlob>() {
+                Ok(b) => {
+                    self.red = b.red.clone_box();
+                    self.slog = b.slog.clone();
+                    self.rclock = b.rclock;
+                    self.stable = b.stable.clone();
+                    b.rclock
+                }
+                Err(_) => 0,
+            },
+            None => 0,
+        };
+        self.rec = Some(Recovery {
+            started: ctx.sim.now(),
+            wm,
+            collected: BTreeMap::new(),
+            supply: BTreeMap::new(),
+            next: wm + 1,
+            resp_from: BTreeSet::new(),
+            resp_el: false,
+            collecting: true,
+            max_clock: 0,
+        });
+        if self.n == 1 && !self.el {
+            // Nothing to collect.
+            let rec = self.rec.as_mut().unwrap();
+            rec.collecting = false;
+            self.stats
+                .borrow_mut()
+                .recovery_collect
+                .push(SimDuration::ZERO);
+            self.finish_replay(ctx);
+            return;
+        }
+        self.send_reclaims(ctx);
+        ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        if self.n == 1 {
+            self.maybe_finish_collection(ctx);
+        }
+    }
+}

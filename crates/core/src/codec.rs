@@ -1,0 +1,46 @@
+//! Minimal byte-level encoding helpers (little endian). Hand-rolled to
+//! keep wire sizes explicit and dependencies minimal.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+pub fn put_u16(out: &mut BytesMut, v: u16) {
+    out.put_u16_le(v);
+}
+
+pub fn put_u32(out: &mut BytesMut, v: u32) {
+    out.put_u32_le(v);
+}
+
+pub fn put_u64(out: &mut BytesMut, v: u64) {
+    out.put_u64_le(v);
+}
+
+pub fn get_u16(buf: &mut Bytes) -> u16 {
+    buf.get_u16_le()
+}
+
+pub fn get_u32(buf: &mut Bytes) -> u32 {
+    buf.get_u32_le()
+}
+
+pub fn get_u64(buf: &mut Bytes) -> u64 {
+    buf.get_u64_le()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = BytesMut::new();
+        put_u16(&mut out, 0xBEEF);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, 0x0123_4567_89AB_CDEF);
+        let mut b = out.freeze();
+        assert_eq!(get_u16(&mut b), 0xBEEF);
+        assert_eq!(get_u32(&mut b), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut b), 0x0123_4567_89AB_CDEF);
+        assert!(b.is_empty());
+    }
+}

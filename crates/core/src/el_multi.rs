@@ -1,0 +1,234 @@
+//! Distributed Event Loggers — the paper's future work, implemented.
+//!
+//! Conclusion of the paper: *"Using only one Event Logger for consistency
+//! purpose will lead to a bottleneck as the number of processes grows. It
+//! is thus necessary to investigate how to distribute the logging of
+//! events among several Event Loggers. [...] Assigning a subset of the
+//! nodes to one Event Logger seems the obvious way to gain scalability.
+//! But in order to keep the good performance introduced by the Event
+//! Logger in the system, each node has to receive the most up to date
+//! array of logical clocks already logged. [...] by multicasting the
+//! local array of logical clocks of every Event Logger to the other ones,
+//! periodically or on specific events."*
+//!
+//! This module implements exactly that first design: rank `r` logs to EL
+//! `r mod k`; each EL multicasts its stable-clock vector to its peers
+//! every `gossip` interval; acknowledgements carry the *merged* global
+//! vector, so every process can garbage-collect events of ranks served by
+//! other loggers — at the freshness cost of one gossip period.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, WireSize};
+use vlog_vmpi::{DaemonMsg, RClock, Rank, Topology};
+
+use crate::el::{el_ack_bytes, el_resp_bytes, ElMsg, ElReply};
+use crate::event::Determinant;
+
+/// Gossip between Event Logger instances: a stable-clock vector.
+pub struct ElGossip {
+    pub from_el: usize,
+    pub stable: Vec<RClock>,
+}
+
+/// Per-record service cost (same single-threaded server as the single EL).
+const EL_SERVICE_NS: u64 = 2_300;
+const EL_RESP_NS_PER_DET: u64 = 120;
+
+/// One instance of a distributed Event Logger.
+pub struct ElShard {
+    index: usize,
+    node: NodeId,
+    n: usize,
+    /// Events of the ranks assigned here.
+    stored: Vec<Vec<Determinant>>,
+    /// Locally observed stable clocks (own ranks).
+    local_stable: Vec<RClock>,
+    /// Merged view including gossiped clocks from peer shards.
+    merged_stable: Vec<RClock>,
+    /// Peer shard actors (filled after installation).
+    peers: Rc<RefCell<Vec<(ActorId, NodeId)>>>,
+    gossip: SimDuration,
+}
+
+impl ElShard {
+    fn send_to(&self, sim: &mut Sim, to: ActorId, to_node: NodeId, bytes: u64, body: Box<dyn std::any::Any>) {
+        let size = WireSize::control(bytes);
+        if to_node == self.node {
+            sim.local_send(self.node, to, size, body, SimDuration::from_micros(15));
+        } else {
+            sim.net_send(self.node, to, size, body);
+        }
+    }
+
+    fn multicast_gossip(&self, sim: &mut Sim) {
+        let peers = self.peers.borrow().clone();
+        for (i, (actor, node)) in peers.iter().enumerate() {
+            if i != self.index {
+                self.send_to(
+                    sim,
+                    *actor,
+                    *node,
+                    8 + 4 * self.n as u64,
+                    Box::new(ElGossip {
+                        from_el: self.index,
+                        stable: self.local_stable.clone(),
+                    }),
+                );
+            }
+        }
+    }
+}
+
+impl Actor for ElShard {
+    fn on_deliver(&mut self, sim: &mut Sim, _me: ActorId, msg: Delivery) {
+        let body = msg.body;
+        let body = match body.downcast::<ElMsg>() {
+            Ok(m) => {
+                match *m {
+                    ElMsg::Record {
+                        from,
+                        det,
+                        reply_to,
+                    } => {
+                        let seq = &mut self.stored[from];
+                        if seq.last().is_none_or(|last| last.clock < det.clock) {
+                            seq.push(det);
+                            self.local_stable[from] = det.clock;
+                            self.merged_stable[from] =
+                                self.merged_stable[from].max(det.clock);
+                            sim.stats_mut().bump("el_records");
+                        } else {
+                            sim.stats_mut().bump("el_duplicate_records");
+                        }
+                        let end =
+                            sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
+                        let stable = self.merged_stable.clone();
+                        let node = self.node;
+                        let bytes = el_ack_bytes(self.n);
+                        sim.schedule_at(
+                            end,
+                            vlog_sim::Event::closure(move |sim| {
+                                let body = Box::new(DaemonMsg::Proto(Box::new(ElReply::Ack {
+                                    stable,
+                                })));
+                                let size = WireSize::control(bytes);
+                                if sim.actor_node(reply_to) == node {
+                                    sim.local_send(
+                                        node,
+                                        reply_to,
+                                        size,
+                                        body,
+                                        SimDuration::from_micros(15),
+                                    );
+                                } else {
+                                    sim.net_send(node, reply_to, size, body);
+                                }
+                            }),
+                        );
+                    }
+                    ElMsg::Query {
+                        victim,
+                        from,
+                        reply_to,
+                    } => {
+                        let dets: Vec<Determinant> = self.stored[victim]
+                            .iter()
+                            .filter(|d| d.clock > from)
+                            .copied()
+                            .collect();
+                        let cost = SimDuration::from_nanos(
+                            EL_SERVICE_NS + EL_RESP_NS_PER_DET * dets.len() as u64,
+                        );
+                        let end = sim.charge_cpu(self.node, cost);
+                        let bytes = el_resp_bytes(dets.len(), self.n);
+                        let stable = self.merged_stable.clone();
+                        let node = self.node;
+                        sim.stats_mut().bump("el_queries");
+                        sim.schedule_at(
+                            end,
+                            vlog_sim::Event::closure(move |sim| {
+                                let body = Box::new(DaemonMsg::Proto(Box::new(
+                                    ElReply::QueryResp { dets, stable },
+                                )));
+                                vlog_vmpi::daemon::stream_control(
+                                    sim, node, reply_to, bytes, body,
+                                );
+                            }),
+                        );
+                    }
+                }
+                return;
+            }
+            Err(b) => b,
+        };
+        if let Ok(g) = body.downcast::<ElGossip>() {
+            for c in 0..self.n {
+                self.merged_stable[c] = self.merged_stable[c].max(g.stable[c]);
+            }
+            sim.stats_mut().bump("el_gossip_msgs");
+        }
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, me: ActorId, token: u64) {
+        self.multicast_gossip(sim);
+        sim.set_timer(me, self.gossip, token);
+    }
+}
+
+/// Installs `k` Event Logger shards. The first lives on `first_node`;
+/// each further shard gets a fresh stable node. Ranks are assigned round
+/// robin (`topo.el_for`).
+pub fn install_distributed_el(
+    sim: &mut Sim,
+    topo: &Topology,
+    first_node: NodeId,
+    k: usize,
+    gossip: SimDuration,
+) -> Vec<(ActorId, NodeId)> {
+    assert!(k >= 1);
+    let n = topo.n_ranks();
+    let peers: Rc<RefCell<Vec<(ActorId, NodeId)>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut els = Vec::with_capacity(k);
+    for index in 0..k {
+        let node = if index == 0 { first_node } else { sim.add_node() };
+        let shard = ElShard {
+            index,
+            node,
+            n,
+            stored: vec![Vec::new(); n],
+            local_stable: vec![0; n],
+            merged_stable: vec![0; n],
+            peers: peers.clone(),
+            gossip,
+        };
+        let id = sim.add_actor(node, Box::new(shard));
+        els.push((id, node));
+        if k > 1 {
+            // Stagger the gossip timers so shards do not synchronize.
+            let first = SimDuration::from_nanos(gossip.as_nanos() * (index as u64 + 1) / k as u64);
+            sim.set_timer(id, first, 0);
+        }
+    }
+    *peers.borrow_mut() = els.clone();
+    topo.set_els(els.clone());
+    els
+}
+
+/// The rank-to-shard assignment used by clients.
+pub fn shard_of(rank: Rank, k: usize) -> usize {
+    rank % k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_round_robin() {
+        assert_eq!(shard_of(0, 4), 0);
+        assert_eq!(shard_of(5, 4), 1);
+        assert_eq!(shard_of(7, 2), 1);
+    }
+}

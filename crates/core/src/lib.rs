@@ -1,0 +1,64 @@
+//! # vlog-core — causal message logging with an Event Logger
+//!
+//! The paper's contribution (*"Impact of Event Logger on Causal Message
+//! Logging Protocols for Fault Tolerant MPI"*, IPDPS 2005), implemented
+//! as V-protocols for the `vlog-vmpi` framework:
+//!
+//! * **Causal message logging** ([`causal::CausalProtocol`]) with the
+//!   three piggyback-reduction techniques the paper compares —
+//!   [`vcausal::VcausalRed`] (sequences + channel watermarks),
+//!   Manetho and LogOn ([`agred::GraphRed`] over the antecedence
+//!   graph [`graph::AGraph`]) — each runnable **with or without** the
+//!   [`el::EventLogger`].
+//! * **Sender-based payload logging** ([`sender_log::SenderLog`]) and
+//!   full crash **recovery**: determinant collection from the EL and from
+//!   every alive rank, payload reclaim from the senders' volatile logs,
+//!   ordered replay, duplicate-send suppression.
+//! * The two Figure 1 baselines: sender-based **pessimistic** logging
+//!   ([`pessimistic::PessimisticProtocol`], MPICH-V2 style) and
+//!   **coordinated checkpointing** with global rollback
+//!   ([`coordinated::CoordinatedProtocol`], Chandy-Lamport style).
+//! * Byte-exact **piggyback codecs** ([`piggyback`]): the factored
+//!   `{rid, nb, events}` format shared by Vcausal and Manetho and the
+//!   flat order-preserving LogOn format.
+//!
+//! Ready-made [`suite`]s bundle each protocol with its auxiliary stable
+//! components for the cluster builder:
+//!
+//! ```ignore
+//! use vlog_core::{CausalSuite, Technique};
+//! let suite = Rc::new(CausalSuite::new(Technique::Manetho, /*el=*/true));
+//! let report = vlog_vmpi::run_cluster(&cfg, suite, program, &faults);
+//! ```
+
+pub mod agred;
+pub mod causal;
+pub mod codec;
+pub mod coordinated;
+pub mod costs;
+pub mod el;
+pub mod el_multi;
+pub mod event;
+pub mod graph;
+pub mod pessimistic;
+pub mod piggyback;
+pub mod reduction;
+pub mod sender_log;
+pub mod suite;
+pub mod vcausal;
+
+pub use causal::{CausalCtl, CausalProtocol};
+pub use coordinated::CoordinatedProtocol;
+pub use costs::CausalCosts;
+pub use el::{ElMsg, ElReply, EventLogger, EL_RECORD_BYTES};
+pub use el_multi::{install_distributed_el, ElShard};
+pub use event::{Determinant, EventId};
+pub use graph::AGraph;
+pub use pessimistic::PessimisticProtocol;
+pub use piggyback::{
+    decode_factored, decode_flat, encode_factored, encode_flat, factored_len, flat_len, PbBody,
+};
+pub use reduction::{make_reduction, Reduction, Technique, Work};
+pub use sender_log::SenderLog;
+pub use suite::{CausalSuite, CoordinatedSuite, PessimisticSuite};
+pub use vcausal::VcausalRed;

@@ -1,0 +1,121 @@
+//! The piggyback-reduction technique abstraction.
+//!
+//! All three protocols of the paper share the same causal-logging
+//! skeleton (sender-based payload logging + piggybacked determinants +
+//! optional Event Logger) and differ only in *which* determinants they
+//! piggyback and *how much it costs to decide* (paper §III-B). That
+//! varying part is the [`Reduction`] trait; `vlog-core` ships the three
+//! implementations the paper compares:
+//!
+//! * [`crate::vcausal::VcausalRed`] — per-creator sequences with channel
+//!   watermarks (cheap, weak reduction),
+//! * [`crate::agred::GraphRed`] (Manetho flavour) — antecedence graph,
+//!   border computed by traversal from the receiver's last known event,
+//! * [`crate::agred::GraphRed`] (LogOn flavour) — antecedence graph,
+//!   reverse exploration from the sender's last event, emission in
+//!   partial order.
+
+use vlog_vmpi::{RClock, Rank};
+
+use crate::event::Determinant;
+use crate::piggyback;
+
+/// Which reduction technique a configuration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    Vcausal,
+    Manetho,
+    LogOn,
+}
+
+impl Technique {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Vcausal => "Vcausal",
+            Technique::Manetho => "Manetho",
+            Technique::LogOn => "LogOn",
+        }
+    }
+
+    /// Wire length of a piggyback under this technique's format.
+    pub fn wire_len(&self, dets: &[Determinant]) -> u64 {
+        match self {
+            Technique::Vcausal | Technique::Manetho => piggyback::factored_len(dets),
+            Technique::LogOn => piggyback::flat_len(dets),
+        }
+    }
+}
+
+/// Work performed by a reduction operation, in structural operations. The
+/// protocol converts these to virtual CPU time through
+/// [`crate::costs::CausalCosts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Graph vertices (or sequence entries) visited.
+    pub visits: u64,
+    /// Vertices / entries inserted.
+    pub inserts: u64,
+}
+
+impl Work {
+    pub fn visits(n: u64) -> Work {
+        Work {
+            visits: n,
+            inserts: 0,
+        }
+    }
+
+    pub fn inserts(n: u64) -> Work {
+        Work {
+            visits: 0,
+            inserts: n,
+        }
+    }
+}
+
+/// A piggyback-reduction technique: the causality store of one process.
+pub trait Reduction {
+    fn technique(&self) -> Technique;
+
+    /// Records a reception event created locally.
+    fn add_local(&mut self, det: Determinant) -> Work;
+
+    /// Integrates determinants piggybacked on a message from `from`,
+    /// whose reception clock at emission was `sender_clock`. Updates the
+    /// knowledge tracked about `from`.
+    fn integrate(&mut self, from: Rank, sender_clock: RClock, dets: &[Determinant]) -> Work;
+
+    /// Absorbs determinants recovered during a restart (no peer-knowledge
+    /// update, no cost accounting — recovery time is measured separately).
+    fn absorb(&mut self, dets: &[Determinant]);
+
+    /// Selects the determinants to piggyback on a message to `dst`
+    /// (`my_clock` is the sender's current reception clock) and updates
+    /// the sent-knowledge so nothing is ever piggybacked twice on one
+    /// channel. The returned order is the emission order.
+    fn build(&mut self, dst: Rank, my_clock: RClock) -> (Vec<Determinant>, Work);
+
+    /// Applies Event Logger stability watermarks: determinants with
+    /// `clock <= stable[creator]` are garbage-collected (never piggybacked
+    /// again; the EL can always provide them).
+    fn apply_stable(&mut self, stable: &[RClock]);
+
+    /// Every determinant currently retained (for checkpoint images and
+    /// recovery reclaim responses).
+    fn retained(&self) -> Vec<Determinant>;
+
+    /// Number of retained determinants (memory pressure metric).
+    fn retained_count(&self) -> usize;
+
+    /// Deep clone for checkpoint images.
+    fn clone_box(&self) -> Box<dyn Reduction>;
+}
+
+/// Constructs the reduction for a technique on an `n`-rank job.
+pub fn make_reduction(t: Technique, n: usize) -> Box<dyn Reduction> {
+    match t {
+        Technique::Vcausal => Box::new(crate::vcausal::VcausalRed::new(n)),
+        Technique::Manetho => Box::new(crate::agred::GraphRed::new(n, Technique::Manetho)),
+        Technique::LogOn => Box::new(crate::agred::GraphRed::new(n, Technique::LogOn)),
+    }
+}

@@ -1,0 +1,205 @@
+//! Protocol suites: a V-protocol bundled with its auxiliary stable
+//! components, ready to hand to the cluster builder.
+
+use vlog_sim::{NodeId, Sim, SimDuration};
+use vlog_vmpi::{
+    CkptScheduler, RecoveryStyle, SchedulerPolicy, SharedRankStats, Suite, Topology, VProtocol,
+};
+
+use crate::causal::CausalProtocol;
+use crate::coordinated::CoordinatedProtocol;
+use crate::costs::CausalCosts;
+use crate::el::EventLogger;
+use crate::pessimistic::PessimisticProtocol;
+use crate::reduction::Technique;
+
+/// Causal message logging with a chosen piggyback-reduction technique,
+/// with or without the Event Logger.
+pub struct CausalSuite {
+    pub technique: Technique,
+    pub el: bool,
+    pub scheduler: SchedulerPolicy,
+    pub costs: CausalCosts,
+    /// Number of Event Logger instances (1 = the paper's configuration;
+    /// more = the paper's future-work distribution, see
+    /// [`crate::el_multi`]).
+    pub el_count: usize,
+    /// Stable-clock gossip period between distributed EL shards.
+    pub el_gossip: SimDuration,
+}
+
+impl CausalSuite {
+    pub fn new(technique: Technique, el: bool) -> Self {
+        CausalSuite {
+            technique,
+            el,
+            scheduler: SchedulerPolicy::Disabled,
+            costs: CausalCosts::default(),
+            el_count: 1,
+            el_gossip: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Enables uncoordinated round-robin checkpoints every `period`.
+    pub fn with_checkpoints(mut self, period: SimDuration) -> Self {
+        self.scheduler = SchedulerPolicy::RoundRobin { period };
+        self
+    }
+
+    /// Distributes the Event Logger over `k` shards gossiping their
+    /// stable-clock vectors every `gossip`.
+    pub fn with_distributed_el(mut self, k: usize, gossip: SimDuration) -> Self {
+        assert!(k >= 1);
+        self.el = true;
+        self.el_count = k;
+        self.el_gossip = gossip;
+        self
+    }
+}
+
+impl Suite for CausalSuite {
+    fn name(&self) -> String {
+        format!(
+            "MPICH-Vcausal ({}{})",
+            self.technique.label(),
+            if self.el { ", EL" } else { ", no EL" }
+        )
+    }
+
+    fn install(&self, sim: &mut Sim, topo: &Topology, stable_nodes: &[NodeId]) {
+        if self.el {
+            if self.el_count <= 1 {
+                let el = EventLogger::install(sim, stable_nodes[0], topo.n_ranks());
+                topo.set_el(el, stable_nodes[0]);
+            } else {
+                crate::el_multi::install_distributed_el(
+                    sim,
+                    topo,
+                    stable_nodes[0],
+                    self.el_count,
+                    self.el_gossip,
+                );
+            }
+        }
+        CkptScheduler::install(sim, stable_nodes[1], topo.clone(), self.scheduler);
+    }
+
+    fn make_protocol(
+        &self,
+        rank: usize,
+        topo: &Topology,
+        stats: SharedRankStats,
+    ) -> Box<dyn VProtocol> {
+        Box::new(CausalProtocol::new(
+            self.technique,
+            self.el,
+            rank,
+            topo.n_ranks(),
+            self.costs.clone(),
+            stats,
+        ))
+    }
+
+    fn recovery_style(&self) -> RecoveryStyle {
+        RecoveryStyle::SingleRank
+    }
+}
+
+/// Sender-based pessimistic message logging (MPICH-V2 style). Requires
+/// the Event Logger.
+pub struct PessimisticSuite {
+    pub scheduler: SchedulerPolicy,
+    pub costs: CausalCosts,
+}
+
+impl PessimisticSuite {
+    pub fn new() -> Self {
+        PessimisticSuite {
+            scheduler: SchedulerPolicy::Disabled,
+            costs: CausalCosts::default(),
+        }
+    }
+
+    pub fn with_checkpoints(mut self, period: SimDuration) -> Self {
+        self.scheduler = SchedulerPolicy::RoundRobin { period };
+        self
+    }
+}
+
+impl Default for PessimisticSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Suite for PessimisticSuite {
+    fn name(&self) -> String {
+        "MPICH-V2 (pessimistic, EL)".into()
+    }
+
+    fn install(&self, sim: &mut Sim, topo: &Topology, stable_nodes: &[NodeId]) {
+        let el = EventLogger::install(sim, stable_nodes[0], topo.n_ranks());
+        topo.set_el(el, stable_nodes[0]);
+        CkptScheduler::install(sim, stable_nodes[1], topo.clone(), self.scheduler);
+    }
+
+    fn make_protocol(
+        &self,
+        rank: usize,
+        topo: &Topology,
+        stats: SharedRankStats,
+    ) -> Box<dyn VProtocol> {
+        Box::new(PessimisticProtocol::new(
+            rank,
+            topo.n_ranks(),
+            self.costs.clone(),
+            stats,
+        ))
+    }
+
+    fn recovery_style(&self) -> RecoveryStyle {
+        RecoveryStyle::SingleRank
+    }
+}
+
+/// Coordinated checkpointing (Chandy-Lamport) with global rollback.
+pub struct CoordinatedSuite {
+    /// Global snapshot period.
+    pub period: SimDuration,
+}
+
+impl CoordinatedSuite {
+    pub fn new(period: SimDuration) -> Self {
+        CoordinatedSuite { period }
+    }
+}
+
+impl Suite for CoordinatedSuite {
+    fn name(&self) -> String {
+        "MPICH-V/CL (coordinated)".into()
+    }
+
+    fn install(&self, sim: &mut Sim, topo: &Topology, stable_nodes: &[NodeId]) {
+        CkptScheduler::install(
+            sim,
+            stable_nodes[1],
+            topo.clone(),
+            SchedulerPolicy::Coordinated {
+                period: self.period,
+            },
+        );
+    }
+
+    fn make_protocol(
+        &self,
+        rank: usize,
+        topo: &Topology,
+        _stats: SharedRankStats,
+    ) -> Box<dyn VProtocol> {
+        Box::new(CoordinatedProtocol::new(rank, topo.n_ranks()))
+    }
+
+    fn recovery_style(&self) -> RecoveryStyle {
+        RecoveryStyle::GlobalRollback
+    }
+}

@@ -1,0 +1,237 @@
+//! The Vcausal piggyback reduction (paper §III-B.1).
+//!
+//! *"Each node uses one sequence of events per process to store the
+//! causality information. When a node A receives some causality
+//! information from a process B, it appends this information to its logs.
+//! Moreover it stores knowledge of the last events e_p, created by each
+//! process p, it has received from B. When A sends a message to B, it
+//! piggybacks every event from e_p to the end of its sequences and
+//! changes e_p to the last events it sends to B."*
+//!
+//! The reduction is deliberately weak: the per-channel watermark advances
+//! only when events are *sent* ("changes e_p to the last events it sends
+//! to B"). With plain sequences there is no way to infer what a peer
+//! already holds, so Vcausal echoes events straight back to the peer that
+//! piggybacked them — the paper's Figure 2 shows B returning A's own
+//! event `id(m)` to A — and sends a receiver its own events (Figure 3:
+//! P3 piggybacks all of a–j to P2). The antecedence-graph methods avoid
+//! both by traversing the receiver's causal past, which is exactly why
+//! Vcausal piggybacks 2-3× more than Manetho without an Event Logger,
+//! and why it depends so strongly on one.
+
+use std::collections::VecDeque;
+
+use vlog_vmpi::{RClock, Rank};
+
+use crate::event::Determinant;
+use crate::reduction::{Reduction, Technique, Work};
+
+#[derive(Clone)]
+pub struct VcausalRed {
+    n: usize,
+    /// Retained determinants per creator, ascending clock.
+    seqs: Vec<VecDeque<Determinant>>,
+    /// Highest clock ever seen per creator (survives GC).
+    heads: Vec<RClock>,
+    /// `sent[peer][creator]`: highest clock of `creator`'s events this
+    /// node has piggybacked to `peer` (send-side watermark only — the
+    /// paper's Vcausal cannot infer what a peer learned elsewhere).
+    sent: Vec<Vec<RClock>>,
+    /// EL stability watermarks.
+    stable: Vec<RClock>,
+}
+
+impl VcausalRed {
+    pub fn new(n: usize) -> Self {
+        VcausalRed {
+            n,
+            seqs: vec![VecDeque::new(); n],
+            heads: vec![0; n],
+            sent: vec![vec![0; n]; n],
+            stable: vec![0; n],
+        }
+    }
+
+    fn push(&mut self, det: Determinant) -> bool {
+        let c = det.receiver;
+        if det.clock <= self.heads[c] || det.clock <= self.stable[c] {
+            return false; // already known or already stable
+        }
+        self.heads[c] = det.clock;
+        self.seqs[c].push_back(det);
+        true
+    }
+}
+
+impl Reduction for VcausalRed {
+    fn technique(&self) -> Technique {
+        Technique::Vcausal
+    }
+
+    fn add_local(&mut self, det: Determinant) -> Work {
+        let added = self.push(det);
+        Work::inserts(added as u64)
+    }
+
+    fn integrate(&mut self, _from: Rank, _sender_clock: RClock, dets: &[Determinant]) -> Work {
+        // Send-side watermarks only: learned events will be echoed back
+        // to the peer that sent them (paper Figure 2) because plain
+        // sequences cannot represent peer knowledge.
+        let mut inserts = 0;
+        for det in dets {
+            if self.push(*det) {
+                inserts += 1;
+            }
+        }
+        Work {
+            visits: dets.len() as u64,
+            inserts,
+        }
+    }
+
+    fn absorb(&mut self, dets: &[Determinant]) {
+        // Recovered knowledge may arrive out of clock order; insert sorted.
+        let mut sorted: Vec<_> = dets.to_vec();
+        sorted.sort_by_key(|d| (d.receiver, d.clock));
+        for det in sorted {
+            self.push(det);
+        }
+    }
+
+    fn build(&mut self, dst: Rank, _my_clock: RClock) -> (Vec<Determinant>, Work) {
+        let mut out = Vec::new();
+        let mut visits = 0u64;
+        for c in 0..self.n {
+            let wm = self.sent[dst][c].max(self.stable[c]);
+            // Sequences are ascending: walk back from the newest entry.
+            let seq = &self.seqs[c];
+            let mut start = seq.len();
+            while start > 0 && seq[start - 1].clock > wm {
+                start -= 1;
+                visits += 1;
+            }
+            out.extend(seq.iter().skip(start).copied());
+            self.sent[dst][c] = self.heads[c].max(self.sent[dst][c]);
+        }
+        (out, Work::visits(visits))
+    }
+
+    fn apply_stable(&mut self, stable: &[RClock]) {
+        for c in 0..self.n {
+            if stable[c] > self.stable[c] {
+                self.stable[c] = stable[c];
+                while self
+                    .seqs[c]
+                    .front()
+                    .is_some_and(|d| d.clock <= self.stable[c])
+                {
+                    self.seqs[c].pop_front();
+                }
+            }
+        }
+    }
+
+    fn retained(&self) -> Vec<Determinant> {
+        self.seqs.iter().flatten().copied().collect()
+    }
+
+    fn retained_count(&self) -> usize {
+        self.seqs.iter().map(|s| s.len()).sum()
+    }
+
+    fn clone_box(&self) -> Box<dyn Reduction> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(receiver: Rank, clock: RClock) -> Determinant {
+        Determinant {
+            receiver,
+            clock,
+            sender: (receiver + 1) % 4,
+            ssn: clock,
+            cause: 0,
+        }
+    }
+
+    #[test]
+    fn never_sends_twice_on_one_channel() {
+        let mut r = VcausalRed::new(4);
+        r.add_local(det(0, 1));
+        r.add_local(det(0, 2));
+        let (first, _) = r.build(1, 2);
+        assert_eq!(first.len(), 2);
+        let (second, _) = r.build(1, 2);
+        assert!(second.is_empty(), "events were piggybacked twice");
+        // A different channel still gets everything.
+        let (other, _) = r.build(2, 2);
+        assert_eq!(other.len(), 2);
+    }
+
+    #[test]
+    fn integrate_skips_duplicate_inserts() {
+        let mut r = VcausalRed::new(4);
+        let d = det(2, 1);
+        let w1 = r.integrate(1, 0, &[d]);
+        assert_eq!(w1.inserts, 1);
+        let w2 = r.integrate(3, 0, &[d]);
+        assert_eq!(w2.inserts, 0, "duplicate insert");
+    }
+
+    #[test]
+    fn learned_events_are_echoed_back_to_their_source() {
+        // Paper Figure 2: B piggybacks A's own event id(m) back to A,
+        // because Vcausal's watermark only advances on send.
+        let mut r = VcausalRed::new(4);
+        let d = det(2, 1); // event created by rank 2, learned from rank 1
+        r.integrate(1, 0, &[d]);
+        let (back_to_1, _) = r.build(1, 0);
+        assert_eq!(back_to_1, vec![d], "Vcausal must echo learned events");
+        // ... but only once per channel.
+        let (again, _) = r.build(1, 0);
+        assert!(again.is_empty());
+        // And it even sends rank 2 its own event back.
+        let (to_creator, _) = r.build(2, 0);
+        assert_eq!(to_creator, vec![d]);
+    }
+
+    #[test]
+    fn stability_garbage_collects_prefixes() {
+        let mut r = VcausalRed::new(2);
+        for k in 1..=10 {
+            r.add_local(det(0, k));
+        }
+        assert_eq!(r.retained_count(), 10);
+        r.apply_stable(&[7, 0]);
+        assert_eq!(r.retained_count(), 3);
+        let (pb, _) = r.build(1, 10);
+        assert_eq!(pb.len(), 3);
+        assert!(pb.iter().all(|d| d.clock > 7));
+        // Late (stale) determinants below the watermark are not re-added.
+        assert_eq!(r.integrate(1, 0, &[det(0, 5)]).inserts, 0);
+    }
+
+    #[test]
+    fn stable_events_are_never_echoed() {
+        let mut r = VcausalRed::new(2);
+        r.absorb(&[det(1, 1), det(1, 2), det(1, 3)]);
+        // Once the EL acknowledged them, they stop travelling entirely.
+        r.apply_stable(&[0, 3]);
+        let (pb, _) = r.build(1, 0);
+        assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn clone_box_is_deep() {
+        let mut r = VcausalRed::new(2);
+        r.add_local(det(0, 1));
+        let snap = r.clone_box();
+        r.add_local(det(0, 2));
+        assert_eq!(snap.retained_count(), 1);
+        assert_eq!(r.retained_count(), 2);
+    }
+}

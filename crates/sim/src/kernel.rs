@@ -1,0 +1,817 @@
+//! The simulation kernel: virtual clock, event queue, actors, tasks,
+//! CPU resources and fault injection.
+//!
+//! # Determinism
+//!
+//! Events are ordered by `(time, sequence)`; the sequence is a monotonic
+//! counter, so simultaneous events fire in scheduling order. Tasks are
+//! polled from a FIFO ready queue. All randomness flows from one seeded
+//! [`SmallRng`]. Two runs with the same seed and the same program produce
+//! bit-identical statistics.
+//!
+//! # Actors and generations
+//!
+//! Services (communication daemons, the Event Logger, the checkpoint
+//! server, the dispatcher) are [`Actor`]s registered on a node. Crashing a
+//! node drops its actors and tasks; restarting installs a fresh actor in
+//! the *same slot* with a bumped generation. Deliveries and timers capture
+//! the generation of their target at creation: anything addressed to a dead
+//! incarnation is silently dropped, which models TCP connections dying with
+//! the process.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::exec::{noop_waker, ExecHandle, ExecShared, TaskId, TaskSlot};
+use crate::net::{EthernetParams, Network, WireSize};
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a simulated machine.
+pub type NodeId = usize;
+/// Index of a registered actor slot (stable across restarts).
+pub type ActorId = usize;
+
+/// A message arriving at an actor.
+pub struct Delivery {
+    /// Node that emitted the message.
+    pub src_node: NodeId,
+    /// Wire-size accounting used for statistics.
+    pub size: WireSize,
+    /// The message body; actors downcast to their protocol type.
+    pub body: Box<dyn Any>,
+}
+
+/// An entry in the simulation calendar.
+pub enum Event {
+    /// Arbitrary kernel-context work (fault injection, op completion, ...).
+    Closure(Box<dyn FnOnce(&mut Sim)>),
+    /// Wakes an actor without carrying data (pipe readable, batch flush...).
+    Poke { actor: ActorId, token: u64 },
+    /// A timer set through [`Sim::set_timer`].
+    Timer { actor: ActorId, gen: u32, token: u64 },
+    /// A network (or loopback) message delivery.
+    Deliver {
+        actor: ActorId,
+        gen: u32,
+        msg: Delivery,
+    },
+}
+
+impl Event {
+    /// Convenience constructor for closure events.
+    pub fn closure(f: impl FnOnce(&mut Sim) + 'static) -> Event {
+        Event::Closure(Box::new(f))
+    }
+}
+
+/// Message/timer-driven service running on a node.
+///
+/// Handlers receive `&mut Sim` so they can schedule events, send messages
+/// and charge CPU time. The kernel guarantees a handler is never re-entered.
+pub trait Actor: 'static {
+    /// A message addressed to this actor arrived.
+    fn on_deliver(&mut self, sim: &mut Sim, me: ActorId, msg: Delivery);
+    /// A poke (data-less wake-up) arrived.
+    fn on_poke(&mut self, sim: &mut Sim, me: ActorId, token: u64) {
+        let _ = (sim, me, token);
+    }
+    /// A timer set by this actor fired.
+    fn on_timer(&mut self, sim: &mut Sim, me: ActorId, token: u64) {
+        let _ = (sim, me, token);
+    }
+    /// The hosting node is crashing; the actor is dropped right after.
+    /// Most actors need no cleanup — volatile state dies with them.
+    fn on_crash(&mut self, sim: &mut Sim, me: ActorId) {
+        let _ = (sim, me);
+    }
+}
+
+struct ActorSlot {
+    actor: Option<Box<dyn Actor>>,
+    node: NodeId,
+    gen: u32,
+    alive: bool,
+}
+
+struct QEntry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Network model parameters.
+    pub net: EthernetParams,
+    /// Optional hard cap on dispatched events (runaway protection).
+    pub event_limit: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            net: EthernetParams::default(),
+            event_limit: None,
+        }
+    }
+}
+
+/// The simulation world. See module docs.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QEntry>>,
+    actors: Vec<ActorSlot>,
+    tasks: Vec<TaskSlot>,
+    exec: Rc<RefCell<ExecShared>>,
+    net: Network,
+    /// Per-node sequential service-CPU resource (daemon work, servers).
+    cpu_free: Vec<SimTime>,
+    nodes: usize,
+    stats: Stats,
+    rng: SmallRng,
+    stop: bool,
+    events_processed: u64,
+    event_limit: Option<u64>,
+}
+
+impl Sim {
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    pub fn with_config(cfg: SimConfig) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            tasks: Vec::new(),
+            exec: ExecShared::new(),
+            net: Network::new(cfg.net),
+            cpu_free: Vec::new(),
+            nodes: 0,
+            stats: Stats::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            stop: false,
+            events_processed: 0,
+            event_limit: cfg.event_limit,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Handle usable from task context (staging, op cells, sleeps).
+    pub fn exec(&self) -> ExecHandle {
+        ExecHandle {
+            shared: self.exec.clone(),
+        }
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ------------------------------------------------------------------
+    // Topology
+    // ------------------------------------------------------------------
+
+    /// Registers a new machine and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.nodes;
+        self.nodes += 1;
+        self.cpu_free.push(SimTime::ZERO);
+        self.net.ensure_node(id);
+        id
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Registers an actor on `node`; the returned id is stable across
+    /// crash/restart cycles of that slot.
+    pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor>) -> ActorId {
+        assert!(node < self.nodes, "unknown node");
+        let id = self.actors.len();
+        self.actors.push(ActorSlot {
+            actor: Some(actor),
+            node,
+            gen: 0,
+            alive: true,
+        });
+        id
+    }
+
+    /// Installs a fresh actor in an existing slot (restart). Bumps the
+    /// generation so stale deliveries and timers are dropped.
+    pub fn replace_actor(&mut self, id: ActorId, actor: Box<dyn Actor>) {
+        let slot = &mut self.actors[id];
+        slot.gen += 1;
+        slot.actor = Some(actor);
+        slot.alive = true;
+    }
+
+    /// Current generation of an actor slot.
+    pub fn actor_gen(&self, id: ActorId) -> u32 {
+        self.actors[id].gen
+    }
+
+    pub fn actor_alive(&self, id: ActorId) -> bool {
+        self.actors[id].alive
+    }
+
+    pub fn actor_node(&self, id: ActorId) -> NodeId {
+        self.actors[id].node
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Schedules an event `delay` from now.
+    pub fn schedule(&mut self, delay: SimDuration, event: Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules an event at an absolute instant (must not be in the past).
+    pub fn schedule_at(&mut self, time: SimTime, event: Event) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { time, seq, event }));
+    }
+
+    /// Schedules kernel-context work `delay` from now.
+    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule(delay, Event::closure(f));
+    }
+
+    /// Sets a timer for an actor; dropped if the actor is restarted first.
+    pub fn set_timer(&mut self, actor: ActorId, delay: SimDuration, token: u64) {
+        let gen = self.actors[actor].gen;
+        self.schedule(delay, Event::Timer { actor, gen, token });
+    }
+
+    /// Requests the run loop to exit at the next dispatch boundary.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Communication
+    // ------------------------------------------------------------------
+
+    /// Sends a message across the network. Consumes NIC/link time on both
+    /// ends according to the Ethernet model; the delivery fires when the
+    /// last byte reaches the destination. Panics on same-node sends — use
+    /// [`Sim::local_send`] for those.
+    pub fn net_send(
+        &mut self,
+        src_node: NodeId,
+        dst_actor: ActorId,
+        size: WireSize,
+        body: Box<dyn Any>,
+    ) {
+        let slot = &self.actors[dst_actor];
+        let dst_node = slot.node;
+        let gen = slot.gen;
+        let arrival = self.net.send(self.now, src_node, dst_node, size.total());
+        self.stats.record_message(size);
+        self.schedule_at(
+            arrival,
+            Event::Deliver {
+                actor: dst_actor,
+                gen,
+                msg: Delivery {
+                    src_node,
+                    size,
+                    body,
+                },
+            },
+        );
+    }
+
+    /// Delivers a message to an actor on the *same* node through loopback:
+    /// no NIC time, fixed small delay.
+    pub fn local_send(
+        &mut self,
+        src_node: NodeId,
+        dst_actor: ActorId,
+        size: WireSize,
+        body: Box<dyn Any>,
+        delay: SimDuration,
+    ) {
+        let gen = self.actors[dst_actor].gen;
+        self.schedule(
+            delay,
+            Event::Deliver {
+                actor: dst_actor,
+                gen,
+                msg: Delivery {
+                    src_node,
+                    size,
+                    body,
+                },
+            },
+        );
+    }
+
+    /// Serializes `work` on the node's service CPU (single-threaded daemon
+    /// model): the work starts when the CPU is free and the returned
+    /// instant is its completion time.
+    pub fn charge_cpu(&mut self, node: NodeId, work: SimDuration) -> SimTime {
+        let start = self.cpu_free[node].max(self.now);
+        let end = start + work;
+        self.cpu_free[node] = end;
+        end
+    }
+
+    // ------------------------------------------------------------------
+    // Tasks
+    // ------------------------------------------------------------------
+
+    /// Spawns a task bound to a node (killed when the node crashes).
+    pub fn spawn(
+        &mut self,
+        node: Option<NodeId>,
+        fut: impl std::future::Future<Output = ()> + 'static,
+    ) -> TaskId {
+        self.spawn_inner(node, Box::pin(fut), None)
+    }
+
+    /// Spawns a task and registers a callback to run on normal completion.
+    pub fn spawn_with_exit(
+        &mut self,
+        node: Option<NodeId>,
+        fut: impl std::future::Future<Output = ()> + 'static,
+        on_exit: impl FnOnce(&mut Sim) + 'static,
+    ) -> TaskId {
+        self.spawn_inner(node, Box::pin(fut), Some(Box::new(on_exit)))
+    }
+
+    /// Spawns a task bound to no node (test harness helpers).
+    pub fn spawn_detached(
+        &mut self,
+        fut: impl std::future::Future<Output = ()> + 'static,
+    ) -> TaskId {
+        self.spawn(None, fut)
+    }
+
+    fn spawn_inner(
+        &mut self,
+        node: Option<NodeId>,
+        fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
+        on_exit: Option<Box<dyn FnOnce(&mut Sim)>>,
+    ) -> TaskId {
+        // Reuse a dead slot if possible to keep indices small.
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.fut.is_none() && t.on_exit.is_none());
+        let (idx, gen) = match idx {
+            Some(i) => {
+                let slot = &mut self.tasks[i];
+                slot.gen += 1;
+                slot.fut = Some(fut);
+                slot.node = node;
+                slot.on_exit = on_exit;
+                (i, slot.gen)
+            }
+            None => {
+                self.tasks.push(TaskSlot {
+                    fut: Some(fut),
+                    gen: 0,
+                    node,
+                    on_exit,
+                });
+                (self.tasks.len() - 1, 0)
+            }
+        };
+        let id = TaskId {
+            idx: idx as u32,
+            gen,
+        };
+        self.exec.borrow_mut().ready.push_back(id);
+        id
+    }
+
+    /// Drops a task's future (fail-stop kill). Its exit callback does not
+    /// run; pending completions addressed to it are discarded.
+    pub fn kill_task(&mut self, id: TaskId) {
+        let slot = &mut self.tasks[id.idx as usize];
+        if slot.gen == id.gen {
+            slot.fut = None;
+            slot.on_exit = None;
+            slot.gen += 1; // invalidate queued wake-ups
+        }
+    }
+
+    pub fn task_alive(&self, id: TaskId) -> bool {
+        let slot = &self.tasks[id.idx as usize];
+        slot.gen == id.gen && slot.fut.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Faults
+    // ------------------------------------------------------------------
+
+    /// Fail-stop crash of a machine: every task bound to the node is
+    /// dropped, every actor gets `on_crash` and is dropped (slot kept, not
+    /// alive), and the node's NIC and CPU state is reset.
+    pub fn crash_node(&mut self, node: NodeId) {
+        // Kill tasks first so actors observe a world without them.
+        for i in 0..self.tasks.len() {
+            if self.tasks[i].node == Some(node) && self.tasks[i].fut.is_some() {
+                self.tasks[i].fut = None;
+                self.tasks[i].on_exit = None;
+                self.tasks[i].gen += 1;
+            }
+        }
+        for id in 0..self.actors.len() {
+            if self.actors[id].node == node && self.actors[id].alive {
+                if let Some(mut a) = self.actors[id].actor.take() {
+                    a.on_crash(self, id);
+                }
+                self.actors[id].alive = false;
+                self.actors[id].gen += 1;
+            }
+        }
+        self.net.reset_node(node);
+        self.cpu_free[node] = self.now;
+        self.stats.bump("node_crashes");
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs until the calendar is empty or a stop is requested.
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Runs until `deadline` (events at `deadline` included). Returns true
+    /// if the simulation stopped or drained before the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        self.drain_tasks();
+        loop {
+            if self.stop {
+                return true;
+            }
+            let Some(Reverse(head)) = self.queue.peek() else {
+                return true;
+            };
+            if head.time > deadline {
+                self.now = deadline;
+                self.exec.borrow_mut().now = deadline;
+                return false;
+            }
+            let Reverse(entry) = self.queue.pop().unwrap();
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.exec.borrow_mut().now = entry.time;
+            self.dispatch(entry.event);
+            self.drain_tasks();
+            self.events_processed += 1;
+            if let Some(limit) = self.event_limit {
+                assert!(
+                    self.events_processed <= limit,
+                    "event limit exceeded ({limit}) — runaway simulation?"
+                );
+            }
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Closure(f) => f(self),
+            Event::Poke { actor, token } => {
+                self.with_actor(actor, None, |a, sim, me| a.on_poke(sim, me, token));
+            }
+            Event::Timer { actor, gen, token } => {
+                self.with_actor(actor, Some(gen), |a, sim, me| a.on_timer(sim, me, token));
+            }
+            Event::Deliver { actor, gen, msg } => {
+                let matched = self.with_actor(actor, Some(gen), |a, sim, me| {
+                    a.on_deliver(sim, me, msg)
+                });
+                if !matched {
+                    self.stats.bump("net_dropped_dead_target");
+                }
+            }
+        }
+    }
+
+    /// Runs `f` on a live actor with the kernel re-borrowable. Returns
+    /// false if the actor is dead or from another generation.
+    fn with_actor<F>(&mut self, id: ActorId, gen: Option<u32>, f: F) -> bool
+    where
+        F: FnOnce(&mut dyn Actor, &mut Sim, ActorId),
+    {
+        {
+            let slot = &self.actors[id];
+            if !slot.alive || gen.is_some_and(|g| g != slot.gen) {
+                return false;
+            }
+        }
+        let Some(mut actor) = self.actors[id].actor.take() else {
+            // Never re-enter a running handler.
+            panic!("actor {id} re-entered");
+        };
+        let gen_now = self.actors[id].gen;
+        f(&mut *actor, self, id);
+        let slot = &mut self.actors[id];
+        if slot.alive && slot.gen == gen_now && slot.actor.is_none() {
+            slot.actor = Some(actor);
+        }
+        true
+    }
+
+    /// Polls ready tasks until quiescent, flushing staged events between
+    /// polls. Called by the run loop after every event dispatch.
+    fn drain_tasks(&mut self) {
+        loop {
+            self.flush_staged();
+            let next = self.exec.borrow_mut().ready.pop_front();
+            let Some(tid) = next else { break };
+            self.poll_task(tid);
+        }
+        self.flush_staged();
+    }
+
+    fn flush_staged(&mut self) {
+        let (staged, stop) = {
+            let mut ex = self.exec.borrow_mut();
+            (std::mem::take(&mut ex.staged), ex.stop)
+        };
+        if stop {
+            self.stop = true;
+        }
+        for (delay, ev) in staged {
+            self.schedule(delay, ev);
+        }
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        let idx = id.idx as usize;
+        {
+            let slot = &self.tasks[idx];
+            if slot.gen != id.gen || slot.fut.is_none() {
+                return; // stale wake-up for a dead incarnation
+            }
+        }
+        let mut fut = self.tasks[idx].fut.take().unwrap();
+        self.exec.borrow_mut().current = Some(id);
+        let waker = noop_waker();
+        let mut cx = std::task::Context::from_waker(&waker);
+        let poll = fut.as_mut().poll(&mut cx);
+        self.exec.borrow_mut().current = None;
+        let slot = &mut self.tasks[idx];
+        match poll {
+            std::task::Poll::Pending => {
+                // The slot may have been invalidated by a crash during the
+                // poll; only restore the future for the same incarnation.
+                if slot.gen == id.gen {
+                    slot.fut = Some(fut);
+                }
+            }
+            std::task::Poll::Ready(()) => {
+                let cb = if slot.gen == id.gen {
+                    slot.on_exit.take()
+                } else {
+                    None
+                };
+                drop(fut);
+                if let Some(cb) = cb {
+                    cb(self);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        got: Rc<RefCell<Vec<(NodeId, u64)>>>,
+    }
+    impl Actor for Echo {
+        fn on_deliver(&mut self, _sim: &mut Sim, _me: ActorId, msg: Delivery) {
+            let v = *msg.body.downcast::<u64>().unwrap();
+            self.got.borrow_mut().push((msg.src_node, v));
+        }
+        fn on_timer(&mut self, _sim: &mut Sim, _me: ActorId, token: u64) {
+            self.got.borrow_mut().push((usize::MAX, token));
+        }
+    }
+
+    fn small(n: u64) -> WireSize {
+        WireSize {
+            header: 0,
+            payload: n,
+            piggyback: 0,
+            control: 0,
+        }
+    }
+
+    #[test]
+    fn deliver_and_stats() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
+        sim.net_send(n0, a, small(100), Box::new(42u64));
+        sim.run();
+        assert_eq!(&*got.borrow(), &[(n0, 42u64)]);
+        assert_eq!(sim.stats().messages, 1);
+        assert_eq!(sim.stats().bytes.payload, 100);
+        assert!(sim.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn timers_respect_generation() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.add_actor(n0, Box::new(Echo { got: got.clone() }));
+        sim.set_timer(a, SimDuration::from_micros(10), 1);
+        // Replace before the timer fires: the timer must be dropped.
+        sim.replace_actor(a, Box::new(Echo { got: got.clone() }));
+        sim.set_timer(a, SimDuration::from_micros(20), 2);
+        sim.run();
+        assert_eq!(&*got.borrow(), &[(usize::MAX, 2u64)]);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
+        sim.net_send(n0, a, small(10), Box::new(1u64));
+        // Crash the receiver before delivery.
+        sim.after(SimDuration::from_nanos(1), move |sim| sim.crash_node(1));
+        sim.run();
+        assert!(got.borrow().is_empty());
+        assert_eq!(sim.stats().get("net_dropped_dead_target"), 1);
+        assert_eq!(sim.stats().get("node_crashes"), 1);
+    }
+
+    #[test]
+    fn restart_receives_new_traffic() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
+        sim.after(SimDuration::from_micros(1), move |sim| sim.crash_node(1));
+        let got2 = got.clone();
+        sim.after(SimDuration::from_micros(2), move |sim| {
+            sim.replace_actor(a, Box::new(Echo { got: got2.clone() }));
+            sim.net_send(0, a, small(10), Box::new(9u64));
+        });
+        sim.run();
+        assert_eq!(&*got.borrow(), &[(n0, 9u64)]);
+        let _ = n1;
+    }
+
+    #[test]
+    fn charge_cpu_serializes() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let t1 = sim.charge_cpu(n0, SimDuration::from_micros(5));
+        let t2 = sim.charge_cpu(n0, SimDuration::from_micros(5));
+        assert_eq!(t1.as_nanos(), 5_000);
+        assert_eq!(t2.as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn killed_task_never_resumes() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let h = sim.exec();
+        let hit = Rc::new(RefCell::new(false));
+        let hit2 = hit.clone();
+        let id = sim.spawn(Some(n0), async move {
+            h.sleep(SimDuration::from_micros(10)).await;
+            *hit2.borrow_mut() = true;
+        });
+        sim.after(SimDuration::from_micros(5), move |sim| sim.kill_task(id));
+        sim.run();
+        assert!(!*hit.borrow());
+        assert!(!sim.task_alive(id));
+    }
+
+    #[test]
+    fn exit_callback_runs_on_completion_only() {
+        let mut sim = Sim::new(7);
+        let done = Rc::new(RefCell::new(0));
+        let d = done.clone();
+        let h = sim.exec();
+        sim.spawn_with_exit(
+            None,
+            async move {
+                h.sleep(SimDuration::from_micros(1)).await;
+            },
+            move |_| *d.borrow_mut() += 1,
+        );
+        sim.run();
+        assert_eq!(*done.borrow(), 1);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut sim = Sim::new(7);
+        let h = sim.exec();
+        let count = Rc::new(RefCell::new(0));
+        let c = count.clone();
+        sim.spawn_detached(async move {
+            for _ in 0..10 {
+                h.sleep(SimDuration::from_micros(10)).await;
+                *c.borrow_mut() += 1;
+            }
+        });
+        let finished = sim.run_until(SimTime::from_nanos(35_000));
+        assert!(!finished);
+        assert_eq!(*count.borrow(), 3);
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit exceeded")]
+    fn event_limit_catches_runaway() {
+        let mut sim = Sim::with_config(SimConfig {
+            event_limit: Some(10),
+            ..SimConfig::default()
+        });
+        fn rearm(sim: &mut Sim) {
+            sim.after(SimDuration::from_nanos(1), rearm);
+        }
+        sim.after(SimDuration::from_nanos(1), rearm);
+        sim.run();
+    }
+}

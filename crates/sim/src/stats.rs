@@ -1,0 +1,137 @@
+//! Simulation statistics.
+//!
+//! The benchmark harnesses derive every paper table from these counters.
+//! Byte counters are split by wire category so that Figure 7 ("piggybacked
+//! bytes as a percentage of total exchanged bytes") can be computed exactly;
+//! named counters let the protocol crates record protocol-specific
+//! quantities (events piggybacked, graph vertices visited, ...) without the
+//! kernel knowing about them.
+
+use std::collections::BTreeMap;
+
+use crate::net::WireSize;
+use crate::time::SimDuration;
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Number of network messages delivered.
+    pub messages: u64,
+    /// Bytes by category, summed over all delivered messages.
+    pub bytes: WireSize,
+    /// Named integer counters (protocol-specific).
+    counters: BTreeMap<&'static str, u64>,
+    /// Named duration accumulators (protocol-specific).
+    durations: BTreeMap<&'static str, SimDuration>,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivered message of the given wire size.
+    pub fn record_message(&mut self, size: WireSize) {
+        self.messages += 1;
+        self.bytes.header += size.header;
+        self.bytes.payload += size.payload;
+        self.bytes.piggyback += size.piggyback;
+        self.bytes.control += size.control;
+    }
+
+    /// Adds `v` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, key: &'static str, v: u64) {
+        *self.counters.entry(key).or_insert(0) += v;
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of a named counter (zero if never written).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Adds to the named duration accumulator.
+    pub fn add_time(&mut self, key: &'static str, d: SimDuration) {
+        *self.durations.entry(key).or_default() += d;
+    }
+
+    /// Current value of a named duration accumulator.
+    pub fn get_time(&self, key: &str) -> SimDuration {
+        self.durations.get(key).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// All named counters, sorted by key (deterministic iteration).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All named duration accumulators, sorted by key.
+    pub fn durations(&self) -> impl Iterator<Item = (&'static str, SimDuration)> + '_ {
+        self.durations.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total bytes that crossed the network, all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.total()
+    }
+
+    /// Piggybacked bytes as a percentage of all exchanged bytes
+    /// (the Figure 7 metric). Returns 0 for an empty run.
+    pub fn piggyback_percent(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.bytes.piggyback as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accounting() {
+        let mut s = Stats::new();
+        s.record_message(WireSize {
+            header: 10,
+            payload: 90,
+            piggyback: 0,
+            control: 0,
+        });
+        s.record_message(WireSize {
+            header: 10,
+            payload: 0,
+            piggyback: 100,
+            control: 0,
+        });
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.total_bytes(), 210);
+        assert!((s.piggyback_percent() - 100.0 * 100.0 / 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_counters_and_durations() {
+        let mut s = Stats::new();
+        s.bump("events");
+        s.add("events", 4);
+        assert_eq!(s.get("events"), 5);
+        assert_eq!(s.get("missing"), 0);
+        s.add_time("pb_send", SimDuration::from_micros(3));
+        s.add_time("pb_send", SimDuration::from_micros(2));
+        assert_eq!(s.get_time("pb_send").as_nanos(), 5_000);
+        let keys: Vec<_> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["events"]);
+    }
+
+    #[test]
+    fn empty_run_has_no_piggyback_percent() {
+        let s = Stats::new();
+        assert_eq!(s.piggyback_percent(), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests of the network model: conservation and ordering laws
+//! that every higher layer depends on.
+
+use proptest::prelude::*;
+use vlog_sim::{EthernetParams, Network, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Deliveries on one (src, dst) pair never reorder: FIFO channels are
+    /// the foundation of ssn-based duplicate detection and replay.
+    #[test]
+    fn per_pair_fifo(sizes in prop::collection::vec(1u64..2_000_000, 1..40)) {
+        let mut net = Network::new(EthernetParams::default());
+        let mut last = SimTime::ZERO;
+        for s in sizes {
+            let t = net.send(SimTime::ZERO, 0, 1, s);
+            prop_assert!(t >= last, "delivery reordered");
+            last = t;
+        }
+    }
+
+    /// A message is never delivered before its serialization plus latency
+    /// could possibly complete, and contention only ever delays.
+    #[test]
+    fn no_time_travel(
+        sizes in prop::collection::vec(1u64..1_000_000, 1..30),
+        starts in prop::collection::vec(0u64..1_000_000, 1..30),
+    ) {
+        let params = EthernetParams::default();
+        let mut net = Network::new(params.clone());
+        let mut now = SimTime::ZERO;
+        for (s, dt) in sizes.iter().zip(&starts) {
+            now = now + vlog_sim::SimDuration::from_nanos(*dt);
+            let t = net.send(now, 0, 1, *s);
+            let floor = now + net.uncontended_one_way(*s);
+            let _ = floor;
+            prop_assert!(t >= now + params.latency, "delivered before latency");
+        }
+    }
+
+    /// Disjoint pairs never interact: (0->1) timing is identical whether
+    /// or not (2->3) traffic exists.
+    #[test]
+    fn disjoint_pairs_are_independent(
+        mine in prop::collection::vec(1u64..500_000, 1..20),
+        other in prop::collection::vec(1u64..500_000, 0..20),
+    ) {
+        let mut quiet = Network::new(EthernetParams::default());
+        let solo: Vec<_> = mine.iter().map(|s| quiet.send(SimTime::ZERO, 0, 1, *s)).collect();
+        let mut busy = Network::new(EthernetParams::default());
+        for s in &other {
+            busy.send(SimTime::ZERO, 2, 3, *s);
+        }
+        let with_noise: Vec<_> = mine.iter().map(|s| busy.send(SimTime::ZERO, 0, 1, *s)).collect();
+        prop_assert_eq!(solo, with_noise);
+    }
+
+    /// Throughput conservation: n back-to-back messages into one link can
+    /// never beat the link's serialization of their total volume.
+    #[test]
+    fn bandwidth_is_conserved(sizes in prop::collection::vec(1u64..1_000_000, 2..30)) {
+        let params = EthernetParams::default();
+        let mut net = Network::new(params.clone());
+        let mut last = SimTime::ZERO;
+        let mut wire_total = 0u64;
+        for s in &sizes {
+            last = net.send(SimTime::ZERO, 0, 1, *s);
+            wire_total += (*s + params.per_msg_overhead).max(params.min_frame_bytes);
+        }
+        let floor = params.serialization(wire_total);
+        prop_assert!(
+            last.as_nanos() >= floor.as_nanos(),
+            "total transfer beat the line rate"
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Checkpoint images and the checkpoint server.
+//!
+//! The checkpoint server (paper §IV-B.2) is a stable component storing
+//! remote checkpoint images. Operations are transactional: an image
+//! becomes visible only when fully received (a single delivery in the
+//! simulation, so atomicity is structural). For message-logging protocols
+//! an image contains the process state, the payloads of logged messages
+//! and the causal information (paper: *"the checkpoint image of a process
+//! consists in the state of the MPI process, the payload of some messages
+//! and the causal information of all events stored in the local
+//! memory"*) — the protocol part travels in [`Image::proto`].
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, WireSize};
+
+use crate::types::{Payload, Rank, Ssn, Tag};
+
+/// Base wire overhead of an image (counters, framing).
+pub const IMAGE_BASE_BYTES: u64 = 64;
+
+/// A buffered message stored inside an image (the daemon's unexpected
+/// queue at checkpoint time).
+#[derive(Clone, Debug)]
+pub struct StoredMsg {
+    pub src: Rank,
+    pub tag: Tag,
+    pub payload: Payload,
+}
+
+/// Protocol section of an image. `body` is protocol-defined; `bytes` is
+/// its wire size.
+pub struct ImageProto {
+    pub body: Option<Rc<dyn Any>>,
+    pub bytes: u64,
+}
+
+impl Clone for ImageProto {
+    fn clone(&self) -> Self {
+        ImageProto {
+            body: self.body.clone(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A process checkpoint image.
+#[derive(Clone)]
+pub struct Image {
+    pub rank: Rank,
+    pub version: u64,
+    /// Serialized application state (real bytes + synthetic padding).
+    pub app_state: Payload,
+    /// Next ssn per destination channel.
+    pub next_ssn: Vec<Ssn>,
+    /// Next expected ssn per source channel.
+    pub expected_ssn: Vec<Ssn>,
+    /// Messages accepted but not yet consumed by the application.
+    pub unexpected: Vec<StoredMsg>,
+    /// Protocol section (sender log, causality, clocks).
+    pub proto: ImageProto,
+}
+
+impl Image {
+    /// Total wire size of the image when it moves over the network.
+    pub fn wire_bytes(&self) -> u64 {
+        IMAGE_BASE_BYTES
+            + self.app_state.len()
+            + 16 * (self.next_ssn.len() as u64)
+            + self
+                .unexpected
+                .iter()
+                .map(|m| m.payload.len() + 16)
+                .sum::<u64>()
+            + self.proto.bytes
+    }
+}
+
+/// Requests understood by the checkpoint server.
+pub enum CkptRequest {
+    /// Store an image (transactional; replaces older versions once
+    /// complete).
+    Store { image: Rc<Image>, reply_to: ActorId },
+    /// Fetch an image for a rank: a specific version or the latest.
+    Fetch {
+        rank: Rank,
+        version: Option<u64>,
+        reply_to: ActorId,
+    },
+    /// Highest version v such that *all* `n` ranks have stored version v
+    /// (used to commit coordinated snapshots). 0 means "none".
+    QueryComplete { n: usize, reply_to: ActorId },
+}
+
+/// Replies from the checkpoint server.
+pub enum CkptReply {
+    StoreAck { rank: Rank, version: u64 },
+    FetchResp { rank: Rank, image: Option<Rc<Image>> },
+    CompleteResp { version: u64 },
+}
+
+/// CPU cost per stored/served image byte on the server (disk + memcpy),
+/// ns/byte.
+const SERVER_NS_PER_BYTE: f64 = 12.0;
+/// Fixed per-request service cost.
+const SERVER_FIXED_NS: u64 = 20_000;
+
+/// The checkpoint server actor. Keeps the last two versions per rank so a
+/// failure during a store never leaves a rank without a restorable image.
+pub struct CkptServer {
+    node: NodeId,
+    images: Rc<RefCell<BTreeMap<Rank, BTreeMap<u64, Rc<Image>>>>>,
+}
+
+impl CkptServer {
+    pub fn new(node: NodeId) -> Self {
+        CkptServer {
+            node,
+            images: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+
+    /// Shared view of the stored images (tests and harnesses).
+    pub fn images_handle(&self) -> Rc<RefCell<BTreeMap<Rank, BTreeMap<u64, Rc<Image>>>>> {
+        self.images.clone()
+    }
+
+    fn reply(&self, sim: &mut Sim, to: ActorId, bytes: u64, reply: CkptReply) {
+        let size = WireSize::control(bytes);
+        if sim.actor_node(to) == self.node {
+            sim.local_send(
+                self.node,
+                to,
+                size,
+                Box::new(reply),
+                vlog_sim::SimDuration::from_micros(15),
+            );
+        } else {
+            sim.net_send(self.node, to, size, Box::new(reply));
+        }
+    }
+}
+
+impl Actor for CkptServer {
+    fn on_deliver(&mut self, sim: &mut Sim, me: ActorId, msg: Delivery) {
+        let req = match msg.body.downcast::<CkptRequest>() {
+            Ok(r) => *r,
+            Err(_) => return, // not for us
+        };
+        let _ = me;
+        match req {
+            CkptRequest::Store { image, reply_to } => {
+                let cost = vlog_sim::SimDuration::from_nanos(
+                    SERVER_FIXED_NS + (image.wire_bytes() as f64 * SERVER_NS_PER_BYTE) as u64,
+                );
+                let end = sim.charge_cpu(self.node, cost);
+                let rank = image.rank;
+                let version = image.version;
+                {
+                    let mut store = self.images.borrow_mut();
+                    let per_rank = store.entry(rank).or_default();
+                    per_rank.insert(version, image);
+                    // Transactional pruning: keep the two newest versions.
+                    while per_rank.len() > 2 {
+                        let oldest = *per_rank.keys().next().unwrap();
+                        per_rank.remove(&oldest);
+                    }
+                }
+                let node = self.node;
+                let images = self.images.clone();
+                let _ = images; // state already updated; ack after service time
+                let reply_to_copy = reply_to;
+                sim.schedule_at(
+                    end,
+                    vlog_sim::Event::closure(move |sim| {
+                        let reply = CkptReply::StoreAck {
+                            rank,
+                            version,
+                        };
+                        let size = WireSize::control(16);
+                        if sim.actor_node(reply_to_copy) == node {
+                            sim.local_send(
+                                node,
+                                reply_to_copy,
+                                size,
+                                Box::new(reply),
+                                vlog_sim::SimDuration::from_micros(15),
+                            );
+                        } else {
+                            sim.net_send(node, reply_to_copy, size, Box::new(reply));
+                        }
+                    }),
+                );
+            }
+            CkptRequest::Fetch {
+                rank,
+                version,
+                reply_to,
+            } => {
+                let image = {
+                    let store = self.images.borrow();
+                    store.get(&rank).and_then(|per_rank| match version {
+                        Some(v) => per_rank.get(&v).cloned(),
+                        None => per_rank.values().next_back().cloned(),
+                    })
+                };
+                let bytes = image.as_ref().map_or(16, |i| i.wire_bytes());
+                let cost = vlog_sim::SimDuration::from_nanos(
+                    SERVER_FIXED_NS + (bytes as f64 * SERVER_NS_PER_BYTE) as u64,
+                );
+                let end = sim.charge_cpu(self.node, cost);
+                let node = self.node;
+                sim.schedule_at(
+                    end,
+                    vlog_sim::Event::closure(move |sim| {
+                        let reply = CkptReply::FetchResp { rank, image };
+                        crate::daemon::stream_control(sim, node, reply_to, bytes, Box::new(reply));
+                    }),
+                );
+            }
+            CkptRequest::QueryComplete { n, reply_to } => {
+                let version = {
+                    let store = self.images.borrow();
+                    // Highest v present for every rank 0..n.
+                    let mut v_candidates: Option<Vec<u64>> = None;
+                    for r in 0..n {
+                        let versions: Vec<u64> = store
+                            .get(&r)
+                            .map(|m| m.keys().copied().collect())
+                            .unwrap_or_default();
+                        v_candidates = Some(match v_candidates {
+                            None => versions,
+                            Some(prev) => prev
+                                .into_iter()
+                                .filter(|v| versions.contains(v))
+                                .collect(),
+                        });
+                    }
+                    v_candidates
+                        .unwrap_or_default()
+                        .into_iter()
+                        .max()
+                        .unwrap_or(0)
+                };
+                self.reply(sim, reply_to, 16, CkptReply::CompleteResp { version });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn image(rank: Rank, version: u64, bytes: u64) -> Rc<Image> {
+        Rc::new(Image {
+            rank,
+            version,
+            app_state: Payload::synthetic(bytes),
+            next_ssn: vec![0; 4],
+            expected_ssn: vec![0; 4],
+            unexpected: vec![],
+            proto: ImageProto {
+                body: None,
+                bytes: 0,
+            },
+        })
+    }
+
+    struct Sink {
+        got: Rc<RefCell<Vec<String>>>,
+    }
+    impl Actor for Sink {
+        fn on_deliver(&mut self, _sim: &mut Sim, _me: ActorId, msg: Delivery) {
+            let reply = msg.body.downcast::<CkptReply>().unwrap();
+            let s = match *reply {
+                CkptReply::StoreAck { rank, version } => format!("ack {rank} v{version}"),
+                CkptReply::FetchResp { rank, ref image } => format!(
+                    "fetch {rank} {}",
+                    image.as_ref().map_or("none".into(), |i| format!("v{}", i.version))
+                ),
+                CkptReply::CompleteResp { version } => format!("complete v{version}"),
+            };
+            self.got.borrow_mut().push(s);
+        }
+    }
+
+    fn setup() -> (Sim, ActorId, ActorId, Rc<RefCell<Vec<String>>>) {
+        let mut sim = Sim::new(3);
+        let server_node = sim.add_node();
+        let client_node = sim.add_node();
+        let server = sim.add_actor(server_node, Box::new(CkptServer::new(server_node)));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let client = sim.add_actor(client_node, Box::new(Sink { got: got.clone() }));
+        (sim, server, client, got)
+    }
+
+    fn send_req(sim: &mut Sim, server: ActorId, req: CkptRequest, bytes: u64) {
+        sim.net_send(1, server, WireSize::control(bytes), Box::new(req));
+    }
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let (mut sim, server, client, got) = setup();
+        send_req(
+            &mut sim,
+            server,
+            CkptRequest::Store {
+                image: image(0, 1, 1000),
+                reply_to: client,
+            },
+            1000,
+        );
+        sim.after(vlog_sim::SimDuration::from_millis(50), move |sim| {
+            send_req(
+                sim,
+                server,
+                CkptRequest::Fetch {
+                    rank: 0,
+                    version: None,
+                    reply_to: client,
+                },
+                16,
+            );
+        });
+        sim.run();
+        assert_eq!(&*got.borrow(), &["ack 0 v1", "fetch 0 v1"]);
+    }
+
+    #[test]
+    fn missing_image_fetches_none() {
+        let (mut sim, server, client, got) = setup();
+        send_req(
+            &mut sim,
+            server,
+            CkptRequest::Fetch {
+                rank: 5,
+                version: None,
+                reply_to: client,
+            },
+            16,
+        );
+        sim.run();
+        assert_eq!(&*got.borrow(), &["fetch 5 none"]);
+    }
+
+    #[test]
+    fn keeps_only_two_newest_versions() {
+        let (mut sim, server, client, got) = setup();
+        for v in 1..=4u64 {
+            send_req(
+                &mut sim,
+                server,
+                CkptRequest::Store {
+                    image: image(0, v, 10),
+                    reply_to: client,
+                },
+                10,
+            );
+        }
+        sim.after(vlog_sim::SimDuration::from_millis(50), move |sim| {
+            send_req(
+                sim,
+                server,
+                CkptRequest::Fetch {
+                    rank: 0,
+                    version: Some(2),
+                    reply_to: client,
+                },
+                16,
+            );
+            send_req(
+                sim,
+                server,
+                CkptRequest::Fetch {
+                    rank: 0,
+                    version: Some(4),
+                    reply_to: client,
+                },
+                16,
+            );
+        });
+        sim.run();
+        let log = got.borrow();
+        assert!(log.contains(&"fetch 0 none".to_string())); // v2 pruned
+        assert!(log.contains(&"fetch 0 v4".to_string()));
+    }
+
+    #[test]
+    fn query_complete_takes_global_minimum() {
+        let (mut sim, server, client, got) = setup();
+        // rank 0 has v1, v2; rank 1 has only v1.
+        for (r, v) in [(0u64, 1u64), (0, 2), (1, 1)] {
+            send_req(
+                &mut sim,
+                server,
+                CkptRequest::Store {
+                    image: image(r as Rank, v, 10),
+                    reply_to: client,
+                },
+                10,
+            );
+        }
+        sim.after(vlog_sim::SimDuration::from_millis(50), move |sim| {
+            send_req(
+                sim,
+                server,
+                CkptRequest::QueryComplete { n: 2, reply_to: client },
+                16,
+            );
+        });
+        sim.run();
+        assert!(got.borrow().contains(&"complete v1".to_string()));
+    }
+
+    #[test]
+    fn image_wire_size_accounts_all_sections() {
+        let mut img = (*image(0, 1, 100)).clone();
+        img.unexpected.push(StoredMsg {
+            src: 1,
+            tag: 0,
+            payload: Payload::synthetic(50),
+        });
+        img.proto = ImageProto {
+            body: None,
+            bytes: 200,
+        };
+        assert_eq!(
+            img.wire_bytes(),
+            IMAGE_BASE_BYTES + 100 + 16 * 4 + (50 + 16) + 200
+        );
+    }
+}

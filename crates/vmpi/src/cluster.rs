@@ -1,0 +1,301 @@
+//! Cluster builder and runner.
+//!
+//! Assembles the full MPICH-V deployment of Figure 5 of the paper:
+//! `n` computing nodes (each with a communication daemon and an MPI
+//! process), plus two stable nodes — one hosting the checkpoint server,
+//! the dispatcher and the checkpoint scheduler, the other available to
+//! the protocol suite (the Event Logger lives there for causal
+//! protocols) — then runs an application program to completion under an
+//! optional fault plan.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use vlog_sim::{
+    EthernetParams, Event, Sim, SimConfig, SimDuration, SimTime, Stats,
+};
+
+use crate::cost::StackProfile;
+use crate::daemon::{AppSpec, BootMode, Vdaemon, TOKEN_BOOT};
+use crate::dispatcher::{Dispatcher, DispatcherMsg, RelaunchFn};
+use crate::hooks::{RankStats, SharedRankStats, Suite, Topology};
+use crate::types::Rank;
+use crate::ckpt::CkptServer;
+
+/// Static description of one run.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of MPI ranks (each on its own computing node).
+    pub ranks: usize,
+    /// Software stack cost profile.
+    pub profile: StackProfile,
+    /// Network parameters.
+    pub net: EthernetParams,
+    /// RNG seed.
+    pub seed: u64,
+    /// Stop the simulation when every rank finished (default true).
+    pub stop_on_completion: bool,
+    /// Hard event cap (runaway protection in tests).
+    pub event_limit: Option<u64>,
+    /// Hard virtual-time cap; the run reports `completed = false` when
+    /// hit.
+    pub time_limit: Option<SimDuration>,
+    /// Delay between a crash and the dispatcher learning about it.
+    pub detect_delay: SimDuration,
+}
+
+impl ClusterConfig {
+    pub fn new(ranks: usize) -> Self {
+        ClusterConfig {
+            ranks,
+            profile: StackProfile::vdaemon(),
+            net: EthernetParams::default(),
+            seed: 1,
+            stop_on_completion: true,
+            event_limit: None,
+            time_limit: None,
+            detect_delay: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Switches to the MPICH-P4 profile (no daemon, half-duplex links).
+    pub fn p4(mut self) -> Self {
+        self.profile = StackProfile::p4();
+        self.net.half_duplex = true;
+        self
+    }
+
+    /// Switches to the raw-TCP profile (NetPIPE baseline).
+    pub fn raw(mut self) -> Self {
+        self.profile = StackProfile::raw();
+        self
+    }
+}
+
+/// A schedule of fail-stop faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(virtual time, rank)` crash events.
+    pub faults: Vec<(SimDuration, Rank)>,
+}
+
+impl FaultPlan {
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// One crash of `rank` at `t`.
+    pub fn kill_at(t: SimDuration, rank: Rank) -> Self {
+        FaultPlan {
+            faults: vec![(t, rank)],
+        }
+    }
+
+    /// Periodic crashes: one fault every `period` starting at `start`,
+    /// cycling over ranks `0..n`, until `until`.
+    pub fn periodic(start: SimDuration, period: SimDuration, n: usize, until: SimDuration) -> Self {
+        let mut faults = Vec::new();
+        let mut t = start;
+        let mut r = 0usize;
+        while t < until {
+            faults.push((t, r));
+            r = (r + 1) % n;
+            t += period;
+        }
+        FaultPlan { faults }
+    }
+}
+
+/// Everything a harness wants to know after a run.
+pub struct RunReport {
+    /// Name of the protocol suite.
+    pub suite: String,
+    /// Virtual time at which the run ended.
+    pub makespan: SimDuration,
+    /// True when every rank completed its program.
+    pub completed: bool,
+    /// Kernel statistics (bytes by category, message counts...).
+    pub stats: Stats,
+    /// Per-rank protocol statistics.
+    pub rank_stats: Vec<RankStats>,
+    /// Number of simulation events dispatched.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Piggybacked bytes as % of total exchanged bytes (Figure 7).
+    pub fn piggyback_percent(&self) -> f64 {
+        self.stats.piggyback_percent()
+    }
+
+    /// Sum of per-rank piggyback-management times (Figure 8), split
+    /// (send, receive).
+    pub fn pb_times(&self) -> (SimDuration, SimDuration) {
+        let send = self.rank_stats.iter().map(|s| s.pb_send_time).sum();
+        let recv = self.rank_stats.iter().map(|s| s.pb_recv_time).sum();
+        (send, recv)
+    }
+}
+
+/// Builds the deployment, runs `program` on every rank under `suite` and
+/// `faults`, and reports.
+pub fn run_cluster(
+    cfg: &ClusterConfig,
+    suite: Rc<dyn Suite>,
+    program: AppSpec,
+    faults: &FaultPlan,
+) -> RunReport {
+    let mut sim = Sim::with_config(SimConfig {
+        seed: cfg.seed,
+        net: cfg.net.clone(),
+        event_limit: cfg.event_limit,
+    });
+    let topo = Topology::new();
+    let n = cfg.ranks;
+    let profile = Rc::new(cfg.profile.clone());
+
+    // Computing nodes first so node id == rank.
+    let rank_nodes: Vec<_> = (0..n).map(|_| sim.add_node()).collect();
+    let stable_a = sim.add_node(); // checkpoint server + dispatcher + scheduler
+    let stable_b = sim.add_node(); // protocol suite components (Event Logger)
+
+    let ckpt = sim.add_actor(stable_a, Box::new(CkptServer::new(stable_a)));
+    topo.set_ckpt_server(ckpt, stable_a);
+
+    // Per-rank stats and daemon slot reservation. The slots must exist
+    // (and the topology must know the rank count) before suite components
+    // such as the checkpoint scheduler are installed.
+    let rank_stats: Vec<SharedRankStats> = (0..n)
+        .map(|_| Rc::new(std::cell::RefCell::new(RankStats::default())))
+        .collect();
+    // Placeholder actor used to reserve daemon slot ids before the
+    // daemons themselves exist (they need their own address).
+    struct Placeholder;
+    impl vlog_sim::Actor for Placeholder {
+        fn on_deliver(&mut self, _: &mut Sim, _: vlog_sim::ActorId, _: vlog_sim::Delivery) {}
+    }
+    let mut daemon_ids = Vec::with_capacity(n);
+    for rank in 0..n {
+        let me = sim.add_actor(rank_nodes[rank], Box::new(Placeholder));
+        daemon_ids.push(me);
+    }
+    topo.set_ranks(daemon_ids.clone(), rank_nodes.clone());
+
+    // Protocol-suite components (Event Logger, checkpoint scheduler...).
+    suite.install(&mut sim, &topo, &[stable_b, stable_a]);
+    for rank in 0..n {
+        let proto = suite.make_protocol(rank, &topo, rank_stats[rank].clone());
+        let daemon = Vdaemon::new(
+            rank,
+            n,
+            rank_nodes[rank],
+            daemon_ids[rank],
+            topo.clone(),
+            profile.clone(),
+            rank_stats[rank].clone(),
+            program.clone(),
+            proto,
+            BootMode::Fresh,
+        );
+        sim.replace_actor(daemon_ids[rank], Box::new(daemon));
+        sim.schedule(
+            SimDuration::ZERO,
+            Event::Poke {
+                actor: daemon_ids[rank],
+                token: TOKEN_BOOT,
+            },
+        );
+    }
+
+    // Relaunch closure used by the dispatcher.
+    let relaunch: RelaunchFn = {
+        let topo = topo.clone();
+        let suite = suite.clone();
+        let profile = profile.clone();
+        let rank_stats = rank_stats.clone();
+        let program = program.clone();
+        Rc::new(move |sim: &mut Sim, rank: Rank, mode: BootMode| {
+            let me = topo.daemon(rank);
+            let proto = suite.make_protocol(rank, &topo, rank_stats[rank].clone());
+            let daemon = Vdaemon::new(
+                rank,
+                topo.n_ranks(),
+                topo.node(rank),
+                me,
+                topo.clone(),
+                profile.clone(),
+                rank_stats[rank].clone(),
+                program.clone(),
+                proto,
+                mode,
+            );
+            sim.replace_actor(me, Box::new(daemon));
+            sim.schedule(SimDuration::ZERO, Event::Poke { actor: me, token: TOKEN_BOOT });
+        })
+    };
+
+    let all_done = Rc::new(Cell::new(false));
+    let dispatcher = Dispatcher::new(
+        stable_a,
+        n,
+        topo.clone(),
+        relaunch,
+        suite.recovery_style(),
+        cfg.stop_on_completion,
+        all_done.clone(),
+    );
+    let disp_id = sim.add_actor(stable_a, Box::new(dispatcher));
+    topo.set_dispatcher(disp_id, stable_a);
+
+    // Fault plan: crash now, notify the dispatcher after the detection
+    // delay.
+    for &(t, rank) in &faults.faults {
+        let node = rank_nodes[rank];
+        sim.after(t, move |sim| {
+            sim.crash_node(node);
+        });
+        let detect = t + cfg.detect_delay;
+        sim.after(detect, move |sim| {
+            sim.local_send(
+                stable_a,
+                disp_id,
+                vlog_sim::WireSize::default(),
+                Box::new(DispatcherMsg::Fault { rank }),
+                SimDuration::from_micros(1),
+            );
+        });
+    }
+
+    let completed = match cfg.time_limit {
+        Some(tl) => {
+            sim.run_until(SimTime::ZERO + tl);
+            all_done.get()
+        }
+        None => {
+            sim.run();
+            all_done.get()
+        }
+    };
+
+    RunReport {
+        suite: suite.name(),
+        makespan: sim.now().saturating_since(SimTime::ZERO),
+        completed,
+        stats: sim.stats().clone(),
+        rank_stats: rank_stats.iter().map(|s| s.borrow().clone()).collect(),
+        events: sim.events_processed(),
+    }
+}
+
+/// Convenience: run a program under [`crate::vdummy::VdummySuite`].
+pub fn run_vdummy(cfg: &ClusterConfig, program: AppSpec) -> RunReport {
+    run_cluster(
+        cfg,
+        Rc::new(crate::vdummy::VdummySuite),
+        program,
+        &FaultPlan::none(),
+    )
+}
+
+/// Re-export of [`crate::daemon::app`] for harness ergonomics.
+pub use crate::daemon::app as program;

@@ -1,0 +1,1067 @@
+//! The generic communication daemon (Vdaemon).
+//!
+//! Paper §IV-A: *"the MPI process does not connect directly to the other
+//! ones. It communicates with a generic communication daemon, through a
+//! pair of system pipes. [...] The daemon handles the effective
+//! communications, namely sending, receiving, reordering messages,
+//! establishing connections with all components of the system and
+//! detecting failures. In each of these routines, protocol dependent
+//! functions are called."*
+//!
+//! This module is that daemon. It owns:
+//!
+//! * the pipe to the local MPI process (requests drained on pokes),
+//! * per-channel sequence numbers, duplicate dropping and reordering,
+//! * the eager/rendezvous transport,
+//! * the matching engine (posted receives / unexpected queue),
+//! * checkpoint assembly and the restart/rollback state machine,
+//!
+//! and calls the [`VProtocol`] hooks at every protocol-relevant point.
+//! Everything fault-tolerance-specific — piggybacking, event logging,
+//! sender-based payload logs, replay — lives behind those hooks.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use vlog_sim::{Actor, ActorId, Delivery, Event, NodeId, OpCell, Sim, SimDuration, SimTime, TaskId, WireSize};
+
+use crate::api::Mpi;
+use crate::ckpt::{CkptReply, CkptRequest, Image, ImageProto, StoredMsg};
+use crate::cost::StackProfile;
+use crate::hooks::{Ctx, ProtoBlob, RecvGate, SendGate, SharedRankStats, Topology, VProtocol};
+use crate::pipe::{AppRequest, PipeBox, SharedPipe};
+use crate::types::{AppMsg, DaemonMsg, Payload, PiggybackBlob, Rank, RecvMsg, RecvSelector, Ssn, Tag};
+
+/// Poke token: the pipe has requests.
+pub const TOKEN_PIPE: u64 = 0;
+/// Poke token: boot the daemon (spawn or recover the application).
+pub const TOKEN_BOOT: u64 = 1;
+/// Timer tokens at or above this value belong to the protocol.
+pub const PROTO_TIMER_BASE: u64 = 1_000;
+
+/// Loopback delay for daemon-internal self messages.
+const SELF_DELAY: SimDuration = SimDuration::from_micros(1);
+/// Local snapshot memcpy cost (ns per image byte).
+const SNAPSHOT_NS_PER_BYTE: f64 = 2.0;
+
+/// An application program: invoked once per incarnation.
+pub type AppSpec = Rc<dyn Fn(Mpi) -> Pin<Box<dyn Future<Output = ()>>>>;
+
+/// Wraps an async closure into an [`AppSpec`].
+pub fn app<F, Fut>(f: F) -> AppSpec
+where
+    F: Fn(Mpi) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Rc::new(move |mpi| Box::pin(f(mpi)))
+}
+
+/// How a daemon instance starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootMode {
+    /// Initial launch: run the program from the beginning.
+    Fresh,
+    /// Restart after a crash or rollback: fetch a checkpoint image
+    /// (`None` = latest) and let the protocol recover.
+    Recover { version: Option<u64> },
+}
+
+struct PendingRdv {
+    tag: Tag,
+    payload: Payload,
+    done: Option<OpCell<()>>,
+}
+
+struct HeldSend {
+    dst: Rank,
+    tag: Tag,
+    payload: Payload,
+    ssn: Ssn,
+    done: Option<OpCell<()>>,
+}
+
+struct PostedRecv {
+    sel: RecvSelector,
+    cell: OpCell<RecvMsg>,
+}
+
+/// Deferred work queued by protocol hooks, processed after the hook
+/// returns (protocols are never re-entered).
+enum Inject {
+    /// Deliver straight to the matching engine, bypassing hooks
+    /// (replay-ordered deliveries; the determinant already exists).
+    Deliver {
+        src: Rank,
+        tag: Tag,
+        payload: Payload,
+        cost: SimDuration,
+    },
+    /// Run the full acceptance path again (live messages buffered during
+    /// replay; they need fresh determinants).
+    Reaccept(AppMsg),
+    /// Send an internal protocol message through the normal application
+    /// path (coordinated-checkpoint markers travel in-band).
+    InternalSend { dst: Rank, tag: Tag, payload: Payload },
+}
+
+/// Daemon-internal self messages.
+enum Internal {
+    AppFinished,
+}
+
+/// The generic (protocol-independent) part of a daemon. Exposed to
+/// protocols through [`Ctx`].
+pub struct DaemonCore {
+    rank: Rank,
+    n: usize,
+    node: NodeId,
+    me: ActorId,
+    topo: Topology,
+    profile: Rc<StackProfile>,
+    stats: SharedRankStats,
+    app_spec: AppSpec,
+
+    pipe: SharedPipe,
+    app_task: Option<TaskId>,
+
+    next_ssn: Vec<Ssn>,
+    expected_ssn: Vec<Ssn>,
+    reorder: Vec<BTreeMap<Ssn, AppMsg>>,
+    pending_rdv: BTreeMap<(Rank, Ssn), PendingRdv>,
+    held: VecDeque<HeldSend>,
+
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<StoredMsg>,
+
+    ckpt_counter: u64,
+    /// Image assembled at the checkpoint point, not yet shipped (the
+    /// protocol controls the ship time — coordinated checkpointing waits
+    /// for its markers).
+    pending_image: Option<PendingImage>,
+    ship_requested: bool,
+    recovering: bool,
+    recover_start: SimTime,
+    finished: bool,
+
+    release_requested: bool,
+    inject: VecDeque<Inject>,
+}
+
+/// Generic image sections captured at the checkpoint point.
+struct PendingImage {
+    version: u64,
+    app_state: Payload,
+    next_ssn: Vec<Ssn>,
+    expected_ssn: Vec<Ssn>,
+    unexpected: Vec<StoredMsg>,
+}
+
+impl DaemonCore {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn actor(&self) -> ActorId {
+        self.me
+    }
+
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn profile(&self) -> &StackProfile {
+        &self.profile
+    }
+
+    pub fn stats(&self) -> SharedRankStats {
+        self.stats.clone()
+    }
+
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    pub fn app_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Next expected ssn per source channel — the payload-reclaim
+    /// watermarks a recovering process sends to its peers.
+    pub fn expected_watermarks(&self) -> Vec<Ssn> {
+        self.expected_ssn.clone()
+    }
+
+    /// Next expected ssn on one source channel.
+    pub fn expected_of(&self, src: Rank) -> Ssn {
+        self.expected_ssn[src]
+    }
+
+    /// Next outgoing ssn per destination channel (how many messages were
+    /// sent on each channel so far) — coordinated markers carry these.
+    pub fn next_ssn_watermarks(&self) -> Vec<Ssn> {
+        self.next_ssn.clone()
+    }
+
+    /// Sends a protocol control message to the daemon of another rank.
+    pub fn control_to_rank(&self, sim: &mut Sim, dst: Rank, bytes: u64, body: Box<dyn Any>) {
+        let actor = self.topo.daemon(dst);
+        self.control_to_actor(sim, actor, bytes, body_as_daemon(body));
+    }
+
+    /// Sends a control message to an arbitrary actor (Event Logger,
+    /// checkpoint server...), choosing loopback vs network automatically.
+    /// Large controls are paced (see [`stream_control`]).
+    pub fn control_to_actor(&self, sim: &mut Sim, actor: ActorId, bytes: u64, body: Box<dyn Any>) {
+        stream_control(sim, self.node, actor, bytes, body);
+    }
+
+    /// Retransmits a logged payload to a recovering peer. Replayed copies
+    /// carry no piggyback; the receiver collected determinants separately.
+    pub fn transmit_replay(
+        &mut self,
+        sim: &mut Sim,
+        dst: Rank,
+        tag: Tag,
+        ssn: Ssn,
+        payload: Payload,
+    ) {
+        // If this message was stuck in a rendezvous whose CTS died with
+        // the receiver, the replay supersedes it: complete the
+        // application's send.
+        if let Some(p) = self.pending_rdv.remove(&(dst, ssn)) {
+            if let Some(done) = p.done {
+                done.complete(());
+            }
+        }
+        let cost = self.profile.msg_cost(payload.len());
+        let end = sim.charge_cpu(self.node, cost);
+        let msg = AppMsg {
+            src: self.rank,
+            dst,
+            tag,
+            ssn,
+            payload,
+            piggyback: PiggybackBlob::empty(),
+            replayed: true,
+        };
+        let target = self.topo.daemon(dst);
+        let src_node = self.node;
+        sim.schedule_at(
+            end,
+            Event::closure(move |sim| {
+                let size = msg.wire_size();
+                sim.net_send(src_node, target, size, Box::new(DaemonMsg::App(msg)));
+            }),
+        );
+    }
+
+    /// Queues a replay-ordered delivery (bypasses the protocol hooks).
+    pub fn inject_deliver(&mut self, src: Rank, tag: Tag, payload: Payload, cost: SimDuration) {
+        self.inject.push_back(Inject::Deliver {
+            src,
+            tag,
+            payload,
+            cost,
+        });
+    }
+
+    /// Queues a buffered live message for re-acceptance through the full
+    /// protocol path.
+    pub fn reaccept(&mut self, msg: AppMsg) {
+        self.inject.push_back(Inject::Reaccept(msg));
+    }
+
+    /// Queues an internal in-band message (e.g. a Chandy-Lamport marker).
+    pub fn internal_send(&mut self, dst: Rank, tag: Tag, payload: Payload) {
+        self.inject.push_back(Inject::InternalSend { dst, tag, payload });
+    }
+
+    /// Asks the daemon to re-run the transmit path for held sends
+    /// (pessimistic logging releases).
+    pub fn release_held(&mut self) {
+        self.release_requested = true;
+    }
+
+    /// Ships the pending checkpoint image to the server (called by the
+    /// protocol from `on_image_assembled`, immediately by default or when
+    /// a coordinated snapshot's channel recording completes).
+    pub fn request_ship(&mut self) {
+        if self.pending_image.is_some() {
+            self.ship_requested = true;
+        }
+    }
+
+    /// Advances the next-expected ssn on a source channel. Used by
+    /// coordinated checkpointing when it re-injects recorded channel
+    /// state on rollback (the re-injected messages and the marker consumed
+    /// those sequence numbers before the snapshot).
+    pub fn advance_expected(&mut self, src: Rank, to: Ssn) {
+        if to > self.expected_ssn[src] {
+            self.expected_ssn[src] = to;
+        }
+    }
+
+    /// Declares recovery finished: normal operation resumes and the
+    /// total recovery duration is recorded.
+    pub fn set_recovered(&mut self, sim: &mut Sim) {
+        if self.recovering {
+            self.recovering = false;
+            let dt = sim.now().saturating_since(self.recover_start);
+            self.stats.borrow_mut().recovery_total.push(dt);
+        }
+    }
+
+    /// Sets a protocol timer; it arrives at `VProtocol::on_timer` with the
+    /// given token.
+    pub fn set_proto_timer(&self, sim: &mut Sim, delay: SimDuration, token: u64) {
+        sim.set_timer(self.me, delay, PROTO_TIMER_BASE + token);
+    }
+
+    // ---- internal helpers -------------------------------------------
+
+    fn spawn_app(&mut self, sim: &mut Sim, restored: Option<Bytes>) {
+        self.pipe = PipeBox::new();
+        self.finished = false;
+        let mpi = Mpi::new(
+            self.rank,
+            self.n,
+            sim.exec(),
+            self.pipe.clone(),
+            self.me,
+            self.profile.clone(),
+            restored,
+        );
+        let fut = (self.app_spec)(mpi);
+        let node = self.node;
+        let me = self.me;
+        let task = sim.spawn_with_exit(Some(self.node), fut, move |sim| {
+            sim.local_send(
+                node,
+                me,
+                WireSize::default(),
+                Box::new(Internal::AppFinished),
+                SELF_DELAY,
+            );
+        });
+        self.app_task = Some(task);
+    }
+
+    /// Hands an accepted message to the matching engine *synchronously*
+    /// (so checkpoints always see a consistent daemon state) and delays
+    /// only the application-visible completion until `ready_at` plus the
+    /// pipe crossing.
+    ///
+    /// Synchrony here is what makes acceptance atomic with respect to
+    /// checkpoints: `expected_ssn` was already advanced, so the message
+    /// must be in `unexpected` (and thus in the image) or already matched
+    /// before any other event can run.
+    fn deliver_to_matching(
+        &mut self,
+        sim: &mut Sim,
+        src: Rank,
+        tag: Tag,
+        payload: Payload,
+        ready_at: SimTime,
+    ) {
+        if let Some(pos) = self.posted.iter().position(|p| p.sel.matches(src, tag)) {
+            let p = self.posted.remove(pos).unwrap();
+            let at = ready_at + self.profile.pipe_cost(payload.len());
+            let msg = RecvMsg { src, tag, payload };
+            sim.schedule_at(at, Event::closure(move |_| p.cell.complete(msg)));
+        } else {
+            self.unexpected.push_back(StoredMsg { src, tag, payload });
+        }
+    }
+}
+
+/// Wraps a protocol control body into the daemon wire envelope.
+fn body_as_daemon(body: Box<dyn Any>) -> Box<dyn Any> {
+    Box::new(DaemonMsg::Proto(body))
+}
+
+/// Pacing chunk for large control transfers (checkpoint images, recovery
+/// streams). TCP interleaves flows at packet granularity; booking a
+/// multi-megabyte message on the NIC in one piece would stall every other
+/// flow for seconds, so large controls are split into chunk-sized filler
+/// messages (dropped at the receiver) followed by the real body.
+pub struct StreamChunk;
+
+/// Chunk size for paced control streams.
+pub const STREAM_CHUNK_BYTES: u64 = 256 << 10;
+
+/// Sends a control message of `bytes` to `dst`, pacing anything larger
+/// than [`STREAM_CHUNK_BYTES`] as a chunk train so concurrent flows can
+/// interleave. The real `body` arrives once the whole volume has crossed.
+pub fn stream_control(
+    sim: &mut Sim,
+    src_node: NodeId,
+    dst: ActorId,
+    bytes: u64,
+    body: Box<dyn Any>,
+) {
+    if sim.actor_node(dst) == src_node {
+        sim.local_send(src_node, dst, WireSize::control(bytes), body, SELF_DELAY);
+        return;
+    }
+    if bytes <= STREAM_CHUNK_BYTES {
+        sim.net_send(src_node, dst, WireSize::control(bytes), body);
+        return;
+    }
+    let chunk = STREAM_CHUNK_BYTES.min(bytes);
+    let now = sim.now();
+    let dst_node = sim.actor_node(dst);
+    let arrival_paced = sim.net_mut().send(now, src_node, dst_node, chunk);
+    sim.stats_mut().record_message(WireSize::control(chunk));
+    let rest = bytes - chunk;
+    sim.schedule_at(
+        arrival_paced,
+        Event::closure(move |sim| {
+            stream_control(sim, src_node, dst, rest, body);
+        }),
+    );
+}
+
+/// The daemon actor: generic core + protocol hooks.
+pub struct Vdaemon {
+    core: DaemonCore,
+    proto: Box<dyn VProtocol>,
+    boot: BootMode,
+}
+
+impl Vdaemon {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: Rank,
+        n: usize,
+        node: NodeId,
+        me: ActorId,
+        topo: Topology,
+        profile: Rc<StackProfile>,
+        stats: SharedRankStats,
+        app_spec: AppSpec,
+        proto: Box<dyn VProtocol>,
+        boot: BootMode,
+    ) -> Self {
+        Vdaemon {
+            core: DaemonCore {
+                rank,
+                n,
+                node,
+                me,
+                topo,
+                profile,
+                stats,
+                app_spec,
+                pipe: PipeBox::new(),
+                app_task: None,
+                next_ssn: vec![0; n],
+                expected_ssn: vec![0; n],
+                reorder: (0..n).map(|_| BTreeMap::new()).collect(),
+                pending_rdv: BTreeMap::new(),
+                held: VecDeque::new(),
+                posted: VecDeque::new(),
+                unexpected: VecDeque::new(),
+                ckpt_counter: 0,
+                pending_image: None,
+                ship_requested: false,
+                recovering: false,
+                recover_start: SimTime::ZERO,
+                finished: false,
+                release_requested: false,
+                inject: VecDeque::new(),
+            },
+            proto,
+            boot,
+        }
+    }
+
+    fn boot(&mut self, sim: &mut Sim) {
+        match self.boot {
+            BootMode::Fresh => {
+                self.core.spawn_app(sim, None);
+            }
+            BootMode::Recover { version } => {
+                self.core.recovering = true;
+                self.core.recover_start = sim.now();
+                let Some((server, _)) = self.core.topo.ckpt_server() else {
+                    // No checkpoint infrastructure: restart from scratch.
+                    self.finish_restart(sim, None);
+                    return;
+                };
+                self.core.control_to_actor(
+                    sim,
+                    server,
+                    16,
+                    Box::new(CkptRequest::Fetch {
+                        rank: self.core.rank,
+                        version,
+                        reply_to: self.core.me,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn finish_restart(&mut self, sim: &mut Sim, image: Option<Rc<Image>>) {
+        let (restored, blob) = match image {
+            Some(img) => {
+                self.core.next_ssn = img.next_ssn.clone();
+                self.core.expected_ssn = img.expected_ssn.clone();
+                self.core.unexpected = img.unexpected.iter().cloned().collect();
+                self.core.ckpt_counter = img.version;
+                let restored = if img.app_state.data.is_empty() {
+                    None
+                } else {
+                    Some(img.app_state.data.clone())
+                };
+                let blob = ProtoBlob {
+                    body: img.proto.body.clone(),
+                    bytes: img.proto.bytes,
+                };
+                (restored, Some(blob))
+            }
+            None => (None, None),
+        };
+        {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_restart(&mut ctx, blob);
+        }
+        self.core.spawn_app(sim, restored);
+        self.pump(sim);
+    }
+
+    fn drain_pipe(&mut self, sim: &mut Sim) {
+        loop {
+            let req = self.core.pipe.borrow_mut().queue.pop_front();
+            let Some(req) = req else { break };
+            match req {
+                AppRequest::Send {
+                    dst,
+                    tag,
+                    payload,
+                    done,
+                } => self.handle_app_send(sim, dst, tag, payload, done),
+                AppRequest::Recv { sel, cell } => self.handle_app_recv(sim, sel, cell),
+                AppRequest::Checkpoint { state, done } => {
+                    self.handle_checkpoint_point(sim, state, done)
+                }
+            }
+        }
+    }
+
+    fn handle_app_send(
+        &mut self,
+        sim: &mut Sim,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        done: OpCell<()>,
+    ) {
+        let ssn = self.core.next_ssn[dst];
+        self.core.next_ssn[dst] = ssn + 1;
+        let eager = payload.len() <= self.core.profile.eager_threshold;
+        let gate = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_send_accept(&mut ctx, dst, tag, ssn, &payload)
+        };
+        match gate {
+            SendGate::Go { cost } => {
+                // Eager sends complete for the application at acceptance.
+                let done = if eager {
+                    done.complete(());
+                    None
+                } else {
+                    Some(done)
+                };
+                self.transmit(sim, dst, tag, payload, ssn, cost, done);
+            }
+            SendGate::Hold => {
+                let done = if eager {
+                    done.complete(());
+                    None
+                } else {
+                    Some(done)
+                };
+                self.core.held.push_back(HeldSend {
+                    dst,
+                    tag,
+                    payload,
+                    ssn,
+                    done,
+                });
+            }
+        }
+    }
+
+    /// The transmit path: eager messages get their piggyback and leave;
+    /// large messages go through RTS/CTS first.
+    fn transmit(
+        &mut self,
+        sim: &mut Sim,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        ssn: Ssn,
+        gate_cost: SimDuration,
+        done: Option<OpCell<()>>,
+    ) {
+        if payload.len() <= self.core.profile.eager_threshold {
+            self.transmit_data(sim, dst, tag, payload, ssn, gate_cost, done);
+        } else {
+            self.core.pending_rdv.insert(
+                (dst, ssn),
+                PendingRdv {
+                    tag,
+                    payload,
+                    done,
+                },
+            );
+            let cost = self.core.profile.msg_cost(0) + gate_cost;
+            let end = sim.charge_cpu(self.core.node, cost);
+            let rts = DaemonMsg::Rts {
+                src: self.core.rank,
+                ssn,
+                tag,
+                len: self.core.pending_rdv[&(dst, ssn)].payload.len(),
+            };
+            let target = self.core.topo.daemon(dst);
+            let src_node = self.core.node;
+            sim.schedule_at(
+                end,
+                Event::closure(move |sim| {
+                    sim.net_send(src_node, target, WireSize::control(16), Box::new(rts));
+                }),
+            );
+        }
+    }
+
+    fn transmit_data(
+        &mut self,
+        sim: &mut Sim,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        ssn: Ssn,
+        gate_cost: SimDuration,
+        done: Option<OpCell<()>>,
+    ) {
+        let (pb, pb_cost) = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_transmit(&mut ctx, dst, ssn)
+        };
+        {
+            let mut st = self.core.stats.borrow_mut();
+            st.app_msgs_sent += 1;
+            st.pb_bytes_sent += pb.bytes;
+            if pb.bytes == 0 {
+                st.empty_pb_msgs += 1;
+            }
+            st.pb_send_time += pb_cost;
+        }
+        let cpu = self.core.profile.msg_cost(payload.len()) + gate_cost + pb_cost;
+        let end = sim.charge_cpu(self.core.node, cpu);
+        let msg = AppMsg {
+            src: self.core.rank,
+            dst,
+            tag,
+            ssn,
+            payload,
+            piggyback: pb,
+            replayed: false,
+        };
+        let target = self.core.topo.daemon(dst);
+        let src_node = self.core.node;
+        sim.schedule_at(
+            end,
+            Event::closure(move |sim| {
+                let size = msg.wire_size();
+                sim.net_send(src_node, target, size, Box::new(DaemonMsg::App(msg)));
+                if let Some(done) = done {
+                    done.complete(());
+                }
+            }),
+        );
+    }
+
+    fn handle_app_recv(&mut self, sim: &mut Sim, sel: RecvSelector, cell: OpCell<RecvMsg>) {
+        if let Some(pos) = self
+            .core
+            .unexpected
+            .iter()
+            .position(|m| sel.matches(m.src, m.tag))
+        {
+            let m = self.core.unexpected.remove(pos).unwrap();
+            let delay = self.core.profile.pipe_cost(m.payload.len());
+            sim.schedule(
+                delay,
+                Event::closure(move |_| {
+                    cell.complete(RecvMsg {
+                        src: m.src,
+                        tag: m.tag,
+                        payload: m.payload,
+                    })
+                }),
+            );
+        } else {
+            self.core.posted.push_back(PostedRecv { sel, cell });
+        }
+    }
+
+    fn handle_checkpoint_point(&mut self, sim: &mut Sim, state: Payload, done: OpCell<bool>) {
+        let due = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.checkpoint_due(&mut ctx)
+        };
+        if !due {
+            done.complete(false);
+            return;
+        }
+        let version = {
+            let snap = self.proto.snapshot_version();
+            let v = snap.unwrap_or(self.core.ckpt_counter + 1);
+            self.core.ckpt_counter = self.core.ckpt_counter.max(v);
+            v
+        };
+        // Capture the generic sections at the application-safe point; the
+        // protocol decides when the image ships (immediately by default).
+        let state_bytes = state.len();
+        self.core.pending_image = Some(PendingImage {
+            version,
+            app_state: state,
+            next_ssn: self.core.next_ssn.clone(),
+            expected_ssn: self.core.expected_ssn.clone(),
+            unexpected: self.core.unexpected.iter().cloned().collect(),
+        });
+        // Local snapshot cost (fork + copy-on-write in the real system).
+        let cost = SimDuration::from_nanos((state_bytes as f64 * SNAPSHOT_NS_PER_BYTE) as u64);
+        let end = sim.charge_cpu(self.core.node, cost);
+        sim.schedule_at(end, Event::closure(move |_| done.complete(true)));
+        let mut ctx = Ctx {
+            sim,
+            core: &mut self.core,
+        };
+        self.proto.on_image_assembled(&mut ctx, version);
+    }
+
+    /// Ships the pending image: fetches the protocol blob and streams the
+    /// image to the checkpoint server. Runs from `pump`.
+    fn ship_image(&mut self, sim: &mut Sim) {
+        let Some(pending) = self.core.pending_image.take() else {
+            return;
+        };
+        let blob = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.checkpoint_blob(&mut ctx)
+        };
+        let image = Rc::new(Image {
+            rank: self.core.rank,
+            version: pending.version,
+            app_state: pending.app_state,
+            next_ssn: pending.next_ssn,
+            expected_ssn: pending.expected_ssn,
+            unexpected: pending.unexpected,
+            proto: ImageProto {
+                body: blob.body,
+                bytes: blob.bytes,
+            },
+        });
+        let bytes = image.wire_bytes();
+        let cost = SimDuration::from_nanos((bytes as f64 * SNAPSHOT_NS_PER_BYTE) as u64);
+        let end = sim.charge_cpu(self.core.node, cost);
+        if let Some((server, _)) = self.core.topo.ckpt_server() {
+            let src_node = self.core.node;
+            let me = self.core.me;
+            sim.schedule_at(
+                end,
+                Event::closure(move |sim| {
+                    let req = CkptRequest::Store {
+                        image,
+                        reply_to: me,
+                    };
+                    stream_control(sim, src_node, server, bytes, Box::new(req));
+                }),
+            );
+        }
+    }
+
+    /// In-order acceptance of one application message.
+    fn accept(&mut self, sim: &mut Sim, mut msg: AppMsg) {
+        self.core.expected_ssn[msg.src] = msg.ssn + 1;
+        let gate = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_app_msg(&mut ctx, &mut msg)
+        };
+        match gate {
+            RecvGate::Deliver { cost } => {
+                // Through the work queue, never synchronously: replay
+                // injections queued by the protocol hook above must reach
+                // the matching engine before this message (one total FIFO
+                // order across injections, re-acceptances and live
+                // accepts). The queue drains within this dispatch, so
+                // checkpoints still observe a consistent daemon.
+                self.core.inject.push_back(Inject::Deliver {
+                    src: msg.src,
+                    tag: msg.tag,
+                    payload: msg.payload,
+                    cost,
+                });
+            }
+            RecvGate::Drop => {}
+            RecvGate::Consume => {}
+        }
+    }
+
+    fn handle_app_msg(&mut self, sim: &mut Sim, msg: AppMsg) {
+        let src = msg.src;
+        let expected = self.core.expected_ssn[src];
+        if msg.ssn < expected {
+            sim.stats_mut().bump("dup_dropped");
+            return;
+        }
+        if msg.ssn > expected {
+            self.core.reorder[src].entry(msg.ssn).or_insert(msg);
+            return;
+        }
+        self.accept(sim, msg);
+        // Drain any now-contiguous reordered messages.
+        loop {
+            let next = self.core.expected_ssn[src];
+            match self.core.reorder[src].remove(&next) {
+                Some(m) => self.accept(sim, m),
+                None => break,
+            }
+        }
+    }
+
+    fn handle_daemon_msg(&mut self, sim: &mut Sim, msg: DaemonMsg) {
+        match msg {
+            DaemonMsg::App(m) => self.handle_app_msg(sim, m),
+            DaemonMsg::Rts { src, ssn, tag, len } => {
+                let _ = (tag, len);
+                // Clear-to-send immediately (receiver-side buffering).
+                let cost = self.core.profile.msg_cost(0);
+                let end = sim.charge_cpu(self.core.node, cost);
+                let cts = DaemonMsg::Cts {
+                    dst: self.core.rank,
+                    ssn,
+                };
+                let target = self.core.topo.daemon(src);
+                let src_node = self.core.node;
+                sim.schedule_at(
+                    end,
+                    Event::closure(move |sim| {
+                        sim.net_send(src_node, target, WireSize::control(16), Box::new(cts));
+                    }),
+                );
+            }
+            DaemonMsg::Cts { dst, ssn } => {
+                if let Some(p) = self.core.pending_rdv.remove(&(dst, ssn)) {
+                    self.transmit_data(sim, dst, p.tag, p.payload, ssn, SimDuration::ZERO, p.done);
+                }
+            }
+            DaemonMsg::Proto(body) => {
+                let mut ctx = Ctx {
+                    sim,
+                    core: &mut self.core,
+                };
+                self.proto.on_control(&mut ctx, body);
+            }
+        }
+    }
+
+    /// Processes work queued by protocol hooks until quiescent.
+    fn pump(&mut self, sim: &mut Sim) {
+        loop {
+            if self.core.ship_requested {
+                self.core.ship_requested = false;
+                self.ship_image(sim);
+                continue;
+            }
+            if self.core.release_requested {
+                self.core.release_requested = false;
+                // Re-gate every held message: the protocol decides which
+                // ones may leave now (pessimistic logging releases sends
+                // whose preceding events became stable).
+                let held: Vec<HeldSend> = self.core.held.drain(..).collect();
+                for h in held {
+                    let gate = {
+                        let mut ctx = Ctx {
+                            sim,
+                            core: &mut self.core,
+                        };
+                        self.proto.on_send_accept(&mut ctx, h.dst, h.tag, h.ssn, &h.payload)
+                    };
+                    match gate {
+                        SendGate::Go { cost } => {
+                            self.transmit(sim, h.dst, h.tag, h.payload, h.ssn, cost, h.done);
+                        }
+                        SendGate::Hold => self.core.held.push_back(h),
+                    }
+                }
+                continue;
+            }
+            let Some(inj) = self.core.inject.pop_front() else {
+                break;
+            };
+            match inj {
+                Inject::Deliver {
+                    src,
+                    tag,
+                    payload,
+                    cost,
+                } => {
+                        let cpu = self.core.profile.msg_cost(payload.len()) + cost;
+                    let end = sim.charge_cpu(self.core.node, cpu);
+                    self.core.deliver_to_matching(sim, src, tag, payload, end);
+                }
+                Inject::Reaccept(msg) => {
+                    // Bypass the ssn check: the message was already
+                    // accepted once (its ssn was consumed) or is being fed
+                    // back in channel order by the protocol.
+                    self.accept_reinjected(sim, msg);
+                }
+                Inject::InternalSend { dst, tag, payload } => {
+                    let cell = sim.exec().new_op::<()>();
+                    self.handle_app_send(sim, dst, tag, payload, cell);
+                }
+            }
+        }
+    }
+
+    /// Re-acceptance of a protocol-buffered message: runs the protocol
+    /// hook (it may create a determinant now) but skips duplicate
+    /// detection, which already happened on first arrival. The delivery
+    /// joins the same FIFO work queue as every other delivery.
+    fn accept_reinjected(&mut self, sim: &mut Sim, mut msg: AppMsg) {
+        let gate = {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_app_msg(&mut ctx, &mut msg)
+        };
+        match gate {
+            RecvGate::Deliver { cost } => {
+                self.core.inject.push_back(Inject::Deliver {
+                    src: msg.src,
+                    tag: msg.tag,
+                    payload: msg.payload,
+                    cost,
+                });
+            }
+            RecvGate::Drop => {}
+            RecvGate::Consume => {}
+        }
+    }
+}
+
+impl Actor for Vdaemon {
+    fn on_poke(&mut self, sim: &mut Sim, _me: ActorId, token: u64) {
+        match token {
+            TOKEN_BOOT => self.boot(sim),
+            _ => self.drain_pipe(sim),
+        }
+        self.pump(sim);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, _me: ActorId, token: u64) {
+        if token >= PROTO_TIMER_BASE {
+            let mut ctx = Ctx {
+                sim,
+                core: &mut self.core,
+            };
+            self.proto.on_timer(&mut ctx, token - PROTO_TIMER_BASE);
+            self.pump(sim);
+        }
+    }
+
+    fn on_deliver(&mut self, sim: &mut Sim, _me: ActorId, msg: Delivery) {
+        let body = msg.body;
+        let body = match body.downcast::<DaemonMsg>() {
+            Ok(dm) => {
+                self.handle_daemon_msg(sim, *dm);
+                self.pump(sim);
+                return;
+            }
+            Err(b) => b,
+        };
+        let body = match body.downcast::<Internal>() {
+            Ok(internal) => {
+                match *internal {
+                    Internal::AppFinished => {
+                        self.core.finished = true;
+                        {
+                            let mut ctx = Ctx {
+                                sim,
+                                core: &mut self.core,
+                            };
+                            self.proto.on_app_finished(&mut ctx);
+                        }
+                        if let Some((dispatcher, _)) = self.core.topo.dispatcher() {
+                            self.core.control_to_actor(
+                                sim,
+                                dispatcher,
+                                8,
+                                Box::new(crate::dispatcher::DispatcherMsg::Done {
+                                    rank: self.core.rank,
+                                }),
+                            );
+                        }
+                    }
+                }
+                self.pump(sim);
+                return;
+            }
+            Err(b) => b,
+        };
+        if let Ok(reply) = body.downcast::<CkptReply>() {
+            match *reply {
+                CkptReply::FetchResp { image, .. } => {
+                    if self.core.recovering && self.core.app_task.is_none() {
+                        self.finish_restart(sim, image);
+                    }
+                }
+                CkptReply::StoreAck { version, .. } => {
+                    self.core.stats.borrow_mut().checkpoints += 1;
+                    let mut ctx = Ctx {
+                        sim,
+                        core: &mut self.core,
+                    };
+                    self.proto.on_checkpoint_committed(&mut ctx, version);
+                }
+                CkptReply::CompleteResp { .. } => {}
+            }
+            self.pump(sim);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The V-protocol hook API.
+//!
+//! The paper (§IV): *"Fault tolerance protocols are designed through the
+//! implementation of a set of hooks called in relevant routines of the
+//! generic subsystem and some specific components. We call V-protocol such
+//! an implementation."*
+//!
+//! [`VProtocol`] is that hook set. The generic communication daemon
+//! ([`crate::daemon`]) calls into it at every relevant point: when a send
+//! is accepted from the application, when a message is about to leave,
+//! when a message arrives, on control traffic, on checkpoints and on
+//! restart. `vlog-vmpi` ships only the trivial implementation
+//! ([`crate::vdummy::Vdummy`]); the causal protocols, the pessimistic
+//! protocol and coordinated checkpointing live in `vlog-core`.
+//!
+//! A [`Suite`] bundles a protocol with the auxiliary stable components it
+//! needs (Event Logger, checkpoint scheduler policy) and is what the
+//! cluster builder consumes.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vlog_sim::{ActorId, NodeId, Sim, SimDuration, SimTime};
+
+use crate::daemon::DaemonCore;
+use crate::types::{AppMsg, Payload, PiggybackBlob, Rank, Ssn};
+
+/// Where everything lives. Filled by the cluster builder before the
+/// simulation starts; shared read-only with every component.
+#[derive(Clone, Default)]
+pub struct Topology {
+    inner: Rc<RefCell<TopoInner>>,
+}
+
+#[derive(Default)]
+struct TopoInner {
+    daemons: Vec<ActorId>,
+    nodes: Vec<NodeId>,
+    /// Event Logger instances (one or several; ranks are assigned
+    /// round-robin when there is more than one).
+    els: Vec<(ActorId, NodeId)>,
+    ckpt_server: Option<(ActorId, NodeId)>,
+    dispatcher: Option<(ActorId, NodeId)>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set_ranks(&self, daemons: Vec<ActorId>, nodes: Vec<NodeId>) {
+        let mut t = self.inner.borrow_mut();
+        t.daemons = daemons;
+        t.nodes = nodes;
+    }
+
+    pub fn set_el(&self, actor: ActorId, node: NodeId) {
+        self.inner.borrow_mut().els = vec![(actor, node)];
+    }
+
+    /// Registers several Event Logger instances (the paper's future-work
+    /// distribution; see `vlog-core::el_multi`).
+    pub fn set_els(&self, els: Vec<(ActorId, NodeId)>) {
+        self.inner.borrow_mut().els = els;
+    }
+
+    /// The Event Logger serving `rank` (round-robin assignment).
+    pub fn el_for(&self, rank: Rank) -> Option<(ActorId, NodeId)> {
+        let t = self.inner.borrow();
+        if t.els.is_empty() {
+            None
+        } else {
+            Some(t.els[rank % t.els.len()])
+        }
+    }
+
+    /// Number of Event Logger instances.
+    pub fn el_count(&self) -> usize {
+        self.inner.borrow().els.len()
+    }
+
+    pub fn set_ckpt_server(&self, actor: ActorId, node: NodeId) {
+        self.inner.borrow_mut().ckpt_server = Some((actor, node));
+    }
+
+    pub fn set_dispatcher(&self, actor: ActorId, node: NodeId) {
+        self.inner.borrow_mut().dispatcher = Some((actor, node));
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.inner.borrow().daemons.len()
+    }
+
+    pub fn daemon(&self, rank: Rank) -> ActorId {
+        self.inner.borrow().daemons[rank]
+    }
+
+    pub fn node(&self, rank: Rank) -> NodeId {
+        self.inner.borrow().nodes[rank]
+    }
+
+    pub fn el(&self) -> Option<(ActorId, NodeId)> {
+        self.inner.borrow().els.first().copied()
+    }
+
+    pub fn ckpt_server(&self) -> Option<(ActorId, NodeId)> {
+        self.inner.borrow().ckpt_server
+    }
+
+    pub fn dispatcher(&self) -> Option<(ActorId, NodeId)> {
+        self.inner.borrow().dispatcher
+    }
+}
+
+/// Context handed to every hook: the simulation kernel plus the generic
+/// part of the calling daemon.
+pub struct Ctx<'a> {
+    pub sim: &'a mut Sim,
+    pub core: &'a mut DaemonCore,
+}
+
+impl Ctx<'_> {
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub fn rank(&self) -> Rank {
+        self.core.rank()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.core.n_ranks()
+    }
+}
+
+/// Decision returned by [`VProtocol::on_send_accept`].
+pub enum SendGate {
+    /// Proceed to transmission (possibly after `cost` of protocol CPU).
+    Go { cost: SimDuration },
+    /// Park the message; the protocol releases it later through
+    /// [`DaemonCore::release_held`] (pessimistic logging blocks sends
+    /// until preceding events are stable).
+    Hold,
+}
+
+/// Decision returned by [`VProtocol::on_app_msg`].
+pub enum RecvGate {
+    /// Hand the message to the matching engine after `cost` of CPU.
+    Deliver { cost: SimDuration },
+    /// Silently drop (duplicate of an already-received message).
+    Drop,
+    /// The protocol keeps the message (replay buffering, markers); it can
+    /// re-inject it later through [`DaemonCore::inject_app_msg`].
+    Consume,
+}
+
+/// Protocol section of a checkpoint image: structured state plus the wire
+/// size it would occupy (counted as control traffic when the image moves).
+/// The body is reference-counted because the checkpoint server keeps it.
+pub struct ProtoBlob {
+    pub body: Option<Rc<dyn Any>>,
+    pub bytes: u64,
+}
+
+impl ProtoBlob {
+    pub fn empty() -> Self {
+        ProtoBlob {
+            body: None,
+            bytes: 0,
+        }
+    }
+}
+
+/// The fault-tolerance hook API implemented by every V-protocol.
+///
+/// Default implementations are no-ops so trivial protocols (Vdummy) stay
+/// trivial.
+#[allow(unused_variables)]
+pub trait VProtocol {
+    /// Short name for reports ("vcausal+el", "manetho", ...).
+    fn name(&self) -> String;
+
+    /// A send was accepted from the application and assigned `ssn`.
+    /// Sender-based protocols log the payload here. Returning
+    /// [`SendGate::Hold`] parks the message (pessimistic logging); held
+    /// messages are re-gated through this hook when the protocol calls
+    /// [`DaemonCore::release_held`], so idempotent logging is required.
+    fn on_send_accept(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: Rank,
+        tag: crate::types::Tag,
+        ssn: Ssn,
+        payload: &Payload,
+    ) -> SendGate {
+        SendGate::Go {
+            cost: SimDuration::ZERO,
+        }
+    }
+
+    /// The message `(dst, ssn)` is about to leave on the wire. Causal
+    /// protocols build their piggyback here; the returned cost is the
+    /// serialization CPU time (the Figure 8 "send" metric).
+    fn on_transmit(&mut self, ctx: &mut Ctx<'_>, dst: Rank, ssn: Ssn) -> (PiggybackBlob, SimDuration) {
+        (PiggybackBlob::empty(), SimDuration::ZERO)
+    }
+
+    /// An application message arrived (in channel order, duplicates
+    /// already dropped by the generic layer). Causal protocols create the
+    /// reception event, integrate the piggyback (may mutate `msg` to take
+    /// it) and ship the determinant to the Event Logger here; the returned
+    /// cost is the integration CPU time (the Figure 8 "receive" metric).
+    fn on_app_msg(&mut self, ctx: &mut Ctx<'_>, msg: &mut AppMsg) -> RecvGate {
+        RecvGate::Deliver {
+            cost: SimDuration::ZERO,
+        }
+    }
+
+    /// A protocol control message arrived (EL records/acks, reclaim
+    /// requests, GC notices, rollback commands, ...).
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn Any>) {}
+
+    /// A timer set through [`DaemonCore::set_proto_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+
+    /// The application reached a checkpoint point. Return true to take a
+    /// checkpoint now (uncoordinated protocols follow their scheduler,
+    /// coordinated ones their marker state).
+    fn checkpoint_due(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        false
+    }
+
+    /// The daemon is assembling a checkpoint image: contribute the
+    /// protocol section (sender log, causality information, clocks).
+    fn checkpoint_blob(&mut self, ctx: &mut Ctx<'_>) -> ProtoBlob {
+        ProtoBlob::empty()
+    }
+
+    /// Version override for the checkpoint being taken. Coordinated
+    /// snapshots return the global snapshot id; `None` uses the daemon's
+    /// local counter (uncoordinated checkpoints).
+    fn snapshot_version(&mut self) -> Option<u64> {
+        None
+    }
+
+    /// The generic image sections were captured at the checkpoint point.
+    /// The default ships immediately; coordinated checkpointing instead
+    /// sends its markers and ships once every channel recording closed.
+    fn on_image_assembled(&mut self, ctx: &mut Ctx<'_>, version: u64) {
+        let _ = version;
+        ctx.core.request_ship();
+    }
+
+    /// The checkpoint server committed image `version`; the protocol may
+    /// garbage-collect and notify peers.
+    fn on_checkpoint_committed(&mut self, ctx: &mut Ctx<'_>, version: u64) {}
+
+    /// The daemon restarted from a checkpoint image (or from scratch when
+    /// `blob` is `None`). The protocol starts its recovery: determinant
+    /// collection, payload reclaim, replay gating. The generic layer keeps
+    /// the daemon in recovering mode until
+    /// [`DaemonCore::set_recovered`] is called.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>, blob: Option<ProtoBlob>) {
+        ctx.core.set_recovered(ctx.sim);
+    }
+
+    /// Called when the local application task finished its program.
+    fn on_app_finished(&mut self, ctx: &mut Ctx<'_>) {}
+}
+
+/// Per-rank protocol statistics, shared between the protocol instance and
+/// the harness that reads them after the run.
+#[derive(Debug, Default, Clone)]
+pub struct RankStats {
+    /// Cumulative CPU time preparing piggybacks on send (Fig. 8 "send").
+    pub pb_send_time: SimDuration,
+    /// Cumulative CPU time integrating piggybacks on receive (Fig. 8 "receive").
+    pub pb_recv_time: SimDuration,
+    /// Total piggybacked events sent by this rank.
+    pub pb_events_sent: u64,
+    /// Total piggyback bytes sent by this rank.
+    pub pb_bytes_sent: u64,
+    /// Application messages sent with an empty piggyback.
+    pub empty_pb_msgs: u64,
+    /// Application messages sent.
+    pub app_msgs_sent: u64,
+    /// Determinants acknowledged stable by the Event Logger.
+    pub el_acked_events: u64,
+    /// Durations of determinant-collection phases during recoveries
+    /// (the Figure 10 metric), in completion order.
+    pub recovery_collect: Vec<SimDuration>,
+    /// Durations of full recoveries (restart to live), in completion order.
+    pub recovery_total: Vec<SimDuration>,
+    /// Number of checkpoints committed.
+    pub checkpoints: u64,
+}
+
+/// Shared handle on [`RankStats`].
+pub type SharedRankStats = Rc<RefCell<RankStats>>;
+
+/// How the dispatcher recovers from a crash under this protocol family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStyle {
+    /// Restart only the failed rank (message logging).
+    SingleRank,
+    /// Roll every rank back to the last committed global snapshot
+    /// (coordinated checkpointing).
+    GlobalRollback,
+}
+
+/// A protocol family bundled with its auxiliary components.
+pub trait Suite {
+    /// Name for reports.
+    fn name(&self) -> String;
+
+    /// Installs auxiliary stable actors (Event Logger, scheduler...).
+    /// Called once, before daemons are created. Stable nodes are provided
+    /// by the cluster builder through `topo`.
+    fn install(&self, sim: &mut Sim, topo: &Topology, stable_nodes: &[NodeId]) {
+        let _ = (sim, topo, stable_nodes);
+    }
+
+    /// Creates the protocol instance for one rank.
+    fn make_protocol(
+        &self,
+        rank: Rank,
+        topo: &Topology,
+        stats: SharedRankStats,
+    ) -> Box<dyn VProtocol>;
+
+    /// Recovery style for the dispatcher.
+    fn recovery_style(&self) -> RecoveryStyle {
+        RecoveryStyle::SingleRank
+    }
+}
+
+/// Command sent by the checkpoint scheduler to a daemon (forwarded to the
+/// protocol through `on_control`).
+#[derive(Debug, Clone, Copy)]
+pub enum SchedulerCmd {
+    /// Take a checkpoint at the next checkpoint point.
+    TakeCheckpoint,
+    /// Begin global snapshot `id` (coordinated checkpointing).
+    GlobalSnapshot { id: u64 },
+}

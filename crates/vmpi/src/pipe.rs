@@ -1,0 +1,65 @@
+//! The pipe between an MPI process and its communication daemon.
+//!
+//! In MPICH-V the MPI process never touches the network: it talks to the
+//! Vdaemon through a pair of system pipes (paper §IV-A). Here the pipe is
+//! a shared request queue: the application task pushes a request and
+//! stages a *poke* for the daemon actor, delayed by the modelled pipe
+//! crossing cost; the daemon drains the queue when the poke fires.
+//!
+//! Each application incarnation gets a fresh queue, so requests from a
+//! killed incarnation can never leak into its successor.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use vlog_sim::OpCell;
+
+use crate::types::{Payload, Rank, RecvMsg, RecvSelector, Tag};
+
+/// A request from the application to its daemon.
+pub enum AppRequest {
+    /// Post a send; `done` completes when the daemon accepted the message
+    /// (eager) or handed it to the wire (rendezvous).
+    Send {
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        done: OpCell<()>,
+    },
+    /// Post a receive; `cell` completes when a matching message reaches
+    /// the application side of the pipe.
+    Recv {
+        sel: RecvSelector,
+        cell: OpCell<RecvMsg>,
+    },
+    /// The application reached a checkpoint point; `state` is its
+    /// serialized state (real bytes + synthetic padding). `done` resolves
+    /// to whether a checkpoint was actually taken.
+    Checkpoint {
+        state: Payload,
+        done: OpCell<bool>,
+    },
+}
+
+/// The application side of one pipe.
+pub struct PipeBox {
+    pub queue: VecDeque<AppRequest>,
+}
+
+impl PipeBox {
+    pub fn new() -> SharedPipe {
+        Rc::new(RefCell::new(PipeBox {
+            queue: VecDeque::new(),
+        }))
+    }
+}
+
+pub type SharedPipe = Rc<RefCell<PipeBox>>;
+
+/// What the daemon hands a freshly spawned application task.
+pub struct AppBoot {
+    /// State restored from a checkpoint image, if any.
+    pub restored: Option<Bytes>,
+}

@@ -1,0 +1,120 @@
+//! The checkpoint scheduler.
+//!
+//! Paper §IV-B.3: *"The checkpoint scheduler is a specific component that
+//! is not necessary to insure the fault tolerance, but is intended to
+//! enhance performance. [...] The checkpoint scheduler implements
+//! different policies such as coordinated checkpoint, random or
+//! round-robin."*
+//!
+//! The scheduler actor periodically commands daemons to checkpoint. The
+//! command is forwarded to the protocol via `on_control` (as a
+//! [`SchedulerCmd`]); the protocol decides what to do with it at the next
+//! application checkpoint point.
+
+use rand::Rng;
+use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration};
+
+use crate::hooks::{SchedulerCmd, Topology};
+use crate::types::DaemonMsg;
+
+/// Checkpoint scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerPolicy {
+    /// Never command a checkpoint.
+    Disabled,
+    /// Uncoordinated, staggered round-robin: rank r checkpoints at
+    /// `(r+1) * period / n`, then every `period`.
+    RoundRobin { period: SimDuration },
+    /// Uncoordinated, uniformly random rank every `period / n`.
+    Random { period: SimDuration },
+    /// Global snapshots every `period` (coordinated checkpointing).
+    Coordinated { period: SimDuration },
+}
+
+pub struct CkptScheduler {
+    node: NodeId,
+    topo: Topology,
+    policy: SchedulerPolicy,
+    snapshot_id: u64,
+}
+
+impl CkptScheduler {
+    pub fn new(node: NodeId, topo: Topology, policy: SchedulerPolicy) -> Self {
+        CkptScheduler {
+            node,
+            topo,
+            policy,
+            snapshot_id: 0,
+        }
+    }
+
+    /// Installs the scheduler actor and arms its first timers.
+    pub fn install(sim: &mut Sim, node: NodeId, topo: Topology, policy: SchedulerPolicy) -> ActorId {
+        let scheduler = CkptScheduler::new(node, topo.clone(), policy);
+        let id = sim.add_actor(node, Box::new(scheduler));
+        match policy {
+            SchedulerPolicy::Disabled => {}
+            SchedulerPolicy::RoundRobin { period } => {
+                let n = topo.n_ranks() as u64;
+                for r in 0..topo.n_ranks() {
+                    let first = SimDuration::from_nanos(period.as_nanos() * (r as u64 + 1) / n);
+                    sim.set_timer(id, first, r as u64);
+                }
+            }
+            SchedulerPolicy::Random { period } => {
+                let slice = SimDuration::from_nanos(period.as_nanos() / topo.n_ranks() as u64);
+                sim.set_timer(id, slice, u64::MAX);
+            }
+            SchedulerPolicy::Coordinated { period } => {
+                sim.set_timer(id, period, u64::MAX - 1);
+            }
+        }
+        id
+    }
+
+    fn command(&self, sim: &mut Sim, rank: usize, cmd: SchedulerCmd) {
+        let daemon = self.topo.daemon(rank);
+        let body = Box::new(DaemonMsg::Proto(Box::new(cmd)));
+        let size = vlog_sim::WireSize::control(8);
+        if sim.actor_node(daemon) == self.node {
+            sim.local_send(self.node, daemon, size, body, SimDuration::from_micros(15));
+        } else {
+            sim.net_send(self.node, daemon, size, body);
+        }
+    }
+}
+
+impl Actor for CkptScheduler {
+    fn on_deliver(&mut self, _sim: &mut Sim, _me: ActorId, _msg: Delivery) {}
+
+    fn on_timer(&mut self, sim: &mut Sim, me: ActorId, token: u64) {
+        match self.policy {
+            SchedulerPolicy::Disabled => {}
+            SchedulerPolicy::RoundRobin { period } => {
+                let rank = token as usize;
+                self.command(sim, rank, SchedulerCmd::TakeCheckpoint);
+                sim.set_timer(me, period, token);
+            }
+            SchedulerPolicy::Random { period } => {
+                let n = self.topo.n_ranks();
+                let rank = sim.rng().random_range(0..n);
+                self.command(sim, rank, SchedulerCmd::TakeCheckpoint);
+                let slice = SimDuration::from_nanos(period.as_nanos() / n as u64);
+                sim.set_timer(me, slice, token);
+            }
+            SchedulerPolicy::Coordinated { period } => {
+                self.snapshot_id += 1;
+                for rank in 0..self.topo.n_ranks() {
+                    self.command(
+                        sim,
+                        rank,
+                        SchedulerCmd::GlobalSnapshot {
+                            id: self.snapshot_id,
+                        },
+                    );
+                }
+                sim.set_timer(me, period, token);
+            }
+        }
+    }
+}

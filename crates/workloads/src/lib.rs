@@ -1,0 +1,16 @@
+//! # vlog-workloads — benchmarks driving the protocol evaluation
+//!
+//! * [`netpipe`] — the NetPIPE ping-pong micro-benchmark of Figure 6,
+//! * [`nas`] — communication skeletons of the NAS Parallel Benchmarks
+//!   (CG, MG, FT, LU, BT, SP) with published class geometry, iteration
+//!   counts, operation counts and memory footprints,
+//! * [`runner`] — glue running a workload under a protocol suite and
+//!   extracting the paper's metrics (Megaflops, piggyback volume, ...).
+
+pub mod nas;
+pub mod netpipe;
+pub mod runner;
+
+pub use nas::{full_flops, full_iters, grid_n, mem_bytes, Class, NasBench, NasConfig};
+pub use netpipe::{NetpipePoint, NetpipeResults};
+pub use runner::{run_nas, NasRun};

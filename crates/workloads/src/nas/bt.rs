@@ -1,0 +1,100 @@
+//! BT — block-tridiagonal solver (paper: *"large point-to-point
+//! messages, and communications overlapped by computation"*).
+//!
+//! NPB-2 BT runs on a square processor grid (4, 9, 16, 25 ranks) with a
+//! multipartition decomposition. Per iteration it exchanges boundary
+//! faces with the four torus neighbours (copy_faces) and performs
+//! forward/backward substitution sweeps along x and y; all messages are
+//! tens-of-kilobytes faces, largely overlapped with computation.
+
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+
+use super::{grid_n, restored_iter, state_payload, NasBench, NasConfig};
+
+const TAG_FACES: u32 = 30;
+const TAG_XSOLVE: u32 = 31;
+const TAG_YSOLVE: u32 = 32;
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    program_grid(cfg, NasBench::BT, 40, TAG_FACES, TAG_XSOLVE, TAG_YSOLVE)
+}
+
+/// Shared implementation for the square-grid solvers (BT and SP): they
+/// differ in iteration count, flops and bytes-per-face factor.
+pub(super) fn program_grid(
+    cfg: NasConfig,
+    bench: NasBench,
+    face_factor: u64,
+    tag_faces: u32,
+    tag_x: u32,
+    tag_y: u32,
+) -> AppSpec {
+    app(move |mpi| {
+        let cfg = cfg.clone();
+        async move {
+            let np = mpi.size();
+            let me = mpi.rank();
+            let d = (np as f64).sqrt().round() as usize;
+            let row = me / d;
+            let col = me % d;
+            let n = grid_n(bench, cfg.class);
+            // face_factor ≈ variables × 8 bytes (5 × 8 = 40 for BT).
+            let face = (face_factor * n * n / (d * d) as u64).max(64);
+            let east = row * d + (col + 1) % d;
+            let west = row * d + (col + d - 1) % d;
+            let south = ((row + 1) % d) * d + col;
+            let north = ((row + d - 1) % d) * d + col;
+            // Computation split across the communication phases.
+            let flops = cfg.flops_per_rank_iter();
+            let start = restored_iter(&mpi);
+            for it in start..cfg.iters() {
+                if cfg.checkpoints {
+                    mpi.checkpoint_point(state_payload(&cfg, it)).await;
+                }
+                // copy_faces: exchange with all four torus neighbours.
+                // Shift pattern: send downstream, receive from upstream,
+                // then the reverse — deadlock-free on any torus size.
+                if np > 1 {
+                    for (to, from) in [(east, west), (west, east), (south, north), (north, south)]
+                    {
+                        mpi.sendrecv(
+                            to,
+                            tag_faces,
+                            Payload::synthetic(face),
+                            RecvSelector::of(from, tag_faces),
+                        )
+                        .await;
+                    }
+                }
+                mpi.compute(flops * 0.4).await;
+                // x_solve: forward then backward substitution along rows.
+                if np > 1 {
+                    for (to, from) in [(east, west), (west, east)] {
+                        mpi.sendrecv(
+                            to,
+                            tag_x,
+                            Payload::synthetic(face / 2),
+                            RecvSelector::of(from, tag_x),
+                        )
+                        .await;
+                    }
+                }
+                mpi.compute(flops * 0.25).await;
+                // y_solve.
+                if np > 1 {
+                    for (to, from) in [(south, north), (north, south)] {
+                        mpi.sendrecv(
+                            to,
+                            tag_y,
+                            Payload::synthetic(face / 2),
+                            RecvSelector::of(from, tag_y),
+                        )
+                        .await;
+                    }
+                }
+                // z_solve is rank-local in this decomposition.
+                mpi.compute(flops * 0.35).await;
+            }
+        }
+    })
+}

@@ -1,0 +1,83 @@
+//! CG — conjugate gradient (paper: *"heavy point-to-point latency driven
+//! communications"*).
+//!
+//! NPB-2 CG arranges ranks in a `nprows × npcols` power-of-two grid and,
+//! per CG iteration, performs a halving sum-reduction of the
+//! matrix-vector product along the processor row, a transpose exchange of
+//! the result vector, and two scalar reductions — all point-to-point.
+//! Message sizes derive from the class vector length `n`.
+
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+
+use super::{grid_n, ilog2, pow2_grid, restored_iter, state_payload, NasBench, NasConfig};
+
+const TAG_REDUCE: u32 = 10;
+const TAG_TRANSPOSE: u32 = 11;
+const TAG_SCALAR: u32 = 12;
+
+/// Inner CG iterations per outer (power-method) iteration in NPB-2.
+const INNER: u64 = 26;
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    app(move |mpi| {
+        let cfg = cfg.clone();
+        async move {
+            let np = mpi.size();
+            let me = mpi.rank();
+            let (nprows, npcols) = pow2_grid(np);
+            let row = me / npcols;
+            let col = me % npcols;
+            let n = grid_n(NasBench::CG, cfg.class);
+            let l2npcols = ilog2(npcols);
+            // Transpose partner: swap grid coordinates (self-exchange
+            // degenerates to a local copy, as in NPB).
+            let transpose = (col % nprows) * npcols + (row + nprows * (col / nprows));
+            let transpose_bytes = 8 * n / npcols as u64;
+            let flops_inner = cfg.flops_per_rank_iter() / INNER as f64;
+            let start = restored_iter(&mpi);
+            for it in start..cfg.iters() {
+                if cfg.checkpoints {
+                    mpi.checkpoint_point(state_payload(&cfg, it)).await;
+                }
+                for _ in 0..INNER {
+                    mpi.compute(flops_inner).await;
+                    // Halving sum-reduction of the matvec along the row.
+                    for s in 0..l2npcols {
+                        let partner = row * npcols + (col ^ (1 << s));
+                        let bytes = (8 * n / nprows as u64) >> (s + 1);
+                        mpi.sendrecv(
+                            partner,
+                            TAG_REDUCE,
+                            Payload::synthetic(bytes.max(8)),
+                            RecvSelector::of(partner, TAG_REDUCE),
+                        )
+                        .await;
+                    }
+                    // Transpose exchange of the reduced vector.
+                    if transpose != me {
+                        mpi.sendrecv(
+                            transpose,
+                            TAG_TRANSPOSE,
+                            Payload::synthetic(transpose_bytes),
+                            RecvSelector::of(transpose, TAG_TRANSPOSE),
+                        )
+                        .await;
+                    }
+                    // Two scalar reductions (rho, then the residual norm).
+                    for _ in 0..2 {
+                        for s in 0..l2npcols {
+                            let partner = row * npcols + (col ^ (1 << s));
+                            mpi.sendrecv(
+                                partner,
+                                TAG_SCALAR,
+                                Payload::synthetic(8),
+                                RecvSelector::of(partner, TAG_SCALAR),
+                            )
+                            .await;
+                        }
+                    }
+                }
+            }
+        }
+    })
+}

@@ -1,0 +1,41 @@
+//! FT — 3D FFT (paper: *"all-to-all communication pattern"*).
+//!
+//! NPB-2 FT performs one global transpose per iteration: an all-to-all
+//! moving the entire complex grid, by far the largest messages of the
+//! suite (hundreds of kilobytes per pair on class A/16 — deep into
+//! rendezvous territory). The paper singles FT out as the pattern where
+//! Manetho's send-side graph traversal hurts and LogOn shines.
+
+use vlog_vmpi::{app, AppSpec, Payload};
+
+use super::{grid_n, restored_iter, state_payload, NasBench, NasConfig};
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    app(move |mpi| {
+        let cfg = cfg.clone();
+        async move {
+            let np = mpi.size();
+            let n = grid_n(NasBench::FT, cfg.class);
+            // Class grids are n × n × n/2 complex (16-byte) points.
+            let points = n * n * (n / 2);
+            let pair_bytes = (16 * points / (np * np) as u64).max(64);
+            let flops = cfg.flops_per_rank_iter();
+            let start = restored_iter(&mpi);
+            for it in start..cfg.iters() {
+                if cfg.checkpoints {
+                    mpi.checkpoint_point(state_payload(&cfg, it)).await;
+                }
+                // Local FFTs along the two resident dimensions.
+                mpi.compute(flops * 0.6).await;
+                // Global transpose.
+                if np > 1 {
+                    let outgoing = (0..np).map(|_| Payload::synthetic(pair_bytes)).collect();
+                    mpi.alltoall(outgoing).await;
+                }
+                // FFT along the redistributed dimension + checksum.
+                mpi.compute(flops * 0.4).await;
+                mpi.allreduce_synth(16).await;
+            }
+        }
+    })
+}

@@ -1,0 +1,89 @@
+//! LU — SSOR solver (paper: *"large number of messages"*; the benchmark
+//! that stresses the Event Logger hardest).
+//!
+//! NPB-2 LU decomposes the `n³` grid over a 2D power-of-two processor
+//! grid and, per SSOR iteration, performs two pipelined wavefront sweeps
+//! over the `n` z-planes. Every plane exchanges one tiny 5-variable
+//! boundary row/column with each downstream neighbour — thousands of
+//! sub-kilobyte messages per iteration, which is exactly the regime where
+//! piggyback management dominates (Figures 7 and 8).
+
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+
+use super::{grid_n, pow2_grid, restored_iter, state_payload, NasBench, NasConfig};
+
+const TAG_SWEEP_LO: u32 = 20;
+const TAG_SWEEP_HI: u32 = 21;
+const TAG_RHS: u32 = 22;
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    app(move |mpi| {
+        let cfg = cfg.clone();
+        async move {
+            let np = mpi.size();
+            let me = mpi.rank();
+            let (px, py) = pow2_grid(np);
+            let row = me / py;
+            let col = me % py;
+            let n = grid_n(NasBench::LU, cfg.class);
+            let nz = n; // one wavefront step per z-plane
+            // 5 variables × 8 bytes × local edge length.
+            let plane_bytes = (40 * n / px as u64).max(40);
+            let face_bytes = (40 * n * n / (px * py) as u64).max(40);
+            let north = (row > 0).then(|| (row - 1) * py + col);
+            let south = (row + 1 < px).then(|| (row + 1) * py + col);
+            let west = (col > 0).then(|| row * py + col - 1);
+            let east = (col + 1 < py).then(|| row * py + col + 1);
+            // Sweeps dominate the flop count; boundary work is folded in.
+            let flops_plane = cfg.flops_per_rank_iter() / (2.0 * nz as f64);
+            let start = restored_iter(&mpi);
+            for it in start..cfg.iters() {
+                if cfg.checkpoints {
+                    mpi.checkpoint_point(state_payload(&cfg, it)).await;
+                }
+                // Lower-triangular sweep: wavefront from the north-west.
+                for _k in 0..nz {
+                    if let Some(p) = north {
+                        mpi.recv(RecvSelector::of(p, TAG_SWEEP_LO)).await;
+                    }
+                    if let Some(p) = west {
+                        mpi.recv(RecvSelector::of(p, TAG_SWEEP_LO)).await;
+                    }
+                    mpi.compute(flops_plane).await;
+                    if let Some(p) = south {
+                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes)).await;
+                    }
+                    if let Some(p) = east {
+                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes)).await;
+                    }
+                }
+                // Upper-triangular sweep: wavefront from the south-east.
+                for _k in 0..nz {
+                    if let Some(p) = south {
+                        mpi.recv(RecvSelector::of(p, TAG_SWEEP_HI)).await;
+                    }
+                    if let Some(p) = east {
+                        mpi.recv(RecvSelector::of(p, TAG_SWEEP_HI)).await;
+                    }
+                    mpi.compute(flops_plane).await;
+                    if let Some(p) = north {
+                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes)).await;
+                    }
+                    if let Some(p) = west {
+                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes)).await;
+                    }
+                }
+                // RHS boundary exchange with all four neighbours.
+                for p in [north, south, west, east].into_iter().flatten() {
+                    mpi.sendrecv(
+                        p,
+                        TAG_RHS,
+                        Payload::synthetic(face_bytes),
+                        RecvSelector::of(p, TAG_RHS),
+                    )
+                    .await;
+                }
+            }
+        }
+    })
+}

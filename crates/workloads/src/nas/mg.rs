@@ -1,0 +1,53 @@
+//! MG — multigrid V-cycles.
+//!
+//! NPB-2 MG performs V-cycles over a hierarchy of grids: boundary
+//! exchanges shrink geometrically with each coarser level, producing a
+//! characteristic mix of medium and tiny messages.
+
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+
+use super::{grid_n, ilog2, restored_iter, state_payload, NasBench, NasConfig};
+
+const TAG_MG: u32 = 50;
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    app(move |mpi| {
+        let cfg = cfg.clone();
+        async move {
+            let np = mpi.size();
+            let me = mpi.rank();
+            let n = grid_n(NasBench::MG, cfg.class);
+            let top = ilog2(n as usize);
+            let dims = ilog2(np).min(3);
+            // Geometric flop distribution: level l carries ~8^l work.
+            let total_weight: f64 = (2..=top).map(|l| 8f64.powi(l as i32)).sum();
+            let flops_iter = cfg.flops_per_rank_iter();
+            let start = restored_iter(&mpi);
+            for it in start..cfg.iters() {
+                if cfg.checkpoints {
+                    mpi.checkpoint_point(state_payload(&cfg, it)).await;
+                }
+                // Down the V (restriction) then back up (prolongation).
+                let down = (2..=top).rev();
+                let up = 2..=top;
+                for l in down.chain(up) {
+                    let face = (8u64 * (1 << l) * (1 << l) / np as u64).max(8);
+                    for dim in 0..dims {
+                        let partner = me ^ (1 << dim);
+                        if partner < np {
+                            mpi.sendrecv(
+                                partner,
+                                TAG_MG + dim,
+                                Payload::synthetic(face),
+                                RecvSelector::of(partner, TAG_MG + dim),
+                            )
+                            .await;
+                        }
+                    }
+                    let w = 8f64.powi(l as i32) / total_weight / 2.0;
+                    mpi.compute(flops_iter * w).await;
+                }
+            }
+        }
+    })
+}

@@ -1,0 +1,17 @@
+//! SP — scalar-pentadiagonal solver.
+//!
+//! Same square-grid structure as BT but twice the iterations and thinner
+//! per-face payloads (scalar rather than 5×5 block systems), giving a
+//! higher message rate with smaller messages.
+
+use vlog_vmpi::AppSpec;
+
+use super::{bt::program_grid, NasBench, NasConfig};
+
+const TAG_FACES: u32 = 40;
+const TAG_XSOLVE: u32 = 41;
+const TAG_YSOLVE: u32 = 42;
+
+pub fn program(cfg: NasConfig) -> AppSpec {
+    program_grid(cfg, NasBench::SP, 24, TAG_FACES, TAG_XSOLVE, TAG_YSOLVE)
+}

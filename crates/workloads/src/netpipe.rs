@@ -1,0 +1,110 @@
+//! NetPIPE-style ping-pong micro-benchmark (Snell et al., 1996).
+//!
+//! The paper's Figure 6 uses NetPIPE: a two-rank ping-pong sweeping
+//! message sizes, reporting half round-trip latency and throughput. The
+//! measurement runs *inside* the program with `Mpi::time()`, exactly like
+//! NetPIPE calls `MPI_Wtime`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+
+const TAG: u32 = 7;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct NetpipePoint {
+    pub bytes: u64,
+    /// Half round-trip time, microseconds (NetPIPE's "latency").
+    pub latency_us: f64,
+    /// Throughput in Mbit/s.
+    pub mbps: f64,
+}
+
+/// Results shared out of the program.
+pub type NetpipeResults = Rc<RefCell<Vec<NetpipePoint>>>;
+
+/// Power-of-two sweep 1 B … `max_bytes`.
+pub fn sizes(max_bytes: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 1u64;
+    while s <= max_bytes {
+        v.push(s);
+        s <<= 1;
+    }
+    v
+}
+
+/// Repetitions per size: enough for a stable mean, scaled down for the
+/// multi-megabyte points (NetPIPE adapts the same way).
+pub fn reps_for(bytes: u64, scale: f64) -> u32 {
+    let base = (2_000_000.0 / (bytes as f64 + 1_000.0)).clamp(3.0, 400.0);
+    (base * scale).ceil().max(3.0) as u32
+}
+
+/// Builds the two-rank ping-pong program; results land in the returned
+/// collector once rank 0 finishes.
+pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
+    let results: NetpipeResults = Rc::new(RefCell::new(Vec::new()));
+    let out = results.clone();
+    let spec = app(move |mpi| {
+        let out = out.clone();
+        async move {
+            assert_eq!(mpi.size(), 2, "NetPIPE is a two-rank benchmark");
+            let me = mpi.rank();
+            let peer = 1 - me;
+            for bytes in sizes(max_bytes) {
+                let reps = reps_for(bytes, rep_scale);
+                // One warm-up round, unmeasured.
+                if me == 0 {
+                    mpi.send(peer, TAG, Payload::synthetic(bytes)).await;
+                    mpi.recv(RecvSelector::of(peer, TAG)).await;
+                } else {
+                    mpi.recv(RecvSelector::of(peer, TAG)).await;
+                    mpi.send(peer, TAG, Payload::synthetic(bytes)).await;
+                }
+                let t0 = mpi.time();
+                for _ in 0..reps {
+                    if me == 0 {
+                        mpi.send(peer, TAG, Payload::synthetic(bytes)).await;
+                        mpi.recv(RecvSelector::of(peer, TAG)).await;
+                    } else {
+                        mpi.recv(RecvSelector::of(peer, TAG)).await;
+                        mpi.send(peer, TAG, Payload::synthetic(bytes)).await;
+                    }
+                }
+                if me == 0 {
+                    let dt = mpi.time().saturating_since(t0);
+                    let half_rtt_us = dt.as_micros_f64() / (2.0 * reps as f64);
+                    let mbps = (bytes as f64 * 8.0) / half_rtt_us; // b/us == Mbit/s
+                    out.borrow_mut().push(NetpipePoint {
+                        bytes,
+                        latency_us: half_rtt_us,
+                        mbps,
+                    });
+                }
+            }
+        }
+    });
+    (spec, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(sizes(8), vec![1, 2, 4, 8]);
+        assert_eq!(sizes(1), vec![1]);
+        assert_eq!(sizes(8 << 20).len(), 24);
+    }
+
+    #[test]
+    fn reps_scale_down_with_size() {
+        assert!(reps_for(1, 1.0) > reps_for(1 << 20, 1.0));
+        assert!(reps_for(8 << 20, 1.0) >= 3);
+        assert!(reps_for(1, 0.01) >= 3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Convenience runners tying workloads to protocol suites.
+
+use std::rc::Rc;
+
+use vlog_sim::SimDuration;
+use vlog_vmpi::{run_cluster, ClusterConfig, FaultPlan, RunReport, Suite};
+
+use crate::nas::NasConfig;
+
+/// Result of one NAS run: the cluster report plus flop accounting.
+pub struct NasRun {
+    pub report: RunReport,
+    pub total_flops: f64,
+}
+
+impl NasRun {
+    /// Total Mflop/s (Megaflops) of the run — the Figure 9 metric.
+    pub fn mflops(&self) -> f64 {
+        self.total_flops / self.report.makespan.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs a NAS benchmark under a protocol suite.
+pub fn run_nas(
+    nas: &NasConfig,
+    cluster: &ClusterConfig,
+    suite: Rc<dyn Suite>,
+    faults: &FaultPlan,
+) -> NasRun {
+    assert_eq!(cluster.ranks, nas.np, "rank count mismatch");
+    let report = run_cluster(cluster, suite, nas.program(), faults);
+    NasRun {
+        report,
+        total_flops: nas.total_flops(),
+    }
+}
+
+/// Fault plan helpers on top of [`FaultPlan`].
+pub mod faults {
+    use super::*;
+
+    /// Kill rank 0 halfway through an estimated makespan.
+    pub fn kill_rank0_at(half_of: SimDuration) -> FaultPlan {
+        FaultPlan::kill_at(half_of.mul_f64(0.5), 0)
+    }
+
+    /// Periodic faults at `per_minute` faults per virtual minute, cycling
+    /// over `n` ranks, until `until`.
+    pub fn periodic_per_minute(per_minute: f64, n: usize, until: SimDuration) -> FaultPlan {
+        if per_minute <= 0.0 {
+            return FaultPlan::none();
+        }
+        let period = SimDuration::from_secs_f64(60.0 / per_minute);
+        FaultPlan::periodic(period, period, n, until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_fault_plan_spacing() {
+        let plan =
+            faults::periodic_per_minute(2.0, 4, SimDuration::from_secs(120));
+        assert_eq!(plan.faults.len(), 3); // t = 30s, 60s, 90s
+        assert_eq!(plan.faults[0].0.as_secs_f64(), 30.0);
+        assert_eq!(plan.faults[0].1, 0);
+        assert_eq!(plan.faults[1].1, 1);
+        let none = faults::periodic_per_minute(0.0, 4, SimDuration::from_secs(60));
+        assert!(none.faults.is_empty());
+    }
+}

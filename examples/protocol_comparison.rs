@@ -1,0 +1,77 @@
+//! Compare every fault-tolerance protocol on one workload: fault-free
+//! overhead, piggyback volume and behaviour under a crash.
+//!
+//! ```sh
+//! cargo run --release -p vlog-bench --example protocol_comparison
+//! ```
+
+use std::rc::Rc;
+
+use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{ClusterConfig, FaultPlan, Suite, VdummySuite};
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+fn main() {
+    let np = 4;
+    let nas = NasConfig::new(NasBench::CG, Class::A, np).fraction(0.5);
+    let ckpt = SimDuration::from_millis(400);
+
+    let suites: Vec<(Rc<dyn Suite>, bool)> = vec![
+        (Rc::new(VdummySuite), false),
+        (
+            Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
+            true,
+        ),
+        (
+            Rc::new(CausalSuite::new(Technique::Manetho, true).with_checkpoints(ckpt)),
+            true,
+        ),
+        (
+            Rc::new(CausalSuite::new(Technique::LogOn, true).with_checkpoints(ckpt)),
+            true,
+        ),
+        (
+            Rc::new(CausalSuite::new(Technique::Manetho, false).with_checkpoints(ckpt)),
+            true,
+        ),
+        (
+            Rc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
+            true,
+        ),
+        (Rc::new(CoordinatedSuite::new(ckpt)), true),
+    ];
+
+    println!(
+        "{:<32} {:>12} {:>10} {:>12} {:>12}",
+        "protocol", "fault-free", "pb %", "with fault", "recoveries"
+    );
+    for (suite, fault_tolerant) in suites {
+        let mut cfg = ClusterConfig::new(np);
+        cfg.detect_delay = SimDuration::from_millis(20);
+        let clean = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::none());
+        assert!(clean.report.completed);
+        let (faulted_time, recoveries) = if fault_tolerant {
+            let kill = clean.report.makespan.mul_f64(0.5);
+            let run = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::kill_at(kill, 0));
+            assert!(run.report.completed, "{}: faulted run failed", run.report.suite);
+            let rec: usize = run
+                .report
+                .rank_stats
+                .iter()
+                .map(|s| s.recovery_total.len())
+                .sum();
+            (format!("{}", run.report.makespan), rec.to_string())
+        } else {
+            ("n/a (no FT)".into(), "-".into())
+        };
+        println!(
+            "{:<32} {:>12} {:>9.2}% {:>12} {:>12}",
+            clean.report.suite,
+            format!("{}", clean.report.makespan),
+            clean.report.piggyback_percent(),
+            faulted_time,
+            recoveries,
+        );
+    }
+}

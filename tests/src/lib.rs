@@ -1,0 +1,2 @@
+//! Workspace-level integration and property tests live in this package's
+//! `tests/` directory; the library itself is intentionally empty.

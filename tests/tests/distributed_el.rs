@@ -1,0 +1,119 @@
+//! Integration tests of the distributed Event Logger (the paper's
+//! future-work design implemented in `vlog-core::el_multi`).
+
+use std::rc::Rc;
+
+use vlog_core::{CausalSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{app, run_cluster, ClusterConfig, FaultPlan, Payload, RecvSelector};
+use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+
+fn ring(iters: u64) -> vlog_vmpi::AppSpec {
+    app(move |mpi| async move {
+        let n = mpi.size();
+        let me = mpi.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let start = match mpi.restored() {
+            Some(b) => u64::from_le_bytes(b[..8].try_into().unwrap()),
+            None => 0,
+        };
+        for it in start..iters {
+            mpi.checkpoint_point(Payload::new(it.to_le_bytes().to_vec()))
+                .await;
+            let m = mpi
+                .sendrecv(
+                    right,
+                    0,
+                    Payload::new(vec![me as u8, (it & 0xff) as u8]),
+                    RecvSelector::of(left, 0),
+                )
+                .await;
+            assert_eq!(m.payload.data[0], left as u8);
+            assert_eq!(m.payload.data[1], (it & 0xff) as u8);
+        }
+    })
+}
+
+#[test]
+fn sharded_el_runs_and_gossips() {
+    let suite = Rc::new(
+        CausalSuite::new(Technique::Vcausal, true)
+            .with_distributed_el(3, SimDuration::from_millis(5)),
+    );
+    let report = run_cluster(&ClusterConfig::new(6), suite, ring(100), &FaultPlan::none());
+    assert!(report.completed);
+    assert!(report.stats.get("el_records") > 0);
+    assert!(
+        report.stats.get("el_gossip_msgs") > 0,
+        "shards never gossiped"
+    );
+}
+
+#[test]
+fn gossip_enables_global_garbage_collection() {
+    // With gossip, events of ranks served by *other* shards become
+    // stable everywhere, so piggyback volume stays bounded — close to
+    // the single-EL level and far below no-EL.
+    let run = |suite: Rc<dyn vlog_vmpi::Suite>| {
+        let report = run_cluster(&ClusterConfig::new(6), suite, ring(150), &FaultPlan::none());
+        assert!(report.completed);
+        report.stats.bytes.piggyback
+    };
+    let single = run(Rc::new(CausalSuite::new(Technique::Vcausal, true)));
+    let sharded = run(Rc::new(
+        CausalSuite::new(Technique::Vcausal, true)
+            .with_distributed_el(3, SimDuration::from_millis(2)),
+    ));
+    let none = run(Rc::new(CausalSuite::new(Technique::Vcausal, false)));
+    assert!(
+        sharded < none / 2,
+        "sharded EL ({sharded}) should collect far better than no EL ({none})"
+    );
+    assert!(
+        sharded < single * 4,
+        "sharded EL ({sharded}) should stay near single-EL volume ({single})"
+    );
+}
+
+#[test]
+fn recovery_works_with_sharded_el() {
+    let suite = Rc::new(
+        CausalSuite::new(Technique::Manetho, true)
+            .with_distributed_el(2, SimDuration::from_millis(5))
+            .with_checkpoints(SimDuration::from_millis(5)),
+    );
+    let mut cfg = ClusterConfig::new(4);
+    cfg.detect_delay = SimDuration::from_millis(10);
+    cfg.event_limit = Some(50_000_000);
+    let faults = FaultPlan::kill_at(SimDuration::from_millis(12), 1);
+    let report = run_cluster(&cfg, suite, ring(100), &faults);
+    assert!(report.completed, "sharded-EL recovery failed");
+    assert_eq!(report.rank_stats[1].recovery_total.len(), 1);
+}
+
+#[test]
+fn sharding_relieves_the_lu_event_logger_bottleneck() {
+    // LU at 16 ranks is the paper's EL-saturation case; with shards the
+    // ack round trip shortens and fewer events ride along.
+    let run = |k: usize| {
+        let mut suite = CausalSuite::new(Technique::Vcausal, true);
+        if k > 1 {
+            suite = suite.with_distributed_el(k, SimDuration::from_millis(2));
+        }
+        let nas = NasConfig::new(NasBench::LU, Class::A, 16).fraction(0.012);
+        let mut cfg = ClusterConfig::new(16);
+        cfg.event_limit = Some(200_000_000);
+        let run = run_nas(&nas, &cfg, Rc::new(suite), &FaultPlan::none());
+        assert!(run.report.completed);
+        run.report.stats.bytes.piggyback
+    };
+    let one = run(1);
+    let four = run(4);
+    // Four shards must not be dramatically worse than one; the win is
+    // workload-dependent but the mechanism must at least keep up.
+    assert!(
+        four <= one * 2,
+        "4 shards piggyback {four} vs single {one}: sharding made things much worse"
+    );
+}

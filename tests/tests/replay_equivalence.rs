@@ -1,0 +1,170 @@
+//! The strongest end-to-end property: for randomly generated programs and
+//! randomly placed single faults, the recovered execution delivers to
+//! every application **exactly the same message trace** as the fault-free
+//! execution — piecewise-deterministic replay, verified through the full
+//! stack (daemons, Event Logger, checkpoint server, dispatcher).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use vlog_core::{CausalSuite, PessimisticSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, Suite};
+
+const N: usize = 3;
+
+/// Per-rank observed trace: (iteration, src, first payload byte).
+type Trace = Rc<RefCell<Vec<(usize, u64, usize, u8)>>>;
+
+/// A ring-with-occasional-broadcast program parameterized by a seed.
+/// Content is a deterministic function of (rank, iteration), so traces
+/// are comparable across runs.
+fn program(iters: u64, seed: u8, trace: Trace) -> AppSpec {
+    app(move |mpi| {
+        let trace = trace.clone();
+        async move {
+            let me = mpi.rank();
+            let n = mpi.size();
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            let start = match mpi.restored() {
+                Some(b) => u64::from_le_bytes(b[..8].try_into().unwrap()),
+                None => 0,
+            };
+            for it in start..iters {
+                mpi.checkpoint_point(Payload::new(it.to_le_bytes().to_vec()))
+                    .await;
+                let byte = seed
+                    .wrapping_mul(31)
+                    .wrapping_add(me as u8)
+                    .wrapping_add((it & 0xff) as u8);
+                let m = mpi
+                    .sendrecv(
+                        right,
+                        0,
+                        Payload::new(vec![byte, me as u8]),
+                        RecvSelector::of(left, 0),
+                    )
+                    .await;
+                trace
+                    .borrow_mut()
+                    .push((me, it, m.src, m.payload.data[0]));
+                // Every 5th iteration, a small broadcast from the seed-th
+                // rank exercises the collective path.
+                if it % 5 == 0 {
+                    let root = (seed as usize) % n;
+                    let data = if me == root {
+                        Some(bytes::Bytes::from(vec![(it & 0xff) as u8]))
+                    } else {
+                        None
+                    };
+                    let got = mpi.bcast_bytes(root, data).await;
+                    trace.borrow_mut().push((me, it, root + 100, got[0]));
+                }
+            }
+        }
+    })
+}
+
+fn run_once(
+    suite: Rc<dyn Suite>,
+    iters: u64,
+    seed: u8,
+    fault_ms: Option<(u64, usize)>,
+) -> Vec<(usize, u64, usize, u8)> {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let prog = program(iters, seed, trace.clone());
+    let mut cfg = ClusterConfig::new(N);
+    cfg.detect_delay = SimDuration::from_millis(8);
+    cfg.event_limit = Some(50_000_000);
+    let faults = match fault_ms {
+        Some((ms, rank)) => FaultPlan::kill_at(SimDuration::from_millis(ms), rank),
+        None => FaultPlan::none(),
+    };
+    let report = run_cluster(&cfg, suite, prog, &faults);
+    assert!(report.completed, "run did not complete");
+    let mut t = trace.borrow().clone();
+    t.sort_unstable();
+    t.dedup(); // the victim re-observes its replayed prefix
+    t
+}
+
+fn check_equivalence(mk: impl Fn() -> Rc<dyn Suite>, iters: u64, seed: u8, at: u64, victim: usize) {
+    let clean = run_once(mk(), iters, seed, None);
+    let faulted = run_once(mk(), iters, seed, Some((at, victim)));
+    assert_eq!(
+        clean, faulted,
+        "trace diverged after recovery (seed {seed}, fault at {at}ms on rank {victim})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn causal_replay_is_trace_equivalent(
+        seed in 0u8..255,
+        at in 3u64..25,
+        victim in 0usize..N,
+        technique_idx in 0usize..3,
+        el in any::<bool>(),
+    ) {
+        let technique = [Technique::Vcausal, Technique::Manetho, Technique::LogOn][technique_idx];
+        check_equivalence(
+            || {
+                Rc::new(
+                    CausalSuite::new(technique, el)
+                        .with_checkpoints(SimDuration::from_millis(6)),
+                )
+            },
+            40,
+            seed,
+            at,
+            victim,
+        );
+    }
+
+    #[test]
+    fn pessimistic_replay_is_trace_equivalent(
+        seed in 0u8..255,
+        at in 3u64..25,
+        victim in 0usize..N,
+    ) {
+        check_equivalence(
+            || Rc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
+            30,
+            seed,
+            at,
+            victim,
+        );
+    }
+}
+
+#[test]
+fn double_fault_on_different_ranks_is_trace_equivalent() {
+    let mk = || -> Rc<dyn Suite> {
+        Rc::new(
+            CausalSuite::new(Technique::Manetho, true)
+                .with_checkpoints(SimDuration::from_millis(6)),
+        )
+    };
+    let clean = run_once(mk(), 60, 7, None);
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let prog = program(60, 7, trace.clone());
+    let mut cfg = ClusterConfig::new(N);
+    cfg.detect_delay = SimDuration::from_millis(8);
+    cfg.event_limit = Some(50_000_000);
+    let faults = FaultPlan {
+        faults: vec![
+            (SimDuration::from_millis(6), 0),
+            (SimDuration::from_millis(30), 2),
+        ],
+    };
+    let report = run_cluster(&cfg, mk(), prog, &faults);
+    assert!(report.completed);
+    let mut t = trace.borrow().clone();
+    t.sort_unstable();
+    t.dedup();
+    assert_eq!(clean, t, "double-fault trace diverged");
+}
