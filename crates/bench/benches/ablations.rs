@@ -62,7 +62,13 @@ fn main() {
         "LU class A (high event rate): sharing the stable node costs piggyback growth",
     );
     let frac = scale.fraction(0.03);
-    let mut t1 = Table::new(&["np", "dedicated: pb%", "shared: pb%", "dedicated: Mflops", "shared: Mflops"]);
+    let mut t1 = Table::new(&[
+        "np",
+        "dedicated: pb%",
+        "shared: pb%",
+        "dedicated: Mflops",
+        "shared: Mflops",
+    ]);
     for np in [4usize, 8, 16] {
         let nas = NasConfig::new(NasBench::LU, Class::A, np).fraction(frac);
         let mut cfg = ClusterConfig::new(np);

@@ -38,9 +38,8 @@ fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> 
     // One to two checkpoints before the kill; the victim dies mid-run
     // ("process of rank zero is killed at the middle of its correct
     // execution time", §V-E).
-    let suite: Rc<dyn Suite> = Rc::new(
-        CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)),
-    );
+    let suite: Rc<dyn Suite> =
+        Rc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
     let kill = t_app.mul_f64(0.55);
     let run = run_nas(&nas, &cfg, suite, &FaultPlan::kill_at(kill, 0));
     assert!(

@@ -24,9 +24,7 @@ fn suite(kind: &str, ckpt: SimDuration) -> Rc<dyn Suite> {
     match kind {
         "coordinated" => Rc::new(CoordinatedSuite::new(ckpt)),
         "pessimistic" => Rc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
-        "causal" => {
-            Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt))
-        }
+        "causal" => Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
         _ => unreachable!(),
     }
 }

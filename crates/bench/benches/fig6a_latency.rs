@@ -94,7 +94,13 @@ fn main() {
         "Fig 6(a) companion — piggyback census of the 1-byte ping-pong",
         "events/msg stays at ~1 for both; no-EL pays growing-store costs instead",
     );
-    let mut t2 = Table::new(&["stack", "app msgs", "events piggybacked", "empty pb", "retained growth"]);
+    let mut t2 = Table::new(&[
+        "stack",
+        "app msgs",
+        "events piggybacked",
+        "empty pb",
+        "retained growth",
+    ]);
     for el in [true, false] {
         let stack = Stack::Causal {
             technique: Technique::Vcausal,

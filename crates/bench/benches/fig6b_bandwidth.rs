@@ -86,5 +86,8 @@ fn main() {
         log_x: true,
         ..vlog_bench::AsciiChart::default()
     }
-    .render("Figure 6(b) — Mbit/s vs message size (log2 x-axis)", &series);
+    .render(
+        "Figure 6(b) — Mbit/s vs message size (log2 x-axis)",
+        &series,
+    );
 }

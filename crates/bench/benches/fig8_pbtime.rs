@@ -42,9 +42,7 @@ fn main() {
                 "Figure 8(a) — piggyback management time (s), {} class A",
                 bench.label()
             ),
-            &format!(
-                "cumulative over ranks, 'send+recv (send/recv)'; iteration fraction {frac}"
-            ),
+            &format!("cumulative over ranks, 'send+recv (send/recv)'; iteration fraction {frac}"),
         );
         let mut ta = Table::new(&[
             "np",

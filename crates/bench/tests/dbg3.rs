@@ -14,7 +14,14 @@ fn dbg() {
             let mut state = Payload::new(it.to_le_bytes().to_vec());
             state.pad = 6 << 20;
             mpi.checkpoint_point(state).await;
-            let m = mpi.sendrecv(right, 0, Payload::new(vec![(it & 0xff) as u8]), RecvSelector::of(left, 0)).await;
+            let m = mpi
+                .sendrecv(
+                    right,
+                    0,
+                    Payload::new(vec![(it & 0xff) as u8]),
+                    RecvSelector::of(left, 0),
+                )
+                .await;
             if m.payload.data[0] != (it & 0xff) as u8 {
                 eprintln!("MISMATCH rank {me} it {it} got {}", m.payload.data[0]);
             }
@@ -24,7 +31,9 @@ fn dbg() {
     let mut cfg = ClusterConfig::new(3);
     cfg.event_limit = Some(10_000_000);
     cfg.time_limit = Some(SimDuration::from_secs(60));
-    let suite = Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)));
+    let suite = Rc::new(
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)),
+    );
     let report = run_cluster(&cfg, suite, prog, &FaultPlan::none());
     eprintln!("completed={}", report.completed);
 }

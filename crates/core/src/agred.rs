@@ -69,9 +69,9 @@ impl GraphRed {
         let floor: Vec<RClock> = (0..self.n)
             .map(|c| self.known[dst][c].max(self.graph.stable(c)))
             .collect();
-        let (mut bound, visits) =
-            self.graph
-                .causal_past_from(&[(dst, self.graph.head(dst))], &floor);
+        let (mut bound, visits) = self
+            .graph
+            .causal_past_from(&[(dst, self.graph.head(dst))], &floor);
         bound[dst] = RClock::MAX;
         (bound, visits)
     }
@@ -175,10 +175,7 @@ impl Reduction for GraphRed {
             Technique::Manetho => dets.len() as u64,
             _ => 0,
         };
-        Work {
-            visits,
-            inserts,
-        }
+        Work { visits, inserts }
     }
 
     fn absorb(&mut self, dets: &[Determinant]) {
@@ -262,8 +259,7 @@ mod tests {
     /// with P2, yet the antecedence-graph methods know P2 holds a–e and
     /// piggyback only f–j, while Vcausal piggybacks all ten events.
     fn figure3(kind: Technique) -> (Vec<Determinant>, usize) {
-        let mut reds: Vec<Box<dyn Reduction>> =
-            (0..4).map(|_| make_reduction(kind, 4)).collect();
+        let mut reds: Vec<Box<dyn Reduction>> = (0..4).map(|_| make_reduction(kind, 4)).collect();
         let mut clocks = vec![0; 4];
         exchange(&mut reds, &mut clocks, 1, 0); // a = (P0, 1)
         exchange(&mut reds, &mut clocks, 0, 1); // b = (P1, 1), cause a
@@ -275,6 +271,7 @@ mod tests {
         exchange(&mut reds, &mut clocks, 0, 3); // h = (P3, 2), cause a
         exchange(&mut reds, &mut clocks, 1, 3); // i = (P3, 3), cause f
         exchange(&mut reds, &mut clocks, 0, 3); // j = (P3, 4), cause a
+
         // The dotted message: P3 -> P2.
         let (pb, _) = reds[3].build(2, clocks[3]);
         (pb, reds[3].retained_count())
@@ -288,9 +285,10 @@ mod tests {
         // in the past of P2's last event e.
         assert_eq!(pb.len(), 5, "piggyback should be f..j, got {pb:?}");
         assert!(pb.iter().all(|d| d.receiver != 2));
-        assert!(pb
-            .iter()
-            .any(|d| d.receiver == 1 && d.clock == 2), "f missing");
+        assert!(
+            pb.iter().any(|d| d.receiver == 1 && d.clock == 2),
+            "f missing"
+        );
         assert_eq!(pb.iter().filter(|d| d.receiver == 3).count(), 4);
     }
 
@@ -302,8 +300,11 @@ mod tests {
         // element. Program order per creator is the observable proxy:
         // clocks per creator must be ascending.
         for c in 0..4 {
-            let clocks: Vec<RClock> =
-                pb.iter().filter(|d| d.receiver == c).map(|d| d.clock).collect();
+            let clocks: Vec<RClock> = pb
+                .iter()
+                .filter(|d| d.receiver == c)
+                .map(|d| d.clock)
+                .collect();
             let mut sorted = clocks.clone();
             sorted.sort_unstable();
             assert_eq!(clocks, sorted, "creator {c} out of order");
@@ -311,13 +312,17 @@ mod tests {
         // f = (P1,2) is in the past of g = (P3,1), so f must come first.
         let pos_f = pb.iter().position(|d| d.receiver == 1 && d.clock == 2);
         let pos_g = pb.iter().position(|d| d.receiver == 3 && d.clock == 1);
-        assert!(pos_f.unwrap() < pos_g.unwrap(), "ancestor emitted after descendant");
+        assert!(
+            pos_f.unwrap() < pos_g.unwrap(),
+            "ancestor emitted after descendant"
+        );
     }
 
     #[test]
     fn figure3_vcausal_sends_everything() {
-        let mut reds: Vec<Box<dyn Reduction>> =
-            (0..4).map(|_| make_reduction(Technique::Vcausal, 4)).collect();
+        let mut reds: Vec<Box<dyn Reduction>> = (0..4)
+            .map(|_| make_reduction(Technique::Vcausal, 4))
+            .collect();
         let mut clocks = vec![0; 4];
         for (from, to) in [
             (1, 0),
@@ -417,8 +422,9 @@ mod tests {
     fn incremental_traversal_is_cheap_on_warm_channels() {
         // Repeated sends on the same channel must not re-walk the whole
         // graph (Manetho's per-peer bookkeeping).
-        let mut reds: Vec<Box<dyn Reduction>> =
-            (0..2).map(|_| make_reduction(Technique::Manetho, 2)).collect();
+        let mut reds: Vec<Box<dyn Reduction>> = (0..2)
+            .map(|_| make_reduction(Technique::Manetho, 2))
+            .collect();
         let mut clocks = vec![0; 2];
         for _ in 0..50 {
             exchange(&mut reds, &mut clocks, 0, 1);

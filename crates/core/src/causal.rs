@@ -24,8 +24,8 @@ use std::rc::Rc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd,
-    SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd, SendGate,
+    SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::costs::CausalCosts;
@@ -195,12 +195,8 @@ impl CausalProtocol {
     fn build_cost(&self, emitted: usize, visits: u64) -> SimDuration {
         let c = &self.costs;
         let ns = match self.technique {
-            Technique::Vcausal => {
-                c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits
-            }
-            Technique::Manetho => {
-                c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits
-            }
+            Technique::Vcausal => c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits,
+            Technique::Manetho => c.serialize_event_ns * emitted as u64 + c.graph_visit_ns * visits,
             Technique::LogOn => {
                 (c.serialize_event_ns + c.logon_reorder_ns) * emitted as u64
                     + c.graph_visit_ns * visits
@@ -373,9 +369,8 @@ impl CausalProtocol {
                 // store is small — that is the entire point of the paper).
                 let dets = self.red.retained();
                 let bytes = 8 + (Determinant::BODY_BYTES + 2) * dets.len() as u64;
-                let cost = SimDuration::from_nanos(
-                    self.costs.serialize_event_ns * dets.len() as u64,
-                );
+                let cost =
+                    SimDuration::from_nanos(self.costs.serialize_event_ns * dets.len() as u64);
                 ctx.sim.charge_cpu(ctx.core.node(), cost);
                 ctx.core.control_to_rank(
                     ctx.sim,
@@ -565,7 +560,8 @@ impl VProtocol for CausalProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_RECLAIM && self.rec.as_ref().is_some_and(|r| r.collecting) {
             self.send_reclaims(ctx);
-            ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+            ctx.core
+                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
         }
     }
 
@@ -652,7 +648,8 @@ impl VProtocol for CausalProtocol {
             return;
         }
         self.send_reclaims(ctx);
-        ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        ctx.core
+            .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
         if self.n == 1 {
             self.maybe_finish_collection(ctx);
         }

@@ -89,7 +89,6 @@ impl EventLogger {
     pub fn install(sim: &mut Sim, node: NodeId, n: usize) -> ActorId {
         sim.add_actor(node, Box::new(EventLogger::new(node, n)))
     }
-
 }
 
 impl Actor for EventLogger {
@@ -125,7 +124,13 @@ impl Actor for EventLogger {
                         let body = Box::new(DaemonMsg::Proto(Box::new(ElReply::Ack { stable })));
                         let size = WireSize::control(el_ack_bytes(n));
                         if sim.actor_node(reply_to) == node {
-                            sim.local_send(node, reply_to, size, body, SimDuration::from_micros(15));
+                            sim.local_send(
+                                node,
+                                reply_to,
+                                size,
+                                body,
+                                SimDuration::from_micros(15),
+                            );
                         } else {
                             sim.net_send(node, reply_to, size, body);
                         }
@@ -142,9 +147,8 @@ impl Actor for EventLogger {
                     .filter(|d| d.clock > from)
                     .copied()
                     .collect();
-                let cost = SimDuration::from_nanos(
-                    EL_SERVICE_NS + EL_RESP_NS_PER_DET * dets.len() as u64,
-                );
+                let cost =
+                    SimDuration::from_nanos(EL_SERVICE_NS + EL_RESP_NS_PER_DET * dets.len() as u64);
                 let end = sim.charge_cpu(self.node, cost);
                 let bytes = el_resp_bytes(dets.len(), self.n);
                 let stable = self.stable.clone();

@@ -53,7 +53,14 @@ pub struct ElShard {
 }
 
 impl ElShard {
-    fn send_to(&self, sim: &mut Sim, to: ActorId, to_node: NodeId, bytes: u64, body: Box<dyn std::any::Any>) {
+    fn send_to(
+        &self,
+        sim: &mut Sim,
+        to: ActorId,
+        to_node: NodeId,
+        bytes: u64,
+        body: Box<dyn std::any::Any>,
+    ) {
         let size = WireSize::control(bytes);
         if to_node == self.node {
             sim.local_send(self.node, to, size, body, SimDuration::from_micros(15));
@@ -96,23 +103,20 @@ impl Actor for ElShard {
                         if seq.last().is_none_or(|last| last.clock < det.clock) {
                             seq.push(det);
                             self.local_stable[from] = det.clock;
-                            self.merged_stable[from] =
-                                self.merged_stable[from].max(det.clock);
+                            self.merged_stable[from] = self.merged_stable[from].max(det.clock);
                             sim.stats_mut().bump("el_records");
                         } else {
                             sim.stats_mut().bump("el_duplicate_records");
                         }
-                        let end =
-                            sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
+                        let end = sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
                         let stable = self.merged_stable.clone();
                         let node = self.node;
                         let bytes = el_ack_bytes(self.n);
                         sim.schedule_at(
                             end,
                             vlog_sim::Event::closure(move |sim| {
-                                let body = Box::new(DaemonMsg::Proto(Box::new(ElReply::Ack {
-                                    stable,
-                                })));
+                                let body =
+                                    Box::new(DaemonMsg::Proto(Box::new(ElReply::Ack { stable })));
                                 let size = WireSize::control(bytes);
                                 if sim.actor_node(reply_to) == node {
                                     sim.local_send(
@@ -149,12 +153,12 @@ impl Actor for ElShard {
                         sim.schedule_at(
                             end,
                             vlog_sim::Event::closure(move |sim| {
-                                let body = Box::new(DaemonMsg::Proto(Box::new(
-                                    ElReply::QueryResp { dets, stable },
-                                )));
-                                vlog_vmpi::daemon::stream_control(
-                                    sim, node, reply_to, bytes, body,
-                                );
+                                let body =
+                                    Box::new(DaemonMsg::Proto(Box::new(ElReply::QueryResp {
+                                        dets,
+                                        stable,
+                                    })));
+                                vlog_vmpi::daemon::stream_control(sim, node, reply_to, bytes, body);
                             }),
                         );
                     }
@@ -192,7 +196,11 @@ pub fn install_distributed_el(
     let peers: Rc<RefCell<Vec<(ActorId, NodeId)>>> = Rc::new(RefCell::new(Vec::new()));
     let mut els = Vec::with_capacity(k);
     for index in 0..k {
-        let node = if index == 0 { first_node } else { sim.add_node() };
+        let node = if index == 0 {
+            first_node
+        } else {
+            sim.add_node()
+        };
         let shard = ElShard {
             index,
             node,

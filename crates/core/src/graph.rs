@@ -86,7 +86,10 @@ impl AGraph {
 
     /// All retained determinants, ordered by (creator, clock).
     pub fn retained(&self) -> Vec<Determinant> {
-        self.verts.iter().flat_map(|m| m.values().copied()).collect()
+        self.verts
+            .iter()
+            .flat_map(|m| m.values().copied())
+            .collect()
     }
 
     /// Computes the causal past of `roots` as per-creator prefixes:
@@ -104,7 +107,11 @@ impl AGraph {
     /// Manetho's incremental border computation passes its per-channel
     /// sent-cache here, so repeated sends to the same peer only traverse
     /// the events that are new since the previous send.
-    pub fn causal_past_from(&self, roots: &[(Rank, RClock)], floor: &[RClock]) -> (Vec<RClock>, u64) {
+    pub fn causal_past_from(
+        &self,
+        roots: &[(Rank, RClock)],
+        floor: &[RClock],
+    ) -> (Vec<RClock>, u64) {
         let mut past = floor.to_vec();
         let mut visits = 0u64;
         let mut stack: Vec<(Rank, RClock)> = roots.to_vec();

@@ -16,8 +16,8 @@ use std::rc::Rc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd,
-    SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd, SendGate,
+    SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::causal::CausalCtl;
@@ -376,7 +376,8 @@ impl VProtocol for PessimisticProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_RECLAIM && self.rec.as_ref().is_some_and(|r| r.collecting) {
             self.send_recovery_requests(ctx);
-            ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+            ctx.core
+                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
         }
     }
 
@@ -396,8 +397,7 @@ impl VProtocol for PessimisticProtocol {
             rclock: self.rclock,
             stable_own: self.stable_own,
         };
-        let bytes =
-            blob.slog.payload_bytes() + 16 * blob.slog.len() as u64 + 16;
+        let bytes = blob.slog.payload_bytes() + 16 * blob.slog.len() as u64 + 16;
         ProtoBlob {
             body: Some(Rc::new(blob)),
             bytes,
@@ -449,6 +449,7 @@ impl VProtocol for PessimisticProtocol {
             max_clock: 0,
         });
         self.send_recovery_requests(ctx);
-        ctx.core.set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        ctx.core
+            .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
     }
 }

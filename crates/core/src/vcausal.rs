@@ -120,8 +120,7 @@ impl Reduction for VcausalRed {
         for c in 0..self.n {
             if stable[c] > self.stable[c] {
                 self.stable[c] = stable[c];
-                while self
-                    .seqs[c]
+                while self.seqs[c]
                     .front()
                     .is_some_and(|d| d.clock <= self.stable[c])
                 {

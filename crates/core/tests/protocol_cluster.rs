@@ -110,8 +110,7 @@ fn event_logger_shrinks_piggyback_volume() {
 #[test]
 fn scheduled_checkpoints_are_taken_and_committed() {
     let suite = Rc::new(
-        CausalSuite::new(Technique::Vcausal, true)
-            .with_checkpoints(SimDuration::from_millis(5)),
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(5)),
     );
     let report = run_cluster(&cfg(3), suite, ring_program(120), &FaultPlan::none());
     assert!(report.completed);
@@ -147,8 +146,7 @@ fn causal_with_el_recovers_from_a_crash() {
 #[test]
 fn causal_without_el_recovers_from_peers() {
     let suite = Rc::new(
-        CausalSuite::new(Technique::Manetho, false)
-            .with_checkpoints(SimDuration::from_millis(4)),
+        CausalSuite::new(Technique::Manetho, false).with_checkpoints(SimDuration::from_millis(4)),
     );
     recovery_case(suite, 3, 80, 8);
 }

@@ -32,14 +32,18 @@ fn pessimistic_blocks_sends_until_events_are_stable() {
     // ping-pong latency must exceed the causal protocol's by roughly the
     // EL round trip on every hop.
     let run = |suite: Rc<dyn Suite>| {
-        let report = run_cluster(&ClusterConfig::new(2), suite, pingpong(100), &FaultPlan::none());
+        let report = run_cluster(
+            &ClusterConfig::new(2),
+            suite,
+            pingpong(100),
+            &FaultPlan::none(),
+        );
         assert!(report.completed);
         report.makespan
     };
     let causal = run(Rc::new(CausalSuite::new(Technique::Vcausal, true)));
     let pess = run(Rc::new(PessimisticSuite::new()));
-    let per_roundtrip_extra_us =
-        (pess.as_micros_f64() - causal.as_micros_f64()) / 100.0;
+    let per_roundtrip_extra_us = (pess.as_micros_f64() - causal.as_micros_f64()) / 100.0;
     assert!(
         per_roundtrip_extra_us > 50.0,
         "pessimistic must pay the EL wait on the critical path \
@@ -122,13 +126,8 @@ fn checkpoint_commit_prunes_peer_sender_logs() {
             for it in 0..60u64 {
                 mpi.checkpoint_point(Payload::new(it.to_le_bytes().to_vec()))
                     .await;
-                mpi.sendrecv(
-                    right,
-                    0,
-                    Payload::synthetic(100),
-                    RecvSelector::of(left, 0),
-                )
-                .await;
+                mpi.sendrecv(right, 0, Payload::synthetic(100), RecvSelector::of(left, 0))
+                    .await;
             }
         }),
         &FaultPlan::none(),
@@ -156,13 +155,8 @@ fn coordinated_snapshot_completes_with_in_flight_traffic() {
                 for offset in 1..n {
                     let dst = (me + offset) % n;
                     let src = (me + n - offset) % n;
-                    mpi.sendrecv(
-                        dst,
-                        7,
-                        Payload::synthetic(64),
-                        RecvSelector::of(src, 7),
-                    )
-                    .await;
+                    mpi.sendrecv(dst, 7, Payload::synthetic(64), RecvSelector::of(src, 7))
+                        .await;
                 }
             }
         }),
@@ -196,10 +190,18 @@ fn coordinated_survives_fault_landing_during_a_snapshot() {
                 mpi.checkpoint_point(Payload::new(it.to_le_bytes().to_vec()))
                     .await;
                 let m = mpi
-                    .sendrecv(right, 0, Payload::new(vec![(it & 0xff) as u8]),
-                        RecvSelector::of(left, 0))
+                    .sendrecv(
+                        right,
+                        0,
+                        Payload::new(vec![(it & 0xff) as u8]),
+                        RecvSelector::of(left, 0),
+                    )
                     .await;
-                assert_eq!(m.payload.data[0], (it & 0xff) as u8, "rollback broke lockstep");
+                assert_eq!(
+                    m.payload.data[0],
+                    (it & 0xff) as u8,
+                    "rollback broke lockstep"
+                );
             }
         }),
         &faults,

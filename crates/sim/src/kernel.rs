@@ -55,7 +55,11 @@ pub enum Event {
     /// Wakes an actor without carrying data (pipe readable, batch flush...).
     Poke { actor: ActorId, token: u64 },
     /// A timer set through [`Sim::set_timer`].
-    Timer { actor: ActorId, gen: u32, token: u64 },
+    Timer {
+        actor: ActorId,
+        gen: u32,
+        token: u64,
+    },
     /// A network (or loopback) message delivery.
     Deliver {
         actor: ActorId,
@@ -551,9 +555,8 @@ impl Sim {
                 self.with_actor(actor, Some(gen), |a, sim, me| a.on_timer(sim, me, token));
             }
             Event::Deliver { actor, gen, msg } => {
-                let matched = self.with_actor(actor, Some(gen), |a, sim, me| {
-                    a.on_deliver(sim, me, msg)
-                });
+                let matched =
+                    self.with_actor(actor, Some(gen), |a, sim, me| a.on_deliver(sim, me, msg));
                 if !matched {
                     self.stats.bump("net_dropped_dead_target");
                 }

@@ -61,7 +61,10 @@ impl Stats {
 
     /// Current value of a named duration accumulator.
     pub fn get_time(&self, key: &str) -> SimDuration {
-        self.durations.get(key).copied().unwrap_or(SimDuration::ZERO)
+        self.durations
+            .get(key)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// All named counters, sorted by key (deterministic iteration).

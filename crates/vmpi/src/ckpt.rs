@@ -97,9 +97,17 @@ pub enum CkptRequest {
 
 /// Replies from the checkpoint server.
 pub enum CkptReply {
-    StoreAck { rank: Rank, version: u64 },
-    FetchResp { rank: Rank, image: Option<Rc<Image>> },
-    CompleteResp { version: u64 },
+    StoreAck {
+        rank: Rank,
+        version: u64,
+    },
+    FetchResp {
+        rank: Rank,
+        image: Option<Rc<Image>>,
+    },
+    CompleteResp {
+        version: u64,
+    },
 }
 
 /// CPU cost per stored/served image byte on the server (disk + memcpy),
@@ -176,10 +184,7 @@ impl Actor for CkptServer {
                 sim.schedule_at(
                     end,
                     vlog_sim::Event::closure(move |sim| {
-                        let reply = CkptReply::StoreAck {
-                            rank,
-                            version,
-                        };
+                        let reply = CkptReply::StoreAck { rank, version };
                         let size = WireSize::control(16);
                         if sim.actor_node(reply_to_copy) == node {
                             sim.local_send(
@@ -233,10 +238,9 @@ impl Actor for CkptServer {
                             .unwrap_or_default();
                         v_candidates = Some(match v_candidates {
                             None => versions,
-                            Some(prev) => prev
-                                .into_iter()
-                                .filter(|v| versions.contains(v))
-                                .collect(),
+                            Some(prev) => {
+                                prev.into_iter().filter(|v| versions.contains(v)).collect()
+                            }
                         });
                     }
                     v_candidates
@@ -281,7 +285,9 @@ mod tests {
                 CkptReply::StoreAck { rank, version } => format!("ack {rank} v{version}"),
                 CkptReply::FetchResp { rank, ref image } => format!(
                     "fetch {rank} {}",
-                    image.as_ref().map_or("none".into(), |i| format!("v{}", i.version))
+                    image
+                        .as_ref()
+                        .map_or("none".into(), |i| format!("v{}", i.version))
                 ),
                 CkptReply::CompleteResp { version } => format!("complete v{version}"),
             };
@@ -409,7 +415,10 @@ mod tests {
             send_req(
                 sim,
                 server,
-                CkptRequest::QueryComplete { n: 2, reply_to: client },
+                CkptRequest::QueryComplete {
+                    n: 2,
+                    reply_to: client,
+                },
                 16,
             );
         });

@@ -11,16 +11,14 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use vlog_sim::{
-    EthernetParams, Event, Sim, SimConfig, SimDuration, SimTime, Stats,
-};
+use vlog_sim::{EthernetParams, Event, Sim, SimConfig, SimDuration, SimTime, Stats};
 
+use crate::ckpt::CkptServer;
 use crate::cost::StackProfile;
 use crate::daemon::{AppSpec, BootMode, Vdaemon, TOKEN_BOOT};
 use crate::dispatcher::{Dispatcher, DispatcherMsg, RelaunchFn};
 use crate::hooks::{RankStats, SharedRankStats, Suite, Topology};
 use crate::types::Rank;
-use crate::ckpt::CkptServer;
 
 /// Static description of one run.
 #[derive(Clone)]
@@ -230,7 +228,13 @@ pub fn run_cluster(
                 mode,
             );
             sim.replace_actor(me, Box::new(daemon));
-            sim.schedule(SimDuration::ZERO, Event::Poke { actor: me, token: TOKEN_BOOT });
+            sim.schedule(
+                SimDuration::ZERO,
+                Event::Poke {
+                    actor: me,
+                    token: TOKEN_BOOT,
+                },
+            );
         })
     };
 

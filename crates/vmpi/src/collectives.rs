@@ -162,8 +162,15 @@ impl Mpi {
             bit <<= 1;
         }
         // Broadcast phase.
-        self.bcast(0, if me == 0 { Some(Payload::synthetic(bytes)) } else { None })
-            .await;
+        self.bcast(
+            0,
+            if me == 0 {
+                Some(Payload::synthetic(bytes))
+            } else {
+                None
+            },
+        )
+        .await;
     }
 
     /// Pairwise-exchange all-to-all. `outgoing[d]` is sent to rank `d`;

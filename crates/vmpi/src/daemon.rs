@@ -27,14 +27,18 @@ use std::pin::Pin;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use vlog_sim::{Actor, ActorId, Delivery, Event, NodeId, OpCell, Sim, SimDuration, SimTime, TaskId, WireSize};
+use vlog_sim::{
+    Actor, ActorId, Delivery, Event, NodeId, OpCell, Sim, SimDuration, SimTime, TaskId, WireSize,
+};
 
 use crate::api::Mpi;
 use crate::ckpt::{CkptReply, CkptRequest, Image, ImageProto, StoredMsg};
 use crate::cost::StackProfile;
 use crate::hooks::{Ctx, ProtoBlob, RecvGate, SendGate, SharedRankStats, Topology, VProtocol};
 use crate::pipe::{AppRequest, PipeBox, SharedPipe};
-use crate::types::{AppMsg, DaemonMsg, Payload, PiggybackBlob, Rank, RecvMsg, RecvSelector, Ssn, Tag};
+use crate::types::{
+    AppMsg, DaemonMsg, Payload, PiggybackBlob, Rank, RecvMsg, RecvSelector, Ssn, Tag,
+};
 
 /// Poke token: the pipe has requests.
 pub const TOKEN_PIPE: u64 = 0;
@@ -105,7 +109,11 @@ enum Inject {
     Reaccept(AppMsg),
     /// Send an internal protocol message through the normal application
     /// path (coordinated-checkpoint markers travel in-band).
-    InternalSend { dst: Rank, tag: Tag, payload: Payload },
+    InternalSend {
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+    },
 }
 
 /// Daemon-internal self messages.
@@ -285,7 +293,8 @@ impl DaemonCore {
 
     /// Queues an internal in-band message (e.g. a Chandy-Lamport marker).
     pub fn internal_send(&mut self, dst: Rank, tag: Tag, payload: Payload) {
-        self.inject.push_back(Inject::InternalSend { dst, tag, payload });
+        self.inject
+            .push_back(Inject::InternalSend { dst, tag, payload });
     }
 
     /// Asks the daemon to re-run the transmit path for held sends
@@ -626,14 +635,9 @@ impl Vdaemon {
         if payload.len() <= self.core.profile.eager_threshold {
             self.transmit_data(sim, dst, tag, payload, ssn, gate_cost, done);
         } else {
-            self.core.pending_rdv.insert(
-                (dst, ssn),
-                PendingRdv {
-                    tag,
-                    payload,
-                    done,
-                },
-            );
+            self.core
+                .pending_rdv
+                .insert((dst, ssn), PendingRdv { tag, payload, done });
             let cost = self.core.profile.msg_cost(0) + gate_cost;
             let end = sim.charge_cpu(self.core.node, cost);
             let rts = DaemonMsg::Rts {
@@ -919,7 +923,8 @@ impl Vdaemon {
                             sim,
                             core: &mut self.core,
                         };
-                        self.proto.on_send_accept(&mut ctx, h.dst, h.tag, h.ssn, &h.payload)
+                        self.proto
+                            .on_send_accept(&mut ctx, h.dst, h.tag, h.ssn, &h.payload)
                     };
                     match gate {
                         SendGate::Go { cost } => {
@@ -940,7 +945,7 @@ impl Vdaemon {
                     payload,
                     cost,
                 } => {
-                        let cpu = self.core.profile.msg_cost(payload.len()) + cost;
+                    let cpu = self.core.profile.msg_cost(payload.len()) + cost;
                     let end = sim.charge_cpu(self.core.node, cpu);
                     self.core.deliver_to_matching(sim, src, tag, payload, end);
                 }

@@ -98,7 +98,12 @@ impl Dispatcher {
                         vlog_sim::SimDuration::from_micros(15),
                     );
                 } else {
-                    sim.net_send(self.node, server, vlog_sim::WireSize::control(16), Box::new(req));
+                    sim.net_send(
+                        self.node,
+                        server,
+                        vlog_sim::WireSize::control(16),
+                        Box::new(req),
+                    );
                 }
             }
         }

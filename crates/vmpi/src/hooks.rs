@@ -202,7 +202,12 @@ pub trait VProtocol {
     /// The message `(dst, ssn)` is about to leave on the wire. Causal
     /// protocols build their piggyback here; the returned cost is the
     /// serialization CPU time (the Figure 8 "send" metric).
-    fn on_transmit(&mut self, ctx: &mut Ctx<'_>, dst: Rank, ssn: Ssn) -> (PiggybackBlob, SimDuration) {
+    fn on_transmit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: Rank,
+        ssn: Ssn,
+    ) -> (PiggybackBlob, SimDuration) {
         (PiggybackBlob::empty(), SimDuration::ZERO)
     }
 

@@ -48,7 +48,7 @@ pub use collectives::{ReduceOp, RESERVED_TAG_BASE};
 pub use cost::StackProfile;
 pub use daemon::{app, AppSpec, BootMode, DaemonCore, Vdaemon};
 pub use hooks::{
-    Ctx, ProtoBlob, RankStats, RecvGate, RecoveryStyle, SchedulerCmd, SendGate, SharedRankStats,
+    Ctx, ProtoBlob, RankStats, RecoveryStyle, RecvGate, SchedulerCmd, SendGate, SharedRankStats,
     Suite, Topology, VProtocol,
 };
 pub use scheduler::{CkptScheduler, SchedulerPolicy};

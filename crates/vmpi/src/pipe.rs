@@ -37,10 +37,7 @@ pub enum AppRequest {
     /// The application reached a checkpoint point; `state` is its
     /// serialized state (real bytes + synthetic padding). `done` resolves
     /// to whether a checkpoint was actually taken.
-    Checkpoint {
-        state: Payload,
-        done: OpCell<bool>,
-    },
+    Checkpoint { state: Payload, done: OpCell<bool> },
 }
 
 /// The application side of one pipe.

@@ -49,7 +49,12 @@ impl CkptScheduler {
     }
 
     /// Installs the scheduler actor and arms its first timers.
-    pub fn install(sim: &mut Sim, node: NodeId, topo: Topology, policy: SchedulerPolicy) -> ActorId {
+    pub fn install(
+        sim: &mut Sim,
+        node: NodeId,
+        topo: Topology,
+        policy: SchedulerPolicy,
+    ) -> ActorId {
         let scheduler = CkptScheduler::new(node, topo.clone(), policy);
         let id = sim.add_actor(node, Box::new(scheduler));
         match policy {

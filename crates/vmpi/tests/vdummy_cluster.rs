@@ -5,9 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use vlog_vmpi::{
-    app, run_vdummy, ClusterConfig, Payload, RecvSelector, ReduceOp,
-};
+use vlog_vmpi::{app, run_vdummy, ClusterConfig, Payload, RecvSelector, ReduceOp};
 
 /// Shared result collector for programs (single-threaded simulation).
 fn collector<T: 'static>() -> (Rc<RefCell<Vec<T>>>, Rc<RefCell<Vec<T>>>) {
@@ -237,7 +235,8 @@ fn alltoall_routes_every_pair() {
                     .collect();
                 let incoming = mpi.alltoall(outgoing).await;
                 for (src, p) in incoming.iter().enumerate() {
-                    sink.borrow_mut().push((mpi.rank(), vec![src as u8, p.data[0], p.data[1]]));
+                    sink.borrow_mut()
+                        .push((mpi.rank(), vec![src as u8, p.data[0], p.data[1]]));
                 }
             }
         }),

@@ -55,8 +55,7 @@ pub(super) fn program_grid(
                 // Shift pattern: send downstream, receive from upstream,
                 // then the reverse — deadlock-free on any torus size.
                 if np > 1 {
-                    for (to, from) in [(east, west), (west, east), (south, north), (north, south)]
-                    {
+                    for (to, from) in [(east, west), (west, east), (south, north), (north, south)] {
                         mpi.sendrecv(
                             to,
                             tag_faces,

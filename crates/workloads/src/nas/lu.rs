@@ -27,6 +27,7 @@ pub fn program(cfg: NasConfig) -> AppSpec {
             let col = me % py;
             let n = grid_n(NasBench::LU, cfg.class);
             let nz = n; // one wavefront step per z-plane
+
             // 5 variables × 8 bytes × local edge length.
             let plane_bytes = (40 * n / px as u64).max(40);
             let face_bytes = (40 * n * n / (px * py) as u64).max(40);
@@ -51,10 +52,12 @@ pub fn program(cfg: NasConfig) -> AppSpec {
                     }
                     mpi.compute(flops_plane).await;
                     if let Some(p) = south {
-                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes)).await;
+                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes))
+                            .await;
                     }
                     if let Some(p) = east {
-                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes)).await;
+                        mpi.send(p, TAG_SWEEP_LO, Payload::synthetic(plane_bytes))
+                            .await;
                     }
                 }
                 // Upper-triangular sweep: wavefront from the south-east.
@@ -67,10 +70,12 @@ pub fn program(cfg: NasConfig) -> AppSpec {
                     }
                     mpi.compute(flops_plane).await;
                     if let Some(p) = north {
-                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes)).await;
+                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes))
+                            .await;
                     }
                     if let Some(p) = west {
-                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes)).await;
+                        mpi.send(p, TAG_SWEEP_HI, Payload::synthetic(plane_bytes))
+                            .await;
                     }
                 }
                 // RHS boundary exchange with all four neighbours.

@@ -61,8 +61,7 @@ mod tests {
 
     #[test]
     fn periodic_fault_plan_spacing() {
-        let plan =
-            faults::periodic_per_minute(2.0, 4, SimDuration::from_secs(120));
+        let plan = faults::periodic_per_minute(2.0, 4, SimDuration::from_secs(120));
         assert_eq!(plan.faults.len(), 3); // t = 30s, 60s, 90s
         assert_eq!(plan.faults[0].0.as_secs_f64(), 30.0);
         assert_eq!(plan.faults[0].1, 0);

@@ -26,12 +26,7 @@ fn every_benchmark_completes_class_s() {
         (NasBench::SP, 4),
     ] {
         let nas = NasConfig::new(bench, Class::S, np);
-        let run = run_nas(
-            &nas,
-            &cluster(np),
-            Rc::new(VdummySuite),
-            &FaultPlan::none(),
-        );
+        let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
         assert!(run.report.completed, "{bench:?} class S did not complete");
         assert!(run.mflops() > 0.0);
     }
@@ -42,24 +37,14 @@ fn benchmarks_complete_on_all_paper_rank_counts() {
     for bench in [NasBench::CG, NasBench::LU, NasBench::FT, NasBench::MG] {
         for np in [2usize, 4, 8, 16] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(
-                &nas,
-                &cluster(np),
-                Rc::new(VdummySuite),
-                &FaultPlan::none(),
-            );
+            let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
             assert!(run.report.completed, "{bench:?} np={np}");
         }
     }
     for np in [4usize, 9, 16, 25] {
         for bench in [NasBench::BT, NasBench::SP] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(
-                &nas,
-                &cluster(np),
-                Rc::new(VdummySuite),
-                &FaultPlan::none(),
-            );
+            let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
             assert!(run.report.completed, "{bench:?} np={np}");
         }
     }
@@ -72,12 +57,7 @@ fn communication_characters_match_the_paper() {
     // driven. Compare per-benchmark message statistics on class A / 16.
     let stats = |bench: NasBench| {
         let nas = NasConfig::new(bench, Class::A, 16).fraction(0.02);
-        let run = run_nas(
-            &nas,
-            &cluster(16),
-            Rc::new(VdummySuite),
-            &FaultPlan::none(),
-        );
+        let run = run_nas(&nas, &cluster(16), Rc::new(VdummySuite), &FaultPlan::none());
         assert!(run.report.completed, "{bench:?}");
         let msgs = run.report.stats.messages as f64;
         let payload = run.report.stats.bytes.payload as f64;
@@ -118,10 +98,15 @@ fn lu_survives_a_fault_under_causal_logging() {
     let nas = NasConfig::new(NasBench::LU, Class::S, 4);
     let mut c = cluster(4);
     c.detect_delay = SimDuration::from_millis(20);
-    let suite =
-        Rc::new(CausalSuite::new(Technique::Vcausal, true)
-            .with_checkpoints(SimDuration::from_millis(50)));
-    let run = run_nas(&nas, &c, suite, &FaultPlan::kill_at(SimDuration::from_millis(40), 1));
+    let suite = Rc::new(
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(50)),
+    );
+    let run = run_nas(
+        &nas,
+        &c,
+        suite,
+        &FaultPlan::kill_at(SimDuration::from_millis(40), 1),
+    );
     assert!(run.report.completed, "LU with fault did not finish");
     let recoveries: usize = run
         .report

@@ -132,8 +132,7 @@ fn main() {
     });
 
     let suite = Rc::new(
-        CausalSuite::new(Technique::Vcausal, true)
-            .with_checkpoints(SimDuration::from_millis(20)),
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(20)),
     );
     let mut cfg = ClusterConfig::new(RANKS);
     cfg.detect_delay = SimDuration::from_millis(10);
@@ -151,7 +150,10 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!();
     println!("virtual time          : {}", report.makespan);
-    println!("crashes survived      : {}", report.stats.get("node_crashes"));
+    println!(
+        "crashes survived      : {}",
+        report.stats.get("node_crashes")
+    );
     println!(
         "recoveries            : {:?}",
         report.rank_stats[1].recovery_total

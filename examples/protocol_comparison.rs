@@ -54,7 +54,11 @@ fn main() {
         let (faulted_time, recoveries) = if fault_tolerant {
             let kill = clean.report.makespan.mul_f64(0.5);
             let run = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::kill_at(kill, 0));
-            assert!(run.report.completed, "{}: faulted run failed", run.report.suite);
+            assert!(
+                run.report.completed,
+                "{}: faulted run failed",
+                run.report.suite
+            );
             let rec: usize = run
                 .report
                 .rank_stats

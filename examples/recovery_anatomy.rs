@@ -33,9 +33,8 @@ fn main() {
         );
         assert!(probe.report.completed);
         let t_app = probe.report.makespan;
-        let suite = Rc::new(
-            CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)),
-        );
+        let suite =
+            Rc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
         let run = run_nas(
             &nas,
             &cfg,
@@ -44,7 +43,11 @@ fn main() {
         );
         assert!(run.report.completed);
         let st = &run.report.rank_stats[0];
-        let el_label = if el { "WITH Event Logger" } else { "WITHOUT Event Logger" };
+        let el_label = if el {
+            "WITH Event Logger"
+        } else {
+            "WITHOUT Event Logger"
+        };
         println!("=== {el_label} ===");
         println!("  fault-free application span : {t_app}");
         println!("  faulted makespan            : {}", run.report.makespan);

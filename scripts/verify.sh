@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the bench/format gates, all offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo bench --no-run (compile all paper-figure harnesses)"
+cargo bench --no-run --offline
+
+echo "==> examples (smoke, quick scale)"
+for ex in quickstart protocol_comparison recovery_anatomy fault_tolerant_stencil; do
+    VLOG_SCALE=quick cargo run -q --release --offline --example "$ex" >/dev/null
+    echo "    example $ex: ok"
+done
+
+echo "verify: all green"

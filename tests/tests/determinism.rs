@@ -1,0 +1,141 @@
+//! Determinism regression: the simulation kernel is seeded and
+//! single-threaded, so two runs of the same configuration must agree on
+//! **every** observable — virtual makespan, event count, kernel byte
+//! counters and per-rank protocol statistics. This is the paper's
+//! replay/determinant-stability claim in its strongest testable form:
+//! if any protocol consulted unseeded state (hash order, wall clock,
+//! address-dependent ordering), the fingerprints would diverge.
+
+use std::rc::Rc;
+
+use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{
+    app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
+};
+
+const N: usize = 3;
+const ITERS: u64 = 15;
+
+/// Ring sendrecv with periodic checkpoints: enough traffic to exercise
+/// piggybacking, logging and (under a fault) recovery on every suite.
+fn program() -> AppSpec {
+    app(move |mpi| async move {
+        let me = mpi.rank();
+        let n = mpi.size();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let start = match mpi.restored() {
+            Some(b) => u64::from_le_bytes(b[..8].try_into().unwrap()),
+            None => 0,
+        };
+        for it in start..ITERS {
+            mpi.checkpoint_point(Payload::new(it.to_le_bytes().to_vec()))
+                .await;
+            let byte = (me as u8).wrapping_add((it & 0xff) as u8);
+            let _ = mpi
+                .sendrecv(
+                    right,
+                    0,
+                    Payload::new(vec![byte, me as u8]),
+                    RecvSelector::of(left, 0),
+                )
+                .await;
+        }
+    })
+}
+
+/// Everything a [`RunReport`] observes, flattened to a comparable value.
+fn fingerprint(report: &RunReport) -> String {
+    format!(
+        "suite={} completed={} makespan={:?} events={} stats={:?} ranks={:?}",
+        report.suite,
+        report.completed,
+        report.makespan,
+        report.events,
+        report.stats,
+        report.rank_stats,
+    )
+}
+
+fn run_once(suite: Rc<dyn Suite>, with_fault: bool) -> String {
+    let mut cfg = ClusterConfig::new(N);
+    cfg.detect_delay = SimDuration::from_millis(8);
+    cfg.event_limit = Some(50_000_000);
+    let faults = if with_fault {
+        FaultPlan::kill_at(SimDuration::from_millis(5), 1)
+    } else {
+        FaultPlan::none()
+    };
+    let report = run_cluster(&cfg, suite, program(), &faults);
+    assert!(report.completed, "{} did not complete", report.suite);
+    fingerprint(&report)
+}
+
+fn assert_deterministic(mk: impl Fn() -> Rc<dyn Suite>, with_fault: bool) {
+    let first = run_once(mk(), with_fault);
+    let second = run_once(mk(), with_fault);
+    assert_eq!(
+        first, second,
+        "two runs of the same seed produced different reports (fault: {with_fault})"
+    );
+}
+
+/// The six causal configurations of the paper's comparison.
+fn causal_suites() -> Vec<(Technique, bool)> {
+    let mut v = Vec::new();
+    for el in [true, false] {
+        for technique in [Technique::Vcausal, Technique::Manetho, Technique::LogOn] {
+            v.push((technique, el));
+        }
+    }
+    v
+}
+
+#[test]
+fn causal_suites_are_deterministic_fault_free() {
+    for (technique, el) in causal_suites() {
+        assert_deterministic(
+            || {
+                Rc::new(
+                    CausalSuite::new(technique, el).with_checkpoints(SimDuration::from_millis(6)),
+                )
+            },
+            false,
+        );
+    }
+}
+
+#[test]
+fn causal_suites_are_deterministic_through_recovery() {
+    for (technique, el) in causal_suites() {
+        assert_deterministic(
+            || {
+                Rc::new(
+                    CausalSuite::new(technique, el).with_checkpoints(SimDuration::from_millis(6)),
+                )
+            },
+            true,
+        );
+    }
+}
+
+#[test]
+fn pessimistic_suite_is_deterministic() {
+    for with_fault in [false, true] {
+        assert_deterministic(
+            || Rc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
+            with_fault,
+        );
+    }
+}
+
+#[test]
+fn coordinated_suite_is_deterministic() {
+    for with_fault in [false, true] {
+        assert_deterministic(
+            || Rc::new(CoordinatedSuite::new(SimDuration::from_millis(6))),
+            with_fault,
+        );
+    }
+}

@@ -36,7 +36,11 @@ fn heavy_state_ring(iters: u64) -> vlog_vmpi::AppSpec {
                     RecvSelector::of(left, 0),
                 )
                 .await;
-            assert_eq!(m.payload.data[0], (it & 0xff) as u8, "rank {me} it {it} start {start}");
+            assert_eq!(
+                m.payload.data[0],
+                (it & 0xff) as u8,
+                "rank {me} it {it} start {start}"
+            );
             mpi.elapse(SimDuration::from_millis(5)).await;
         }
     })
@@ -60,8 +64,7 @@ fn run_with(suite: Rc<dyn Suite>) {
 #[test]
 fn causal_recovery_survives_overlapping_checkpoint_images() {
     run_with(Rc::new(
-        CausalSuite::new(Technique::Vcausal, true)
-            .with_checkpoints(SimDuration::from_millis(150)),
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)),
     ));
 }
 

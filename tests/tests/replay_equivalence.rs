@@ -10,7 +10,9 @@ use std::rc::Rc;
 use proptest::prelude::*;
 use vlog_core::{CausalSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
-use vlog_vmpi::{app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, Suite};
+use vlog_vmpi::{
+    app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, Suite,
+};
 
 const N: usize = 3;
 
@@ -47,9 +49,7 @@ fn program(iters: u64, seed: u8, trace: Trace) -> AppSpec {
                         RecvSelector::of(left, 0),
                     )
                     .await;
-                trace
-                    .borrow_mut()
-                    .push((me, it, m.src, m.payload.data[0]));
+                trace.borrow_mut().push((me, it, m.src, m.payload.data[0]));
                 // Every 5th iteration, a small broadcast from the seed-th
                 // rank exercises the collective path.
                 if it % 5 == 0 {

@@ -1,0 +1,367 @@
+//! Offline API-subset shim of the `criterion` crate.
+//!
+//! Compiles the workspace's Criterion benches unchanged and runs them as
+//! a simple calibrated timing loop: per benchmark it warms up, picks an
+//! iteration count that fills the measurement window, and reports the
+//! mean ns/iteration. No statistics machinery, no HTML reports, no CLI —
+//! a deterministic, dependency-free stand-in good enough for trend
+//! tracking.
+//!
+//! Environment knobs: `VLOG_BENCH_MS` (measurement window per benchmark,
+//! default 100 ms; lower it for smoke runs).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark: a function name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup. The shim runs one
+/// setup per timed iteration regardless, so this only affects labels.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    window: Duration,
+    /// (iterations, total measured time) of the last measurement.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Bencher {
+        Bencher {
+            window,
+            result: None,
+        }
+    }
+
+    /// Times `routine` over enough iterations to fill the window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: double the batch until it is measurable.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break took / batch.max(1) as u32;
+            }
+            batch *= 2;
+        };
+        let iters = if per_iter.is_zero() {
+            batch
+        } else {
+            (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 50_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Calibrate on a few iterations.
+        let mut probe = Duration::ZERO;
+        let mut probed = 0u64;
+        while probe < Duration::from_millis(1) && probed < 1_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            probe += start.elapsed();
+            probed += 1;
+        }
+        let per_iter = probe / probed.max(1) as u32;
+        let iters = if per_iter.is_zero() {
+            probed
+        } else {
+            (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((iters, total));
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        size: BatchSize,
+    ) {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn window_from_env() -> Duration {
+    let ms = std::env::var("VLOG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(full_id: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(window);
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+            println!("{full_id:<50} time: [{}] ({iters} iterations)", fmt_ns(ns));
+        }
+        None => println!("{full_id:<50} (no measurement)"),
+    }
+}
+
+/// The benchmark manager created by [`criterion_main!`].
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            window: window_from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(mut self, window: Duration) -> Criterion {
+        self.window = window;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let window = self.window;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            window,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(&id.into().render(), self.window, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Criterion {
+        run_one(&id.render(), self.window, &mut |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().render());
+        run_one(&full, self.window, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(&full, self.window, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iter() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        let (iters, _) = b.result.expect("no measurement recorded");
+        assert!(iters >= 1);
+        assert!(count >= iters);
+    }
+
+    #[test]
+    fn bencher_measures_iter_batched() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_renders_group_paths() {
+        assert_eq!(BenchmarkId::new("encode", 16).render(), "encode/16");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

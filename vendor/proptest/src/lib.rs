@@ -1,0 +1,442 @@
+//! Offline API-subset shim of the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! attribute, integer-range and tuple strategies, `prop::collection::vec`,
+//! [`Strategy::prop_map`], `any::<T>()` and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed instead; runs are
+//!   deterministic, so the seed is a complete reproducer.
+//! * **Deterministic by default.** Case `i` of test `t` draws from a seed
+//!   mixed from (base seed, `t`, `i`). The base seed defaults to a fixed
+//!   constant and can be overridden with `PROPTEST_SEED` (decimal or
+//!   `0x`-hex). On failure the harness prints both the base seed and the
+//!   failing case's derived seed.
+
+use std::env;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Runner configuration. Only `cases` is honored by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    fn any_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn any_value(rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn any_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::any_value(rng)
+    }
+}
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Length specification for collection strategies: an exact length or a
+/// (half-open / inclusive) range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi: hi + 1 }
+    }
+}
+
+/// The case loop behind [`proptest!`]. Public for the macro, not a
+/// stable API.
+pub mod test_runner {
+    use super::*;
+
+    const DEFAULT_BASE_SEED: u64 = 0x1905_2005_CA05_AB1E;
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    }
+
+    /// The run's base seed: `PROPTEST_SEED` if set, else a fixed
+    /// constant, so runs are reproducible by default.
+    pub fn base_seed() -> u64 {
+        match env::var("PROPTEST_SEED") {
+            Ok(v) => parse_seed(&v).unwrap_or_else(|| panic!("unparseable PROPTEST_SEED: {v:?}")),
+            Err(_) => DEFAULT_BASE_SEED,
+        }
+    }
+
+    /// FNV-1a, to give every test its own stream under one base seed.
+    fn hash_name(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    fn case_seed(base: u64, name_hash: u64, case: u32) -> u64 {
+        // SplitMix64-style finalization over the mixed inputs.
+        let mut z = base ^ name_hash.rotate_left(17) ^ ((case as u64) << 1 | 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `case` against `config.cases` deterministic random cases.
+    /// On failure, prints the reproduction seeds and re-raises the
+    /// panic. `PROPTEST_CASE_SEED` replays a single derived case seed.
+    pub fn run(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng)) {
+        if let Ok(v) = env::var("PROPTEST_CASE_SEED") {
+            let seed =
+                parse_seed(&v).unwrap_or_else(|| panic!("unparseable PROPTEST_CASE_SEED: {v:?}"));
+            let mut rng = TestRng::seed_from_u64(seed);
+            case(&mut rng);
+            return;
+        }
+        let base = base_seed();
+        let name_hash = hash_name(name);
+        for i in 0..config.cases {
+            let seed = case_seed(base, name_hash, i);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+                eprintln!(
+                    "proptest: property `{name}` failed at case {i}/{cases} \
+                     (base seed {base:#018x}, case seed {seed:#018x}); \
+                     rerun just this case with PROPTEST_CASE_SEED={seed:#x}, \
+                     or the whole run with PROPTEST_SEED={base:#x}",
+                    cases = config.cases,
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn` runs its body against many random
+/// valuations of its `arg in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::test_runner::run(&config, stringify!($name), |__vlog_rng| {
+                $(let $arg = $crate::Strategy::new_value(&($strat), __vlog_rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            panic!("assertion failed: `(left != right)`\n  both: `{:?}`", left);
+        }
+    }};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_in_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_length_honors_size_range(v in prop::collection::vec(0u8..=255, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn exact_vec_length(v in prop::collection::vec(0u32..9, 5usize)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 200);
+        }
+
+        #[test]
+        fn tuples_compose(t in (0usize..4, 10u64..20, any::<bool>())) {
+            prop_assert!(t.0 < 4);
+            prop_assert!((10..20).contains(&t.1));
+        }
+    }
+
+    #[test]
+    fn equal_base_seeds_generate_identical_cases() {
+        use crate::{test_runner, ProptestConfig, Strategy};
+        let collect = || {
+            let mut out = Vec::new();
+            test_runner::run(&ProptestConfig::with_cases(20), "determinism", |rng| {
+                out.push((0u64..1_000_000).new_value(rng));
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        use crate::{test_runner, ProptestConfig, Strategy};
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            test_runner::run(&ProptestConfig::with_cases(20), name, |rng| {
+                out.push((0u64..1_000_000).new_value(rng));
+            });
+            out
+        };
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+}
