@@ -10,7 +10,7 @@
 //!    image is bounds the replay).
 //! 3. **Eager/rendezvous threshold** effect on the NetPIPE curve.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_bench::{banner, fmt3, Scale, Stack, Table};
 use vlog_core::{CausalSuite, EventLogger, Technique};
@@ -79,13 +79,13 @@ fn main() {
         let dedicated = run_nas(
             &nas,
             &cfg,
-            Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(period)),
+            Arc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(period)),
             &FaultPlan::none(),
         );
         let shared = run_nas(
             &nas,
             &cfg,
-            Rc::new(SharedNodeSuite {
+            Arc::new(SharedNodeSuite {
                 inner: CausalSuite::new(Technique::Vcausal, true).with_checkpoints(period),
             }),
             &FaultPlan::none(),
@@ -112,7 +112,7 @@ fn main() {
         let mut cfg = ClusterConfig::new(8);
         cfg.event_limit = Some(2_000_000_000);
         cfg.detect_delay = SimDuration::from_millis(50);
-        let suite = Rc::new(
+        let suite = Arc::new(
             CausalSuite::new(Technique::Vcausal, true)
                 .with_checkpoints(SimDuration::from_secs_f64(period_s)),
         );
@@ -146,7 +146,7 @@ fn main() {
         cfg.profile.eager_threshold = threshold;
         let report = vlog_vmpi::run_cluster(&cfg, Stack::Vdummy.suite(), prog, &FaultPlan::none());
         assert!(report.completed);
-        let out = results.borrow().clone();
+        let out = results.lock().unwrap().clone();
         out
     };
     let big = run_with_threshold(128 << 10);
@@ -172,7 +172,7 @@ fn main() {
         let nas = NasConfig::new(NasBench::LU, Class::A, 16).fraction(scale.fraction(0.03));
         let mut cfg = ClusterConfig::new(16);
         cfg.event_limit = Some(2_000_000_000);
-        let run = run_nas(&nas, &cfg, Rc::new(suite), &FaultPlan::none());
+        let run = run_nas(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
         assert!(run.report.completed);
         t4.row(vec![
             k.to_string(),

@@ -8,7 +8,7 @@
 //! ships its whole causality knowledge — time inflates ~10× from 2 to 16
 //! ranks (CG B: 80.75 ms → 832 ms, a 930% increase).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_bench::{banner, fmt3, Scale, Table};
 use vlog_core::{CausalSuite, Technique};
@@ -30,7 +30,7 @@ fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> 
     let probe = run_nas(
         &probe_nas,
         &cfg,
-        Rc::new(CausalSuite::new(Technique::Vcausal, el)),
+        Arc::new(CausalSuite::new(Technique::Vcausal, el)),
         &FaultPlan::none(),
     );
     assert!(probe.report.completed);
@@ -38,8 +38,8 @@ fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> 
     // One to two checkpoints before the kill; the victim dies mid-run
     // ("process of rank zero is killed at the middle of its correct
     // execution time", §V-E).
-    let suite: Rc<dyn Suite> =
-        Rc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
+    let suite: Arc<dyn Suite> =
+        Arc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
     let kill = t_app.mul_f64(0.55);
     let run = run_nas(&nas, &cfg, suite, &FaultPlan::kill_at(kill, 0));
     assert!(

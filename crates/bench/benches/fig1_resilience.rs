@@ -10,9 +10,9 @@
 //! image from the checkpoint server, while message logging restarts only
 //! the victim.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use vlog_bench::{banner, fmt3, Scale, Table};
+use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Table};
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{ClusterConfig, Suite};
@@ -20,11 +20,11 @@ use vlog_workloads::{run_nas, runner::faults, Class, NasBench, NasConfig};
 
 const NP: usize = 25;
 
-fn suite(kind: &str, ckpt: SimDuration) -> Rc<dyn Suite> {
+fn suite(kind: &str, ckpt: SimDuration) -> Arc<dyn Suite> {
     match kind {
-        "coordinated" => Rc::new(CoordinatedSuite::new(ckpt)),
-        "pessimistic" => Rc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
-        "causal" => Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
+        "coordinated" => Arc::new(CoordinatedSuite::new(ckpt)),
+        "pessimistic" => Arc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
+        "causal" => Arc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
         _ => unreachable!(),
     }
 }
@@ -49,47 +49,60 @@ fn main() {
         "paper shape: coordinated hits the wall first; causal degrades most gracefully",
     );
     let protocols = ["coordinated", "pessimistic", "causal"];
-    // Fault-free baselines per protocol.
+    // Fault-free baselines per protocol (independent runs, sharded).
     let nas = NasConfig::new(NasBench::BT, Class::A, NP).fraction(frac);
-    let mut base = Vec::new();
-    for kind in protocols {
+    let base: Vec<SimDuration> = run_many(protocols.to_vec(), default_threads(), |kind| {
         let mut cfg = ClusterConfig::new(NP);
         cfg.event_limit = Some(4_000_000_000);
         cfg.detect_delay = SimDuration::from_millis(250);
         let run = run_nas(&nas, &cfg, suite(kind, ckpt), &vlog_vmpi::FaultPlan::none());
         assert!(run.report.completed, "{kind} baseline incomplete");
-        base.push(run.report.makespan);
-    }
+        run.report.makespan
+    });
     let mut table = Table::new(&["faults/min", "Coordinated", "Pessimistic+EL", "Causal+EL"]);
     let mut curves: Vec<(String, Vec<(f64, f64)>)> = protocols
         .iter()
         .map(|k| (k.to_string(), Vec::new()))
         .collect();
+    // The full (frequency × protocol) grid is one sweep of independent
+    // runs; the 8x time budget for each comes from the baseline phase.
+    let jobs: Vec<(f64, usize)> = freqs
+        .iter()
+        .flat_map(|&f| (0..protocols.len()).map(move |i| (f, i)))
+        .collect();
+    let base_ref = &base;
+    let outcomes = run_many(jobs, default_threads(), move |(f, i)| {
+        if f == 0.0 {
+            return Some(100.0);
+        }
+        let kind = protocols[i];
+        let mut cfg = ClusterConfig::new(NP);
+        cfg.event_limit = Some(4_000_000_000);
+        cfg.detect_delay = SimDuration::from_millis(250);
+        // Give the run a generous budget: if it cannot finish within
+        // 8x the fault-free time, the protocol makes no progress at
+        // this frequency (the paper's vertical slope).
+        cfg.time_limit = Some(base_ref[i].mul_f64(8.0));
+        let horizon = base_ref[i].mul_f64(8.0);
+        let plan = faults::periodic_per_minute(f, NP, horizon);
+        let run = run_nas(&nas, &cfg, suite(kind, ckpt), &plan);
+        run.report
+            .completed
+            .then(|| 100.0 * run.report.makespan.as_secs_f64() / base_ref[i].as_secs_f64())
+    });
+    let mut outcomes = outcomes.into_iter();
     for &f in freqs {
         let mut row = vec![fmt3(f)];
-        for (i, kind) in protocols.iter().enumerate() {
-            if f == 0.0 {
-                row.push("100%".into());
-                curves[i].1.push((0.0, 100.0));
-                continue;
-            }
-            let mut cfg = ClusterConfig::new(NP);
-            cfg.event_limit = Some(4_000_000_000);
-            cfg.detect_delay = SimDuration::from_millis(250);
-            // Give the run a generous budget: if it cannot finish within
-            // 8x the fault-free time, the protocol makes no progress at
-            // this frequency (the paper's vertical slope).
-            cfg.time_limit = Some(base[i].mul_f64(8.0));
-            let horizon = base[i].mul_f64(8.0);
-            let plan = faults::periodic_per_minute(f, NP, horizon);
-            let run = run_nas(&nas, &cfg, suite(kind, ckpt), &plan);
-            if run.report.completed {
-                let pct = 100.0 * run.report.makespan.as_secs_f64() / base[i].as_secs_f64();
-                row.push(format!("{}%", fmt3(pct)));
-                curves[i].1.push((f, pct));
-            } else {
-                row.push("no progress".into());
-                curves[i].1.push((f, 800.0)); // off-the-chart wall marker
+        for (i, _) in protocols.iter().enumerate() {
+            match outcomes.next().unwrap() {
+                Some(pct) => {
+                    row.push(format!("{}%", fmt3(pct)));
+                    curves[i].1.push((f, pct));
+                }
+                None => {
+                    row.push("no progress".into());
+                    curves[i].1.push((f, 800.0)); // off-the-chart wall marker
+                }
             }
         }
         table.row(row);

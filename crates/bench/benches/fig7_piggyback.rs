@@ -7,7 +7,7 @@
 //! collapses (CG/16: ~0.5% instead of 4-12%); Vcausal always piggybacks
 //! the most; LogOn carries more bytes than Manetho (no factoring).
 
-use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Stack, Table};
 use vlog_core::Technique;
 use vlog_vmpi::FaultPlan;
 use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
@@ -41,18 +41,30 @@ fn main() {
             "Manetho noEL",
             "LogOn noEL",
         ]);
+        // Row-major job grid (np × el × technique), sharded across
+        // worker threads with deterministic result ordering.
+        let jobs: Vec<(usize, bool, Technique)> = nps
+            .iter()
+            .flat_map(|&np| {
+                [true, false]
+                    .into_iter()
+                    .flat_map(move |el| techniques().into_iter().map(move |t| (np, el, t)))
+            })
+            .collect();
+        let cells = run_many(jobs, default_threads(), |(np, el, technique)| {
+            let stack = Stack::Causal { technique, el };
+            let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
+            let mut cfg = stack.cluster(np);
+            cfg.event_limit = Some(2_000_000_000);
+            let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+            assert!(run.report.completed, "{} np={np}", stack.label());
+            run.report.piggyback_percent()
+        });
+        let mut cells = cells.into_iter();
         for &np in nps.iter() {
             let mut row = vec![np.to_string()];
-            for el in [true, false] {
-                for technique in techniques() {
-                    let stack = Stack::Causal { technique, el };
-                    let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
-                    let mut cfg = stack.cluster(np);
-                    cfg.event_limit = Some(2_000_000_000);
-                    let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
-                    assert!(run.report.completed, "{} np={np}", stack.label());
-                    row.push(fmt3(run.report.piggyback_percent()));
-                }
+            for _ in 0..6 {
+                row.push(fmt3(cells.next().unwrap()));
             }
             table.row(row);
         }

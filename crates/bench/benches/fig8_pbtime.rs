@@ -8,7 +8,7 @@
 //! receive (edge generation); without the EL everything inflates —
 //! up to 41.5% of execution time for LogOn on LU/16.
 
-use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Stack, Table};
 use vlog_core::Technique;
 use vlog_vmpi::FaultPlan;
 use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
@@ -62,26 +62,32 @@ fn main() {
             "Manetho noEL",
             "LogOn noEL",
         ]);
+        // Independent (np, technique, el) runs, sharded across threads.
+        let jobs: Vec<(usize, Technique, bool)> = nps
+            .iter()
+            .flat_map(|&np| configs.iter().map(move |&(t, el)| (np, t, el)))
+            .collect();
+        let cells = run_many(jobs, default_threads(), |(np, technique, el)| {
+            let stack = Stack::Causal { technique, el };
+            let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
+            let mut cfg = stack.cluster(np);
+            cfg.event_limit = Some(2_000_000_000);
+            let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+            assert!(run.report.completed, "{} np={np}", stack.label());
+            let (send, recv) = run.report.pb_times();
+            Cell {
+                send_s: send.as_secs_f64(),
+                recv_s: recv.as_secs_f64(),
+                pct_of_exec: 100.0 * (send.as_secs_f64() + recv.as_secs_f64())
+                    / (np as f64 * run.report.makespan.as_secs_f64()),
+            }
+        });
+        let mut cells = cells.into_iter();
         for &np in nps.iter() {
             let mut row_a = vec![np.to_string()];
             let mut row_b = vec![np.to_string()];
-            for (technique, el) in &configs {
-                let stack = Stack::Causal {
-                    technique: *technique,
-                    el: *el,
-                };
-                let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
-                let mut cfg = stack.cluster(np);
-                cfg.event_limit = Some(2_000_000_000);
-                let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
-                assert!(run.report.completed, "{} np={np}", stack.label());
-                let (send, recv) = run.report.pb_times();
-                let cell = Cell {
-                    send_s: send.as_secs_f64(),
-                    recv_s: recv.as_secs_f64(),
-                    pct_of_exec: 100.0 * (send.as_secs_f64() + recv.as_secs_f64())
-                        / (np as f64 * run.report.makespan.as_secs_f64()),
-                };
+            for _ in &configs {
+                let cell = cells.next().unwrap();
                 row_a.push(format!(
                     "{} ({}/{})",
                     fmt3(cell.send_s + cell.recv_s),

@@ -7,7 +7,7 @@
 //! (LogOn suffering the most) — and the Event Logger benefit exceeds the
 //! difference between the two antecedence-graph techniques.
 
-use vlog_bench::{banner, fmt3, Scale, Stack, Table};
+use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Stack, Table};
 use vlog_vmpi::FaultPlan;
 use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
 
@@ -38,20 +38,30 @@ fn main() {
         headers.extend(stacks.iter().map(|s| s.label()));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(&header_refs);
+        // One independent cluster run per (np, stack) cell, sharded
+        // across worker threads; results come back in job order.
+        let jobs: Vec<(usize, Stack)> = nps
+            .iter()
+            .flat_map(|&np| stacks.iter().map(move |s| (np, *s)))
+            .collect();
+        let cells = run_many(jobs, default_threads(), |(np, stack)| {
+            let nas = NasConfig::new(*bench, *class, np).fraction(frac);
+            let mut cfg = stack.cluster(np);
+            cfg.event_limit = Some(2_000_000_000);
+            let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+            assert!(
+                run.report.completed,
+                "{} {} np={np}",
+                bench.label(),
+                stack.label()
+            );
+            run.mflops()
+        });
+        let mut cells = cells.into_iter();
         for &np in nps.iter() {
             let mut row = vec![np.to_string()];
-            for stack in &stacks {
-                let nas = NasConfig::new(*bench, *class, np).fraction(frac);
-                let mut cfg = stack.cluster(np);
-                cfg.event_limit = Some(2_000_000_000);
-                let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
-                assert!(
-                    run.report.completed,
-                    "{} {} np={np}",
-                    bench.label(),
-                    stack.label()
-                );
-                row.push(fmt3(run.mflops()));
+            for _ in &stacks {
+                row.push(fmt3(cells.next().unwrap()));
             }
             table.row(row);
         }

@@ -1,0 +1,140 @@
+//! Multi-threaded sweep driver.
+//!
+//! Every figure of the paper is a sweep over independent `(protocol,
+//! cluster size, fault schedule, seed)` configurations. Since a
+//! [`ClusterRun`](vlog_vmpi::ClusterRun) is a `Send` value, those runs
+//! can be fanned out across OS threads: [`run_many`] executes one closure
+//! per job on a small worker pool and returns the results **in job
+//! order**, regardless of which worker finished first — so a sweep's
+//! output (and anything derived from it, like a determinism fingerprint)
+//! is byte-identical whether it ran on 1 thread or 16.
+//!
+//! Jobs are handed out through a shared atomic cursor (work stealing at
+//! job granularity); each job itself remains a single-threaded,
+//! deterministic simulation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for a sweep: `VLOG_THREADS` if set,
+/// otherwise the machine's available parallelism (at least 1).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("VLOG_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every job on `threads` worker threads and returns the
+/// results in job order.
+///
+/// `f` must be a pure function of its job: results are written into the
+/// slot of the job they belong to, so the output vector is deterministic
+/// for any thread count. A panic in any job propagates to the caller
+/// after the remaining workers drain.
+pub fn run_many<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Send + Sync,
+{
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    // Job slots: workers take jobs by index through the shared cursor and
+    // deposit results into the matching result slot.
+    let jobs: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job taken twice");
+                let r = f(job);
+                *results[i].lock().unwrap() = Some(r);
+            }));
+        }
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker exited without depositing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_job_order_on_any_thread_count() {
+        let jobs: Vec<u64> = (0..57).collect();
+        let seq = run_many(jobs.clone(), 1, |j| j * j);
+        for threads in [2, 3, 8] {
+            let par = run_many(jobs.clone(), threads, |j| j * j);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sweeps() {
+        let none: Vec<u32> = run_many(Vec::<u32>::new(), 4, |j| j);
+        assert!(none.is_empty());
+        assert_eq!(run_many(vec![7u32], 4, |j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn cluster_runs_shard_across_threads() {
+        use vlog_vmpi::{app, ClusterConfig, FaultPlan, Payload, RecvSelector};
+        let mk_report = |seed: u64| {
+            let prog = app(|mpi| async move {
+                let me = mpi.rank();
+                let n = mpi.size();
+                if me == 0 {
+                    mpi.send_bytes(1, 0, vec![9u8]).await;
+                } else {
+                    let _ = mpi.recv(RecvSelector::of(0, 0)).await;
+                    let _ = Payload::default();
+                }
+                let _ = n;
+            });
+            let mut cfg = ClusterConfig::new(2);
+            cfg.seed = seed;
+            vlog_vmpi::run_cluster(
+                &cfg,
+                std::sync::Arc::new(vlog_vmpi::VdummySuite),
+                prog,
+                &FaultPlan::none(),
+            )
+        };
+        let seeds: Vec<u64> = (1..=6).collect();
+        let seq: Vec<String> = run_many(seeds.clone(), 1, |s| format!("{:?}", mk_report(s).stats));
+        let par: Vec<String> = run_many(seeds, 3, |s| format!("{:?}", mk_report(s).stats));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

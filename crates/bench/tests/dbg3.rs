@@ -1,4 +1,4 @@
-use std::rc::Rc;
+use std::sync::Arc;
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{app, run_cluster, ClusterConfig, FaultPlan, Payload, RecvSelector};
@@ -31,7 +31,7 @@ fn dbg() {
     let mut cfg = ClusterConfig::new(3);
     cfg.event_limit = Some(10_000_000);
     cfg.time_limit = Some(SimDuration::from_secs(60));
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)),
     );
     let report = run_cluster(&cfg, suite, prog, &FaultPlan::none());

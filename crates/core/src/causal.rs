@@ -20,7 +20,7 @@
 //! meanwhile are buffered and re-accepted afterwards.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
@@ -221,7 +221,7 @@ impl CausalProtocol {
             self.stable[c] = self.stable[c].max(stable[c]);
         }
         self.red.apply_stable(&self.stable);
-        self.stats.borrow_mut().el_acked_events = self.stable[self.rank];
+        self.stats.lock().unwrap().el_acked_events = self.stable[self.rank];
     }
 
     // ---- recovery ----------------------------------------------------
@@ -282,7 +282,7 @@ impl CausalProtocol {
             rec.collecting = false;
             rec.max_clock = rec.collected.keys().next_back().copied().unwrap_or(rec.wm);
             let dt = now.saturating_since(rec.started);
-            self.stats.borrow_mut().recovery_collect.push(dt);
+            self.stats.lock().unwrap().recovery_collect.push(dt);
         }
         self.try_replay(ctx);
     }
@@ -472,7 +472,7 @@ impl VProtocol for CausalProtocol {
         let (dets, work) = self.red.build(dst, self.rclock);
         let bytes = self.technique.wire_len(&dets);
         let cost = self.build_cost(dets.len(), work.visits);
-        self.stats.borrow_mut().pb_events_sent += dets.len() as u64;
+        self.stats.lock().unwrap().pb_events_sent += dets.len() as u64;
         let body = PbBody {
             sender_clock: self.rclock,
             dets,
@@ -527,7 +527,7 @@ impl VProtocol for CausalProtocol {
         // only: integrating the piggybacked determinants into the store.
         let pb_part = SimDuration::from_nanos(self.mem_penalty_ns())
             + self.integrate_cost(dets.len(), w_int.inserts + w_add.inserts, w_int.visits);
-        self.stats.borrow_mut().pb_recv_time += pb_part;
+        self.stats.lock().unwrap().pb_recv_time += pb_part;
         let mut cost = SimDuration::from_nanos(self.costs.event_create_ns) + pb_part;
         if self.el {
             cost += SimDuration::from_nanos(self.costs.el_ship_ns);
@@ -535,7 +535,7 @@ impl VProtocol for CausalProtocol {
         RecvGate::Deliver { cost }
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any>) {
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any + Send>) {
         let body = match body.downcast::<ElReply>() {
             Ok(r) => {
                 self.handle_el_reply(ctx, *r);
@@ -584,7 +584,7 @@ impl VProtocol for CausalProtocol {
         };
         let bytes = blob.wire_bytes(self.n);
         ProtoBlob {
-            body: Some(Rc::new(blob)),
+            body: Some(Arc::new(blob)),
             bytes,
         }
     }
@@ -641,7 +641,8 @@ impl VProtocol for CausalProtocol {
             let rec = self.rec.as_mut().unwrap();
             rec.collecting = false;
             self.stats
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .recovery_collect
                 .push(SimDuration::ZERO);
             self.finish_replay(ctx);

@@ -24,7 +24,7 @@
 //! numbers) — consistent for piecewise-deterministic programs, the same
 //! assumption message logging already makes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_sim::SimDuration;
 use vlog_vmpi::{
@@ -172,7 +172,7 @@ impl VProtocol for CoordinatedProtocol {
         }
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any>) {
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any + Send>) {
         let body = match body.downcast::<MarkerCtl>() {
             Ok(m) => {
                 self.on_marker(ctx, *m);
@@ -236,7 +236,7 @@ impl VProtocol for CoordinatedProtocol {
         };
         let bytes = blob.wire_bytes();
         ProtoBlob {
-            body: Some(Rc::new(blob)),
+            body: Some(Arc::new(blob)),
             bytes,
         }
     }

@@ -172,12 +172,11 @@ impl Actor for EventLogger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Probe {
-        acks: Rc<RefCell<Vec<Vec<RClock>>>>,
-        resps: Rc<RefCell<Vec<(usize, Vec<RClock>)>>>,
+        acks: Arc<Mutex<Vec<Vec<RClock>>>>,
+        resps: Arc<Mutex<Vec<(usize, Vec<RClock>)>>>,
     }
 
     impl Actor for Probe {
@@ -187,9 +186,9 @@ mod tests {
             };
             let DaemonMsg::Proto(p) = *dm else { return };
             match *p.downcast::<ElReply>().unwrap() {
-                ElReply::Ack { stable } => self.acks.borrow_mut().push(stable),
+                ElReply::Ack { stable } => self.acks.lock().unwrap().push(stable),
                 ElReply::QueryResp { dets, stable } => {
-                    self.resps.borrow_mut().push((dets.len(), stable))
+                    self.resps.lock().unwrap().push((dets.len(), stable))
                 }
             }
         }
@@ -209,15 +208,15 @@ mod tests {
         Sim,
         ActorId,
         ActorId,
-        Rc<RefCell<Vec<Vec<RClock>>>>,
-        Rc<RefCell<Vec<(usize, Vec<RClock>)>>>,
+        Arc<Mutex<Vec<Vec<RClock>>>>,
+        Arc<Mutex<Vec<(usize, Vec<RClock>)>>>,
     ) {
         let mut sim = Sim::new(9);
         let el_node = sim.add_node();
         let client_node = sim.add_node();
         let el = EventLogger::install(&mut sim, el_node, 3);
-        let acks = Rc::new(RefCell::new(Vec::new()));
-        let resps = Rc::new(RefCell::new(Vec::new()));
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let resps = Arc::new(Mutex::new(Vec::new()));
         let probe = sim.add_actor(
             client_node,
             Box::new(Probe {
@@ -244,7 +243,7 @@ mod tests {
             );
         }
         sim.run();
-        let acks = acks.borrow();
+        let acks = acks.lock().unwrap();
         assert_eq!(acks.len(), 3);
         assert_eq!(acks.last().unwrap(), &vec![0, 3, 0]);
         assert_eq!(sim.stats().get("el_records"), 3);
@@ -268,7 +267,7 @@ mod tests {
         sim.run();
         assert_eq!(sim.stats().get("el_records"), 1);
         assert_eq!(sim.stats().get("el_duplicate_records"), 1);
-        assert_eq!(acks.borrow().len(), 2); // both still acknowledged
+        assert_eq!(acks.lock().unwrap().len(), 2); // both still acknowledged
     }
 
     #[test]
@@ -299,7 +298,7 @@ mod tests {
             );
         });
         sim.run();
-        let resps = resps.borrow();
+        let resps = resps.lock().unwrap();
         assert_eq!(resps.len(), 1);
         assert_eq!(resps[0].0, 3); // clocks 3, 4, 5
         assert_eq!(resps[0].1, vec![5, 0, 0]);

@@ -17,8 +17,7 @@
 //! vector, so every process can garbage-collect events of ranks served by
 //! other loggers — at the freshness cost of one gossip period.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, WireSize};
 use vlog_vmpi::{DaemonMsg, RClock, Rank, Topology};
@@ -48,7 +47,7 @@ pub struct ElShard {
     /// Merged view including gossiped clocks from peer shards.
     merged_stable: Vec<RClock>,
     /// Peer shard actors (filled after installation).
-    peers: Rc<RefCell<Vec<(ActorId, NodeId)>>>,
+    peers: Arc<Mutex<Vec<(ActorId, NodeId)>>>,
     gossip: SimDuration,
 }
 
@@ -59,7 +58,7 @@ impl ElShard {
         to: ActorId,
         to_node: NodeId,
         bytes: u64,
-        body: Box<dyn std::any::Any>,
+        body: Box<dyn std::any::Any + Send>,
     ) {
         let size = WireSize::control(bytes);
         if to_node == self.node {
@@ -70,7 +69,7 @@ impl ElShard {
     }
 
     fn multicast_gossip(&self, sim: &mut Sim) {
-        let peers = self.peers.borrow().clone();
+        let peers = self.peers.lock().unwrap().clone();
         for (i, (actor, node)) in peers.iter().enumerate() {
             if i != self.index {
                 self.send_to(
@@ -193,7 +192,7 @@ pub fn install_distributed_el(
 ) -> Vec<(ActorId, NodeId)> {
     assert!(k >= 1);
     let n = topo.n_ranks();
-    let peers: Rc<RefCell<Vec<(ActorId, NodeId)>>> = Rc::new(RefCell::new(Vec::new()));
+    let peers: Arc<Mutex<Vec<(ActorId, NodeId)>>> = Arc::new(Mutex::new(Vec::new()));
     let mut els = Vec::with_capacity(k);
     for index in 0..k {
         let node = if index == 0 {
@@ -219,7 +218,7 @@ pub fn install_distributed_el(
             sim.set_timer(id, first, 0);
         }
     }
-    *peers.borrow_mut() = els.clone();
+    *peers.lock().unwrap() = els.clone();
     topo.set_els(els.clone());
     els
 }

@@ -12,7 +12,7 @@
 //! the EL and payloads from the senders' logs.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
@@ -164,7 +164,7 @@ impl PessimisticProtocol {
                 rec.collecting = false;
                 rec.max_clock = rec.collected.keys().next_back().copied().unwrap_or(rec.wm);
                 let dt = now.saturating_since(rec.started);
-                self.stats.borrow_mut().recovery_collect.push(dt);
+                self.stats.lock().unwrap().recovery_collect.push(dt);
             }
         }
         self.try_replay(ctx);
@@ -292,7 +292,7 @@ impl VProtocol for PessimisticProtocol {
         RecvGate::Deliver { cost }
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any>) {
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn std::any::Any + Send>) {
         let body = match body.downcast::<ElReply>() {
             Ok(r) => {
                 match *r {
@@ -303,7 +303,7 @@ impl VProtocol for PessimisticProtocol {
                         );
                         let prev = self.stable_own;
                         self.stable_own = self.stable_own.max(stable[self.rank]);
-                        self.stats.borrow_mut().el_acked_events = self.stable_own;
+                        self.stats.lock().unwrap().el_acked_events = self.stable_own;
                         if self.stable_own > prev && self.stable_own >= self.rclock {
                             ctx.core.release_held();
                         }
@@ -399,7 +399,7 @@ impl VProtocol for PessimisticProtocol {
         };
         let bytes = blob.slog.payload_bytes() + 16 * blob.slog.len() as u64 + 16;
         ProtoBlob {
-            body: Some(Rc::new(blob)),
+            body: Some(Arc::new(blob)),
             bytes,
         }
     }

@@ -74,7 +74,9 @@ impl Work {
 }
 
 /// A piggyback-reduction technique: the causality store of one process.
-pub trait Reduction {
+/// `Send + Sync` because causality stores travel inside checkpoint images
+/// (`ProtoBlob`) that the checkpoint server shares across a `Send` run.
+pub trait Reduction: Send + Sync {
     fn technique(&self) -> Technique;
 
     /// Records a reception event created locally.

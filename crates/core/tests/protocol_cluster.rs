@@ -2,7 +2,7 @@
 //! correctness of all protocol configurations, checkpointing, crash
 //! recovery with replay validation, and global rollback.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
@@ -57,11 +57,11 @@ fn cfg(n: usize) -> ClusterConfig {
     c
 }
 
-fn all_causal_suites() -> Vec<Rc<dyn Suite>> {
-    let mut suites: Vec<Rc<dyn Suite>> = Vec::new();
+fn all_causal_suites() -> Vec<Arc<dyn Suite>> {
+    let mut suites: Vec<Arc<dyn Suite>> = Vec::new();
     for technique in [Technique::Vcausal, Technique::Manetho, Technique::LogOn] {
         for el in [true, false] {
-            suites.push(Rc::new(CausalSuite::new(technique, el)));
+            suites.push(Arc::new(CausalSuite::new(technique, el)));
         }
     }
     suites
@@ -90,7 +90,7 @@ fn event_logger_shrinks_piggyback_volume() {
         let run = |el: bool| {
             run_cluster(
                 &cfg(4),
-                Rc::new(CausalSuite::new(technique, el)),
+                Arc::new(CausalSuite::new(technique, el)),
                 ring_program(60),
                 &FaultPlan::none(),
             )
@@ -109,7 +109,7 @@ fn event_logger_shrinks_piggyback_volume() {
 
 #[test]
 fn scheduled_checkpoints_are_taken_and_committed() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(5)),
     );
     let report = run_cluster(&cfg(3), suite, ring_program(120), &FaultPlan::none());
@@ -118,7 +118,7 @@ fn scheduled_checkpoints_are_taken_and_committed() {
     assert!(total >= 3, "expected checkpoints, got {total}");
 }
 
-fn recovery_case(suite: Rc<dyn Suite>, n: usize, iters: u64, kill_ms: u64) {
+fn recovery_case(suite: Arc<dyn Suite>, n: usize, iters: u64, kill_ms: u64) {
     let name = suite.name();
     let mut c = cfg(n);
     c.detect_delay = SimDuration::from_millis(10);
@@ -137,7 +137,7 @@ fn recovery_case(suite: Rc<dyn Suite>, n: usize, iters: u64, kill_ms: u64) {
 
 #[test]
 fn causal_with_el_recovers_from_a_crash() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(4)),
     );
     recovery_case(suite, 3, 80, 8);
@@ -145,7 +145,7 @@ fn causal_with_el_recovers_from_a_crash() {
 
 #[test]
 fn causal_without_el_recovers_from_peers() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Manetho, false).with_checkpoints(SimDuration::from_millis(4)),
     );
     recovery_case(suite, 3, 80, 8);
@@ -153,7 +153,7 @@ fn causal_without_el_recovers_from_peers() {
 
 #[test]
 fn logon_with_el_recovers_from_a_crash() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::LogOn, true).with_checkpoints(SimDuration::from_millis(4)),
     );
     recovery_case(suite, 4, 60, 7);
@@ -163,19 +163,19 @@ fn logon_with_el_recovers_from_a_crash() {
 fn recovery_without_any_checkpoint_replays_from_scratch() {
     // No checkpoint scheduler: the victim restarts from the beginning and
     // replays its entire history.
-    let suite = Rc::new(CausalSuite::new(Technique::Vcausal, true));
+    let suite = Arc::new(CausalSuite::new(Technique::Vcausal, true));
     recovery_case(suite, 3, 40, 5);
 }
 
 #[test]
 fn pessimistic_recovers_from_a_crash() {
-    let suite = Rc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(4)));
+    let suite = Arc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(4)));
     recovery_case(suite, 3, 60, 8);
 }
 
 #[test]
 fn coordinated_rolls_everyone_back() {
-    let suite = Rc::new(CoordinatedSuite::new(SimDuration::from_millis(5)));
+    let suite = Arc::new(CoordinatedSuite::new(SimDuration::from_millis(5)));
     let mut c = cfg(3);
     c.detect_delay = SimDuration::from_millis(10);
     let faults = FaultPlan::kill_at(SimDuration::from_millis(12), 1);
@@ -189,7 +189,7 @@ fn coordinated_rolls_everyone_back() {
 
 #[test]
 fn two_sequential_faults_are_survived() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(4)),
     );
     let mut c = cfg(3);
@@ -213,7 +213,7 @@ fn two_sequential_faults_are_survived() {
 #[test]
 fn recovery_collect_metric_is_recorded() {
     // Figure 10's metric: time to recover the events to replay.
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(4)),
     );
     let mut c = cfg(3);
@@ -229,7 +229,7 @@ fn recovery_collect_metric_is_recorded() {
 #[test]
 fn faulted_runs_are_deterministic() {
     let run = || {
-        let suite = Rc::new(
+        let suite = Arc::new(
             CausalSuite::new(Technique::Manetho, true)
                 .with_checkpoints(SimDuration::from_millis(4)),
         );

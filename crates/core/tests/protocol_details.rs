@@ -3,7 +3,7 @@
 //! blocking, sender-log garbage collection via checkpoint notices,
 //! EL-driven piggyback suppression, and coordinated marker bookkeeping.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
@@ -31,7 +31,7 @@ fn pessimistic_blocks_sends_until_events_are_stable() {
     // waits for the EL acknowledgement of every preceding reception, so
     // ping-pong latency must exceed the causal protocol's by roughly the
     // EL round trip on every hop.
-    let run = |suite: Rc<dyn Suite>| {
+    let run = |suite: Arc<dyn Suite>| {
         let report = run_cluster(
             &ClusterConfig::new(2),
             suite,
@@ -41,8 +41,8 @@ fn pessimistic_blocks_sends_until_events_are_stable() {
         assert!(report.completed);
         report.makespan
     };
-    let causal = run(Rc::new(CausalSuite::new(Technique::Vcausal, true)));
-    let pess = run(Rc::new(PessimisticSuite::new()));
+    let causal = run(Arc::new(CausalSuite::new(Technique::Vcausal, true)));
+    let pess = run(Arc::new(PessimisticSuite::new()));
     let per_roundtrip_extra_us = (pess.as_micros_f64() - causal.as_micros_f64()) / 100.0;
     assert!(
         per_roundtrip_extra_us > 50.0,
@@ -79,7 +79,7 @@ fn el_acknowledgements_suppress_piggybacks_over_time() {
     let run = |el: bool| {
         let report = run_cluster(
             &ClusterConfig::new(2),
-            Rc::new(CausalSuite::new(Technique::Vcausal, el)),
+            Arc::new(CausalSuite::new(Technique::Vcausal, el)),
             spaced(),
             &FaultPlan::none(),
         );
@@ -113,7 +113,7 @@ fn checkpoint_commit_prunes_peer_sender_logs() {
     // the image covers; observable as bounded recovery traffic. Here we
     // simply assert the GC notices flow and the run completes with
     // checkpoints on all ranks.
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(3)),
     );
     let report = run_cluster(
@@ -141,7 +141,7 @@ fn checkpoint_commit_prunes_peer_sender_logs() {
 fn coordinated_snapshot_completes_with_in_flight_traffic() {
     // Streams of messages cross the snapshot line; every rank must still
     // close all channels and commit the same snapshot id.
-    let suite = Rc::new(CoordinatedSuite::new(SimDuration::from_millis(4)));
+    let suite = Arc::new(CoordinatedSuite::new(SimDuration::from_millis(4)));
     let report = run_cluster(
         &ClusterConfig::new(4),
         suite,
@@ -169,7 +169,7 @@ fn coordinated_snapshot_completes_with_in_flight_traffic() {
 
 #[test]
 fn coordinated_survives_fault_landing_during_a_snapshot() {
-    let suite = Rc::new(CoordinatedSuite::new(SimDuration::from_millis(4)));
+    let suite = Arc::new(CoordinatedSuite::new(SimDuration::from_millis(4)));
     let mut cfg = ClusterConfig::new(3);
     cfg.detect_delay = SimDuration::from_millis(8);
     cfg.event_limit = Some(50_000_000);

@@ -3,8 +3,7 @@
 //! consumed before the crash (this once failed with receptions skipped
 //! when a checkpoint landed between message acceptance and delivery).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
@@ -18,7 +17,7 @@ fn token(rank: usize, it: u64) -> Vec<u8> {
 fn replayed_sequence_is_exact() {
     for technique in [Technique::Vcausal, Technique::Manetho, Technique::LogOn] {
         for el in [true, false] {
-            let mismatches: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+            let mismatches: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
             let m2 = mismatches.clone();
             let iters = 80u64;
             let prog = app(move |mpi| {
@@ -45,7 +44,8 @@ fn replayed_sequence_is_exact() {
                             .await;
                         if m.payload.data.to_vec() != token(left, it) {
                             mismatches
-                                .borrow_mut()
+                                .lock()
+                                .unwrap()
                                 .push(format!("rank {me} it {it}: {:?}", m.payload.data));
                         }
                     }
@@ -54,16 +54,16 @@ fn replayed_sequence_is_exact() {
             let mut c = ClusterConfig::new(3);
             c.detect_delay = SimDuration::from_millis(10);
             c.event_limit = Some(20_000_000);
-            let suite = Rc::new(
+            let suite = Arc::new(
                 CausalSuite::new(technique, el).with_checkpoints(SimDuration::from_millis(4)),
             );
             let faults = FaultPlan::kill_at(SimDuration::from_millis(10), 0);
             let report = run_cluster(&c, suite, prog, &faults);
             assert!(report.completed, "{technique:?} el={el}: incomplete");
             assert!(
-                mismatches.borrow().is_empty(),
+                mismatches.lock().unwrap().is_empty(),
                 "{technique:?} el={el}: replay diverged: {:?}",
-                mismatches.borrow()
+                mismatches.lock().unwrap()
             );
         }
     }

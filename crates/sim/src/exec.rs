@@ -1,4 +1,4 @@
-//! Single-threaded async process model.
+//! Single-threaded async process model over a `Send` core.
 //!
 //! Simulated application processes (MPI ranks in the reproduction) are
 //! ordinary `async` blocks. Every blocking operation — send, receive,
@@ -18,12 +18,22 @@
 //! through the [`ExecHandle`]; the run loop flushes staged events into the
 //! real queue between polls. This mirrors the paper's architecture where
 //! the MPI process only talks to its communication daemon through a pipe.
+//!
+//! # Ownership and `Send`
+//!
+//! Tasks and actors live in arena slots owned by the kernel and are
+//! addressed by index+generation handles ([`TaskId`],
+//! [`ActorId`](crate::kernel::ActorId)). The only genuinely shared state
+//! is [`ExecShared`] (kernel ↔ task futures) and the one-shot [`OpCell`]s
+//! (kernel ↔ one waiting task); both are `Arc<Mutex<…>>` so a whole
+//! simulation — futures included — is `Send` and independent cluster runs
+//! can be sharded across worker threads. Each run stays single-threaded,
+//! so the mutexes are never contended.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::kernel::Event;
@@ -36,6 +46,9 @@ pub struct TaskId {
     pub(crate) idx: u32,
     pub(crate) gen: u32,
 }
+
+/// Shared handle on [`ExecShared`].
+pub(crate) type SharedExec = Arc<Mutex<ExecShared>>;
 
 /// State shared between the kernel, task handles and operation cells.
 pub(crate) struct ExecShared {
@@ -52,8 +65,8 @@ pub(crate) struct ExecShared {
 }
 
 impl ExecShared {
-    pub(crate) fn new() -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(ExecShared {
+    pub(crate) fn new() -> SharedExec {
+        Arc::new(Mutex::new(ExecShared {
             ready: VecDeque::new(),
             current: None,
             staged: Vec::new(),
@@ -66,14 +79,14 @@ impl ExecShared {
 /// Clonable handle on the executor, usable from task context.
 #[derive(Clone)]
 pub struct ExecHandle {
-    pub(crate) shared: Rc<RefCell<ExecShared>>,
+    pub(crate) shared: SharedExec,
 }
 
 impl ExecHandle {
     /// Creates a fresh operation cell bound to this executor.
-    pub fn new_op<T: 'static>(&self) -> OpCell<T> {
+    pub fn new_op<T: Send + 'static>(&self) -> OpCell<T> {
         OpCell {
-            inner: Rc::new(RefCell::new(OpInner {
+            inner: Arc::new(Mutex::new(OpInner {
                 result: None,
                 waiter: None,
                 exec: self.shared.clone(),
@@ -84,7 +97,7 @@ impl ExecHandle {
     /// Stages an event to fire `delay` after the current virtual time.
     /// Callable from task context; the run loop flushes it.
     pub fn stage(&self, delay: SimDuration, ev: Event) {
-        self.shared.borrow_mut().staged.push((delay, ev));
+        self.shared.lock().unwrap().staged.push((delay, ev));
     }
 
     /// Stages an actor poke (used by pipes between processes and daemons).
@@ -94,7 +107,7 @@ impl ExecHandle {
 
     /// Requests the simulation loop to stop at the next opportunity.
     pub fn stage_stop(&self) {
-        self.shared.borrow_mut().stop = true;
+        self.shared.lock().unwrap().stop = true;
     }
 
     /// Suspends the calling task for `dur` of virtual time.
@@ -108,7 +121,8 @@ impl ExecHandle {
     /// The task being polled right now. Panics outside task context.
     pub fn current_task(&self) -> TaskId {
         self.shared
-            .borrow()
+            .lock()
+            .unwrap()
             .current
             .expect("current_task() called outside task context")
     }
@@ -116,20 +130,20 @@ impl ExecHandle {
     /// Current virtual time, readable from task context. Applications use
     /// this through `Mpi::time()` for in-program measurements.
     pub fn now(&self) -> crate::time::SimTime {
-        self.shared.borrow().now
+        self.shared.lock().unwrap().now
     }
 }
 
 struct OpInner<T> {
     result: Option<T>,
     waiter: Option<TaskId>,
-    exec: Rc<RefCell<ExecShared>>,
+    exec: SharedExec,
 }
 
 /// A one-shot completion cell: the kernel side calls [`OpCell::complete`],
 /// the task side awaits [`OpCell::wait`]. Clonable (shared ownership).
 pub struct OpCell<T> {
-    inner: Rc<RefCell<OpInner<T>>>,
+    inner: Arc<Mutex<OpInner<T>>>,
 }
 
 impl<T> Clone for OpCell<T> {
@@ -140,23 +154,23 @@ impl<T> Clone for OpCell<T> {
     }
 }
 
-impl<T: 'static> OpCell<T> {
+impl<T: Send + 'static> OpCell<T> {
     /// Completes the operation. If a task is waiting it becomes ready.
     ///
     /// Panics if the cell was already completed: operations are one-shot,
     /// a double completion is a kernel bug.
     pub fn complete(&self, value: T) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         assert!(inner.result.is_none(), "OpCell completed twice");
         inner.result = Some(value);
         if let Some(t) = inner.waiter.take() {
-            inner.exec.borrow_mut().ready.push_back(t);
+            inner.exec.lock().unwrap().ready.push_back(t);
         }
     }
 
     /// True once `complete` has been called and the value not yet consumed.
     pub fn is_done(&self) -> bool {
-        self.inner.borrow().result.is_some()
+        self.inner.lock().unwrap().result.is_some()
     }
 
     /// Returns the future resolving to the completed value.
@@ -169,20 +183,21 @@ impl<T: 'static> OpCell<T> {
 
 /// Future returned by [`OpCell::wait`].
 pub struct OpFuture<T> {
-    inner: Rc<RefCell<OpInner<T>>>,
+    inner: Arc<Mutex<OpInner<T>>>,
 }
 
-impl<T: 'static> Future for OpFuture<T> {
+impl<T: Send + 'static> Future for OpFuture<T> {
     type Output = T;
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         if let Some(v) = inner.result.take() {
             Poll::Ready(v)
         } else {
             let current = inner
                 .exec
-                .borrow()
+                .lock()
+                .unwrap()
                 .current
                 .expect("OpFuture polled outside task context");
             inner.waiter = Some(current);
@@ -193,10 +208,10 @@ impl<T: 'static> Future for OpFuture<T> {
 
 /// Storage for one spawned task.
 pub(crate) struct TaskSlot {
-    pub(crate) fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    pub(crate) fut: Option<Pin<Box<dyn Future<Output = ()> + Send>>>,
     pub(crate) gen: u32,
     pub(crate) node: Option<crate::kernel::NodeId>,
-    pub(crate) on_exit: Option<Box<dyn FnOnce(&mut crate::kernel::Sim)>>,
+    pub(crate) on_exit: Option<Box<dyn FnOnce(&mut crate::kernel::Sim) + Send>>,
 }
 
 /// A waker that does nothing: readiness is signalled through the executor's
@@ -256,23 +271,32 @@ mod tests {
     #[test]
     fn two_tasks_interleave_deterministically() {
         let mut sim = Sim::new(1);
-        let log: Rc<RefCell<Vec<(u64, &'static str)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log: Arc<Mutex<Vec<(u64, &'static str)>>> = Arc::new(Mutex::new(Vec::new()));
         for (name, step) in [("a", 3u64), ("b", 5u64)] {
             let h = sim.exec();
             let log = log.clone();
             sim.spawn_detached(async move {
                 for _ in 0..3 {
                     h.sleep(SimDuration::from_micros(step)).await;
-                    log.borrow_mut().push((step, name));
+                    log.lock().unwrap().push((step, name));
                 }
             });
         }
         sim.run();
-        let got = log.borrow().clone();
+        let got = log.lock().unwrap().clone();
         assert_eq!(
             got,
             vec![(3, "a"), (5, "b"), (3, "a"), (3, "a"), (5, "b"), (5, "b")]
         );
         assert_eq!(sim.now().as_nanos(), 15_000);
+    }
+
+    #[test]
+    fn handles_and_cells_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ExecHandle>();
+        assert_send::<OpCell<u64>>();
+        assert_send::<OpFuture<()>>();
+        assert_send::<TaskId>();
     }
 }

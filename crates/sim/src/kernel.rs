@@ -20,15 +20,13 @@
 //! the process.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::exec::{noop_waker, ExecHandle, ExecShared, TaskId, TaskSlot};
+use crate::exec::{noop_waker, ExecHandle, ExecShared, SharedExec, TaskId, TaskSlot};
 use crate::net::{EthernetParams, Network, WireSize};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
@@ -45,13 +43,13 @@ pub struct Delivery {
     /// Wire-size accounting used for statistics.
     pub size: WireSize,
     /// The message body; actors downcast to their protocol type.
-    pub body: Box<dyn Any>,
+    pub body: Box<dyn Any + Send>,
 }
 
 /// An entry in the simulation calendar.
 pub enum Event {
     /// Arbitrary kernel-context work (fault injection, op completion, ...).
-    Closure(Box<dyn FnOnce(&mut Sim)>),
+    Closure(Box<dyn FnOnce(&mut Sim) + Send>),
     /// Wakes an actor without carrying data (pipe readable, batch flush...).
     Poke { actor: ActorId, token: u64 },
     /// A timer set through [`Sim::set_timer`].
@@ -70,7 +68,7 @@ pub enum Event {
 
 impl Event {
     /// Convenience constructor for closure events.
-    pub fn closure(f: impl FnOnce(&mut Sim) + 'static) -> Event {
+    pub fn closure(f: impl FnOnce(&mut Sim) + Send + 'static) -> Event {
         Event::Closure(Box::new(f))
     }
 }
@@ -79,7 +77,7 @@ impl Event {
 ///
 /// Handlers receive `&mut Sim` so they can schedule events, send messages
 /// and charge CPU time. The kernel guarantees a handler is never re-entered.
-pub trait Actor: 'static {
+pub trait Actor: Send + 'static {
     /// A message addressed to this actor arrived.
     fn on_deliver(&mut self, sim: &mut Sim, me: ActorId, msg: Delivery);
     /// A poke (data-less wake-up) arrived.
@@ -155,7 +153,7 @@ pub struct Sim {
     queue: BinaryHeap<Reverse<QEntry>>,
     actors: Vec<ActorSlot>,
     tasks: Vec<TaskSlot>,
-    exec: Rc<RefCell<ExecShared>>,
+    exec: SharedExec,
     net: Network,
     /// Per-node sequential service-CPU resource (daemon work, servers).
     cpu_free: Vec<SimTime>,
@@ -305,7 +303,7 @@ impl Sim {
     }
 
     /// Schedules kernel-context work `delay` from now.
-    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) {
+    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + Send + 'static) {
         self.schedule(delay, Event::closure(f));
     }
 
@@ -333,7 +331,7 @@ impl Sim {
         src_node: NodeId,
         dst_actor: ActorId,
         size: WireSize,
-        body: Box<dyn Any>,
+        body: Box<dyn Any + Send>,
     ) {
         let slot = &self.actors[dst_actor];
         let dst_node = slot.node;
@@ -361,7 +359,7 @@ impl Sim {
         src_node: NodeId,
         dst_actor: ActorId,
         size: WireSize,
-        body: Box<dyn Any>,
+        body: Box<dyn Any + Send>,
         delay: SimDuration,
     ) {
         let gen = self.actors[dst_actor].gen;
@@ -397,7 +395,7 @@ impl Sim {
     pub fn spawn(
         &mut self,
         node: Option<NodeId>,
-        fut: impl std::future::Future<Output = ()> + 'static,
+        fut: impl std::future::Future<Output = ()> + Send + 'static,
     ) -> TaskId {
         self.spawn_inner(node, Box::pin(fut), None)
     }
@@ -406,8 +404,8 @@ impl Sim {
     pub fn spawn_with_exit(
         &mut self,
         node: Option<NodeId>,
-        fut: impl std::future::Future<Output = ()> + 'static,
-        on_exit: impl FnOnce(&mut Sim) + 'static,
+        fut: impl std::future::Future<Output = ()> + Send + 'static,
+        on_exit: impl FnOnce(&mut Sim) + Send + 'static,
     ) -> TaskId {
         self.spawn_inner(node, Box::pin(fut), Some(Box::new(on_exit)))
     }
@@ -415,7 +413,7 @@ impl Sim {
     /// Spawns a task bound to no node (test harness helpers).
     pub fn spawn_detached(
         &mut self,
-        fut: impl std::future::Future<Output = ()> + 'static,
+        fut: impl std::future::Future<Output = ()> + Send + 'static,
     ) -> TaskId {
         self.spawn(None, fut)
     }
@@ -423,8 +421,8 @@ impl Sim {
     fn spawn_inner(
         &mut self,
         node: Option<NodeId>,
-        fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
-        on_exit: Option<Box<dyn FnOnce(&mut Sim)>>,
+        fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send>>,
+        on_exit: Option<Box<dyn FnOnce(&mut Sim) + Send>>,
     ) -> TaskId {
         // Reuse a dead slot if possible to keep indices small.
         let idx = self
@@ -454,7 +452,7 @@ impl Sim {
             idx: idx as u32,
             gen,
         };
-        self.exec.borrow_mut().ready.push_back(id);
+        self.exec.lock().unwrap().ready.push_back(id);
         id
     }
 
@@ -526,13 +524,13 @@ impl Sim {
             };
             if head.time > deadline {
                 self.now = deadline;
-                self.exec.borrow_mut().now = deadline;
+                self.exec.lock().unwrap().now = deadline;
                 return false;
             }
             let Reverse(entry) = self.queue.pop().unwrap();
             debug_assert!(entry.time >= self.now);
             self.now = entry.time;
-            self.exec.borrow_mut().now = entry.time;
+            self.exec.lock().unwrap().now = entry.time;
             self.dispatch(entry.event);
             self.drain_tasks();
             self.events_processed += 1;
@@ -594,7 +592,7 @@ impl Sim {
     fn drain_tasks(&mut self) {
         loop {
             self.flush_staged();
-            let next = self.exec.borrow_mut().ready.pop_front();
+            let next = self.exec.lock().unwrap().ready.pop_front();
             let Some(tid) = next else { break };
             self.poll_task(tid);
         }
@@ -603,7 +601,7 @@ impl Sim {
 
     fn flush_staged(&mut self) {
         let (staged, stop) = {
-            let mut ex = self.exec.borrow_mut();
+            let mut ex = self.exec.lock().unwrap();
             (std::mem::take(&mut ex.staged), ex.stop)
         };
         if stop {
@@ -623,11 +621,11 @@ impl Sim {
             }
         }
         let mut fut = self.tasks[idx].fut.take().unwrap();
-        self.exec.borrow_mut().current = Some(id);
+        self.exec.lock().unwrap().current = Some(id);
         let waker = noop_waker();
         let mut cx = std::task::Context::from_waker(&waker);
         let poll = fut.as_mut().poll(&mut cx);
-        self.exec.borrow_mut().current = None;
+        self.exec.lock().unwrap().current = None;
         let slot = &mut self.tasks[idx];
         match poll {
             std::task::Poll::Pending => {
@@ -655,17 +653,18 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Arc, Mutex};
 
     struct Echo {
-        got: Rc<RefCell<Vec<(NodeId, u64)>>>,
+        got: Arc<Mutex<Vec<(NodeId, u64)>>>,
     }
     impl Actor for Echo {
         fn on_deliver(&mut self, _sim: &mut Sim, _me: ActorId, msg: Delivery) {
             let v = *msg.body.downcast::<u64>().unwrap();
-            self.got.borrow_mut().push((msg.src_node, v));
+            self.got.lock().unwrap().push((msg.src_node, v));
         }
         fn on_timer(&mut self, _sim: &mut Sim, _me: ActorId, token: u64) {
-            self.got.borrow_mut().push((usize::MAX, token));
+            self.got.lock().unwrap().push((usize::MAX, token));
         }
     }
 
@@ -683,11 +682,11 @@ mod tests {
         let mut sim = Sim::new(7);
         let n0 = sim.add_node();
         let n1 = sim.add_node();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
         sim.net_send(n0, a, small(100), Box::new(42u64));
         sim.run();
-        assert_eq!(&*got.borrow(), &[(n0, 42u64)]);
+        assert_eq!(&*got.lock().unwrap(), &[(n0, 42u64)]);
         assert_eq!(sim.stats().messages, 1);
         assert_eq!(sim.stats().bytes.payload, 100);
         assert!(sim.now() > SimTime::ZERO);
@@ -697,14 +696,14 @@ mod tests {
     fn timers_respect_generation() {
         let mut sim = Sim::new(7);
         let n0 = sim.add_node();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let a = sim.add_actor(n0, Box::new(Echo { got: got.clone() }));
         sim.set_timer(a, SimDuration::from_micros(10), 1);
         // Replace before the timer fires: the timer must be dropped.
         sim.replace_actor(a, Box::new(Echo { got: got.clone() }));
         sim.set_timer(a, SimDuration::from_micros(20), 2);
         sim.run();
-        assert_eq!(&*got.borrow(), &[(usize::MAX, 2u64)]);
+        assert_eq!(&*got.lock().unwrap(), &[(usize::MAX, 2u64)]);
     }
 
     #[test]
@@ -712,13 +711,13 @@ mod tests {
         let mut sim = Sim::new(7);
         let n0 = sim.add_node();
         let n1 = sim.add_node();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
         sim.net_send(n0, a, small(10), Box::new(1u64));
         // Crash the receiver before delivery.
         sim.after(SimDuration::from_nanos(1), move |sim| sim.crash_node(1));
         sim.run();
-        assert!(got.borrow().is_empty());
+        assert!(got.lock().unwrap().is_empty());
         assert_eq!(sim.stats().get("net_dropped_dead_target"), 1);
         assert_eq!(sim.stats().get("node_crashes"), 1);
     }
@@ -728,7 +727,7 @@ mod tests {
         let mut sim = Sim::new(7);
         let n0 = sim.add_node();
         let n1 = sim.add_node();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let a = sim.add_actor(n1, Box::new(Echo { got: got.clone() }));
         sim.after(SimDuration::from_micros(1), move |sim| sim.crash_node(1));
         let got2 = got.clone();
@@ -737,7 +736,7 @@ mod tests {
             sim.net_send(0, a, small(10), Box::new(9u64));
         });
         sim.run();
-        assert_eq!(&*got.borrow(), &[(n0, 9u64)]);
+        assert_eq!(&*got.lock().unwrap(), &[(n0, 9u64)]);
         let _ = n1;
     }
 
@@ -756,22 +755,22 @@ mod tests {
         let mut sim = Sim::new(7);
         let n0 = sim.add_node();
         let h = sim.exec();
-        let hit = Rc::new(RefCell::new(false));
+        let hit = Arc::new(Mutex::new(false));
         let hit2 = hit.clone();
         let id = sim.spawn(Some(n0), async move {
             h.sleep(SimDuration::from_micros(10)).await;
-            *hit2.borrow_mut() = true;
+            *hit2.lock().unwrap() = true;
         });
         sim.after(SimDuration::from_micros(5), move |sim| sim.kill_task(id));
         sim.run();
-        assert!(!*hit.borrow());
+        assert!(!*hit.lock().unwrap());
         assert!(!sim.task_alive(id));
     }
 
     #[test]
     fn exit_callback_runs_on_completion_only() {
         let mut sim = Sim::new(7);
-        let done = Rc::new(RefCell::new(0));
+        let done = Arc::new(Mutex::new(0));
         let d = done.clone();
         let h = sim.exec();
         sim.spawn_with_exit(
@@ -779,29 +778,38 @@ mod tests {
             async move {
                 h.sleep(SimDuration::from_micros(1)).await;
             },
-            move |_| *d.borrow_mut() += 1,
+            move |_| *d.lock().unwrap() += 1,
         );
         sim.run();
-        assert_eq!(*done.borrow(), 1);
+        assert_eq!(*done.lock().unwrap(), 1);
     }
 
     #[test]
     fn run_until_pauses_and_resumes() {
         let mut sim = Sim::new(7);
         let h = sim.exec();
-        let count = Rc::new(RefCell::new(0));
+        let count = Arc::new(Mutex::new(0));
         let c = count.clone();
         sim.spawn_detached(async move {
             for _ in 0..10 {
                 h.sleep(SimDuration::from_micros(10)).await;
-                *c.borrow_mut() += 1;
+                *c.lock().unwrap() += 1;
             }
         });
         let finished = sim.run_until(SimTime::from_nanos(35_000));
         assert!(!finished);
-        assert_eq!(*count.borrow(), 3);
+        assert_eq!(*count.lock().unwrap(), 3);
         sim.run();
-        assert_eq!(*count.borrow(), 10);
+        assert_eq!(*count.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn sim_is_send() {
+        fn assert_send<T: Send>() {}
+        // A whole simulation — actors, tasks, queued events and futures
+        // included — must be movable to a worker thread so independent
+        // cluster runs can be sharded across threads.
+        assert_send::<Sim>();
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use bytes::Bytes;
 use vlog_sim::{ActorId, ExecHandle, OpCell, SimDuration, SimTime};
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::cost::StackProfile;
 use crate::pipe::{AppRequest, SharedPipe};
@@ -60,7 +60,7 @@ pub struct Mpi {
     exec: ExecHandle,
     pipe: SharedPipe,
     daemon: ActorId,
-    profile: Rc<StackProfile>,
+    profile: Arc<StackProfile>,
     restored: Option<Bytes>,
 }
 
@@ -72,7 +72,7 @@ impl Mpi {
         exec: ExecHandle,
         pipe: SharedPipe,
         daemon: ActorId,
-        profile: Rc<StackProfile>,
+        profile: Arc<StackProfile>,
         restored: Option<Bytes>,
     ) -> Mpi {
         Mpi {
@@ -108,7 +108,7 @@ impl Mpi {
     }
 
     fn push(&self, req: AppRequest, pipe_bytes: u64) {
-        self.pipe.borrow_mut().queue.push_back(req);
+        self.pipe.lock().unwrap().queue.push_back(req);
         let delay = self.profile.pipe_cost(pipe_bytes);
         self.exec.stage_poke(delay, self.daemon, 0);
     }

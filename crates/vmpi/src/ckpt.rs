@@ -11,9 +11,8 @@
 //! memory"*) — the protocol part travels in [`Image::proto`].
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, WireSize};
 
@@ -34,7 +33,7 @@ pub struct StoredMsg {
 /// Protocol section of an image. `body` is protocol-defined; `bytes` is
 /// its wire size.
 pub struct ImageProto {
-    pub body: Option<Rc<dyn Any>>,
+    pub body: Option<Arc<dyn Any + Send + Sync>>,
     pub bytes: u64,
 }
 
@@ -83,7 +82,10 @@ impl Image {
 pub enum CkptRequest {
     /// Store an image (transactional; replaces older versions once
     /// complete).
-    Store { image: Rc<Image>, reply_to: ActorId },
+    Store {
+        image: Arc<Image>,
+        reply_to: ActorId,
+    },
     /// Fetch an image for a rank: a specific version or the latest.
     Fetch {
         rank: Rank,
@@ -103,7 +105,7 @@ pub enum CkptReply {
     },
     FetchResp {
         rank: Rank,
-        image: Option<Rc<Image>>,
+        image: Option<Arc<Image>>,
     },
     CompleteResp {
         version: u64,
@@ -120,19 +122,19 @@ const SERVER_FIXED_NS: u64 = 20_000;
 /// failure during a store never leaves a rank without a restorable image.
 pub struct CkptServer {
     node: NodeId,
-    images: Rc<RefCell<BTreeMap<Rank, BTreeMap<u64, Rc<Image>>>>>,
+    images: Arc<Mutex<BTreeMap<Rank, BTreeMap<u64, Arc<Image>>>>>,
 }
 
 impl CkptServer {
     pub fn new(node: NodeId) -> Self {
         CkptServer {
             node,
-            images: Rc::new(RefCell::new(BTreeMap::new())),
+            images: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
     /// Shared view of the stored images (tests and harnesses).
-    pub fn images_handle(&self) -> Rc<RefCell<BTreeMap<Rank, BTreeMap<u64, Rc<Image>>>>> {
+    pub fn images_handle(&self) -> Arc<Mutex<BTreeMap<Rank, BTreeMap<u64, Arc<Image>>>>> {
         self.images.clone()
     }
 
@@ -168,7 +170,7 @@ impl Actor for CkptServer {
                 let rank = image.rank;
                 let version = image.version;
                 {
-                    let mut store = self.images.borrow_mut();
+                    let mut store = self.images.lock().unwrap();
                     let per_rank = store.entry(rank).or_default();
                     per_rank.insert(version, image);
                     // Transactional pruning: keep the two newest versions.
@@ -206,7 +208,7 @@ impl Actor for CkptServer {
                 reply_to,
             } => {
                 let image = {
-                    let store = self.images.borrow();
+                    let store = self.images.lock().unwrap();
                     store.get(&rank).and_then(|per_rank| match version {
                         Some(v) => per_rank.get(&v).cloned(),
                         None => per_rank.values().next_back().cloned(),
@@ -228,7 +230,7 @@ impl Actor for CkptServer {
             }
             CkptRequest::QueryComplete { n, reply_to } => {
                 let version = {
-                    let store = self.images.borrow();
+                    let store = self.images.lock().unwrap();
                     // Highest v present for every rank 0..n.
                     let mut v_candidates: Option<Vec<u64>> = None;
                     for r in 0..n {
@@ -258,10 +260,9 @@ impl Actor for CkptServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
 
-    fn image(rank: Rank, version: u64, bytes: u64) -> Rc<Image> {
-        Rc::new(Image {
+    fn image(rank: Rank, version: u64, bytes: u64) -> Arc<Image> {
+        Arc::new(Image {
             rank,
             version,
             app_state: Payload::synthetic(bytes),
@@ -276,7 +277,7 @@ mod tests {
     }
 
     struct Sink {
-        got: Rc<RefCell<Vec<String>>>,
+        got: Arc<Mutex<Vec<String>>>,
     }
     impl Actor for Sink {
         fn on_deliver(&mut self, _sim: &mut Sim, _me: ActorId, msg: Delivery) {
@@ -291,16 +292,16 @@ mod tests {
                 ),
                 CkptReply::CompleteResp { version } => format!("complete v{version}"),
             };
-            self.got.borrow_mut().push(s);
+            self.got.lock().unwrap().push(s);
         }
     }
 
-    fn setup() -> (Sim, ActorId, ActorId, Rc<RefCell<Vec<String>>>) {
+    fn setup() -> (Sim, ActorId, ActorId, Arc<Mutex<Vec<String>>>) {
         let mut sim = Sim::new(3);
         let server_node = sim.add_node();
         let client_node = sim.add_node();
         let server = sim.add_actor(server_node, Box::new(CkptServer::new(server_node)));
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let client = sim.add_actor(client_node, Box::new(Sink { got: got.clone() }));
         (sim, server, client, got)
     }
@@ -334,7 +335,7 @@ mod tests {
             );
         });
         sim.run();
-        assert_eq!(&*got.borrow(), &["ack 0 v1", "fetch 0 v1"]);
+        assert_eq!(&*got.lock().unwrap(), &["ack 0 v1", "fetch 0 v1"]);
     }
 
     #[test]
@@ -351,7 +352,7 @@ mod tests {
             16,
         );
         sim.run();
-        assert_eq!(&*got.borrow(), &["fetch 5 none"]);
+        assert_eq!(&*got.lock().unwrap(), &["fetch 5 none"]);
     }
 
     #[test]
@@ -391,7 +392,7 @@ mod tests {
             );
         });
         sim.run();
-        let log = got.borrow();
+        let log = got.lock().unwrap();
         assert!(log.contains(&"fetch 0 none".to_string())); // v2 pruned
         assert!(log.contains(&"fetch 0 v4".to_string()));
     }
@@ -423,7 +424,7 @@ mod tests {
             );
         });
         sim.run();
-        assert!(got.borrow().contains(&"complete v1".to_string()));
+        assert!(got.lock().unwrap().contains(&"complete v1".to_string()));
     }
 
     #[test]

@@ -7,9 +7,15 @@
 //! the protocol suite (the Event Logger lives there for causal
 //! protocols) — then runs an application program to completion under an
 //! optional fault plan.
+//!
+//! A fully built deployment is a [`ClusterRun`]: a self-contained `Send`
+//! value owning the simulation, so independent `(config, seed)` runs can
+//! be fanned out across worker threads (the sweep driver in `vlog-bench`
+//! does exactly that). Building and running are separate so harnesses can
+//! construct runs on one thread and execute them on another.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use vlog_sim::{EthernetParams, Event, Sim, SimConfig, SimDuration, SimTime, Stats};
 
@@ -135,167 +141,217 @@ impl RunReport {
     }
 }
 
-/// Builds the deployment, runs `program` on every rank under `suite` and
-/// `faults`, and reports.
-pub fn run_cluster(
-    cfg: &ClusterConfig,
-    suite: Rc<dyn Suite>,
-    program: AppSpec,
-    faults: &FaultPlan,
-) -> RunReport {
-    let mut sim = Sim::with_config(SimConfig {
-        seed: cfg.seed,
-        net: cfg.net.clone(),
-        event_limit: cfg.event_limit,
-    });
-    let topo = Topology::new();
-    let n = cfg.ranks;
-    let profile = Rc::new(cfg.profile.clone());
+/// A fully built, not-yet-executed cluster run. Owns the simulation and
+/// every harness-side handle; `Send`, so it can be handed to a worker
+/// thread and executed there (see the compile-time assertion below).
+pub struct ClusterRun {
+    sim: Sim,
+    suite_name: String,
+    rank_stats: Vec<SharedRankStats>,
+    all_done: Arc<AtomicBool>,
+    time_limit: Option<SimDuration>,
+}
 
-    // Computing nodes first so node id == rank.
-    let rank_nodes: Vec<_> = (0..n).map(|_| sim.add_node()).collect();
-    let stable_a = sim.add_node(); // checkpoint server + dispatcher + scheduler
-    let stable_b = sim.add_node(); // protocol suite components (Event Logger)
+// Compile-time guarantee: a complete cluster run — kernel, actors,
+// protocol state, application futures, harness handles — is `Send`.
+// Sharding sweeps across threads depends on this; breaking it is a
+// build error, not a runtime surprise.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ClusterRun>();
+    assert_send::<RunReport>();
+};
 
-    let ckpt = sim.add_actor(stable_a, Box::new(CkptServer::new(stable_a)));
-    topo.set_ckpt_server(ckpt, stable_a);
+impl ClusterRun {
+    /// Builds the deployment for `program` on every rank under `suite`
+    /// and `faults` without executing any event.
+    pub fn build(
+        cfg: &ClusterConfig,
+        suite: Arc<dyn Suite>,
+        program: AppSpec,
+        faults: &FaultPlan,
+    ) -> ClusterRun {
+        let mut sim = Sim::with_config(SimConfig {
+            seed: cfg.seed,
+            net: cfg.net.clone(),
+            event_limit: cfg.event_limit,
+        });
+        let topo = Topology::new();
+        let n = cfg.ranks;
+        let profile = Arc::new(cfg.profile.clone());
 
-    // Per-rank stats and daemon slot reservation. The slots must exist
-    // (and the topology must know the rank count) before suite components
-    // such as the checkpoint scheduler are installed.
-    let rank_stats: Vec<SharedRankStats> = (0..n)
-        .map(|_| Rc::new(std::cell::RefCell::new(RankStats::default())))
-        .collect();
-    // Placeholder actor used to reserve daemon slot ids before the
-    // daemons themselves exist (they need their own address).
-    struct Placeholder;
-    impl vlog_sim::Actor for Placeholder {
-        fn on_deliver(&mut self, _: &mut Sim, _: vlog_sim::ActorId, _: vlog_sim::Delivery) {}
-    }
-    let mut daemon_ids = Vec::with_capacity(n);
-    for rank in 0..n {
-        let me = sim.add_actor(rank_nodes[rank], Box::new(Placeholder));
-        daemon_ids.push(me);
-    }
-    topo.set_ranks(daemon_ids.clone(), rank_nodes.clone());
+        // Computing nodes first so node id == rank.
+        let rank_nodes: Vec<_> = (0..n).map(|_| sim.add_node()).collect();
+        let stable_a = sim.add_node(); // checkpoint server + dispatcher + scheduler
+        let stable_b = sim.add_node(); // protocol suite components (Event Logger)
 
-    // Protocol-suite components (Event Logger, checkpoint scheduler...).
-    suite.install(&mut sim, &topo, &[stable_b, stable_a]);
-    for rank in 0..n {
-        let proto = suite.make_protocol(rank, &topo, rank_stats[rank].clone());
-        let daemon = Vdaemon::new(
-            rank,
-            n,
-            rank_nodes[rank],
-            daemon_ids[rank],
-            topo.clone(),
-            profile.clone(),
-            rank_stats[rank].clone(),
-            program.clone(),
-            proto,
-            BootMode::Fresh,
-        );
-        sim.replace_actor(daemon_ids[rank], Box::new(daemon));
-        sim.schedule(
-            SimDuration::ZERO,
-            Event::Poke {
-                actor: daemon_ids[rank],
-                token: TOKEN_BOOT,
-            },
-        );
-    }
+        let ckpt = sim.add_actor(stable_a, Box::new(CkptServer::new(stable_a)));
+        topo.set_ckpt_server(ckpt, stable_a);
 
-    // Relaunch closure used by the dispatcher.
-    let relaunch: RelaunchFn = {
-        let topo = topo.clone();
-        let suite = suite.clone();
-        let profile = profile.clone();
-        let rank_stats = rank_stats.clone();
-        let program = program.clone();
-        Rc::new(move |sim: &mut Sim, rank: Rank, mode: BootMode| {
-            let me = topo.daemon(rank);
+        // Per-rank stats and daemon slot reservation. The slots must exist
+        // (and the topology must know the rank count) before suite components
+        // such as the checkpoint scheduler are installed.
+        let rank_stats: Vec<SharedRankStats> = (0..n)
+            .map(|_| Arc::new(std::sync::Mutex::new(RankStats::default())))
+            .collect();
+        // Placeholder actor used to reserve daemon slot ids before the
+        // daemons themselves exist (they need their own address).
+        struct Placeholder;
+        impl vlog_sim::Actor for Placeholder {
+            fn on_deliver(&mut self, _: &mut Sim, _: vlog_sim::ActorId, _: vlog_sim::Delivery) {}
+        }
+        let mut daemon_ids = Vec::with_capacity(n);
+        for rank in 0..n {
+            let me = sim.add_actor(rank_nodes[rank], Box::new(Placeholder));
+            daemon_ids.push(me);
+        }
+        topo.set_ranks(daemon_ids.clone(), rank_nodes.clone());
+
+        // Protocol-suite components (Event Logger, checkpoint scheduler...).
+        suite.install(&mut sim, &topo, &[stable_b, stable_a]);
+        for rank in 0..n {
             let proto = suite.make_protocol(rank, &topo, rank_stats[rank].clone());
             let daemon = Vdaemon::new(
                 rank,
-                topo.n_ranks(),
-                topo.node(rank),
-                me,
+                n,
+                rank_nodes[rank],
+                daemon_ids[rank],
                 topo.clone(),
                 profile.clone(),
                 rank_stats[rank].clone(),
                 program.clone(),
                 proto,
-                mode,
+                BootMode::Fresh,
             );
-            sim.replace_actor(me, Box::new(daemon));
+            sim.replace_actor(daemon_ids[rank], Box::new(daemon));
             sim.schedule(
                 SimDuration::ZERO,
                 Event::Poke {
-                    actor: me,
+                    actor: daemon_ids[rank],
                     token: TOKEN_BOOT,
                 },
             );
-        })
-    };
+        }
 
-    let all_done = Rc::new(Cell::new(false));
-    let dispatcher = Dispatcher::new(
-        stable_a,
-        n,
-        topo.clone(),
-        relaunch,
-        suite.recovery_style(),
-        cfg.stop_on_completion,
-        all_done.clone(),
-    );
-    let disp_id = sim.add_actor(stable_a, Box::new(dispatcher));
-    topo.set_dispatcher(disp_id, stable_a);
+        // Relaunch closure used by the dispatcher.
+        let relaunch: RelaunchFn = {
+            let topo = topo.clone();
+            let suite = suite.clone();
+            let profile = profile.clone();
+            let rank_stats = rank_stats.clone();
+            let program = program.clone();
+            Arc::new(move |sim: &mut Sim, rank: Rank, mode: BootMode| {
+                let me = topo.daemon(rank);
+                let proto = suite.make_protocol(rank, &topo, rank_stats[rank].clone());
+                let daemon = Vdaemon::new(
+                    rank,
+                    topo.n_ranks(),
+                    topo.node(rank),
+                    me,
+                    topo.clone(),
+                    profile.clone(),
+                    rank_stats[rank].clone(),
+                    program.clone(),
+                    proto,
+                    mode,
+                );
+                sim.replace_actor(me, Box::new(daemon));
+                sim.schedule(
+                    SimDuration::ZERO,
+                    Event::Poke {
+                        actor: me,
+                        token: TOKEN_BOOT,
+                    },
+                );
+            })
+        };
 
-    // Fault plan: crash now, notify the dispatcher after the detection
-    // delay.
-    for &(t, rank) in &faults.faults {
-        let node = rank_nodes[rank];
-        sim.after(t, move |sim| {
-            sim.crash_node(node);
-        });
-        let detect = t + cfg.detect_delay;
-        sim.after(detect, move |sim| {
-            sim.local_send(
-                stable_a,
-                disp_id,
-                vlog_sim::WireSize::default(),
-                Box::new(DispatcherMsg::Fault { rank }),
-                SimDuration::from_micros(1),
-            );
-        });
+        let all_done = Arc::new(AtomicBool::new(false));
+        let dispatcher = Dispatcher::new(
+            stable_a,
+            n,
+            topo.clone(),
+            relaunch,
+            suite.recovery_style(),
+            cfg.stop_on_completion,
+            all_done.clone(),
+        );
+        let disp_id = sim.add_actor(stable_a, Box::new(dispatcher));
+        topo.set_dispatcher(disp_id, stable_a);
+
+        // Fault plan: crash now, notify the dispatcher after the detection
+        // delay.
+        for &(t, rank) in &faults.faults {
+            let node = rank_nodes[rank];
+            sim.after(t, move |sim| {
+                sim.crash_node(node);
+            });
+            let detect = t + cfg.detect_delay;
+            sim.after(detect, move |sim| {
+                sim.local_send(
+                    stable_a,
+                    disp_id,
+                    vlog_sim::WireSize::default(),
+                    Box::new(DispatcherMsg::Fault { rank }),
+                    SimDuration::from_micros(1),
+                );
+            });
+        }
+
+        ClusterRun {
+            sim,
+            suite_name: suite.name(),
+            rank_stats,
+            all_done,
+            time_limit: cfg.time_limit,
+        }
     }
 
-    let completed = match cfg.time_limit {
-        Some(tl) => {
-            sim.run_until(SimTime::ZERO + tl);
-            all_done.get()
-        }
-        None => {
-            sim.run();
-            all_done.get()
-        }
-    };
+    /// Executes the run to completion (or to the configured time limit)
+    /// and reports.
+    pub fn run(mut self) -> RunReport {
+        let completed = match self.time_limit {
+            Some(tl) => {
+                self.sim.run_until(SimTime::ZERO + tl);
+                self.all_done.load(Ordering::Relaxed)
+            }
+            None => {
+                self.sim.run();
+                self.all_done.load(Ordering::Relaxed)
+            }
+        };
 
-    RunReport {
-        suite: suite.name(),
-        makespan: sim.now().saturating_since(SimTime::ZERO),
-        completed,
-        stats: sim.stats().clone(),
-        rank_stats: rank_stats.iter().map(|s| s.borrow().clone()).collect(),
-        events: sim.events_processed(),
+        RunReport {
+            suite: self.suite_name,
+            makespan: self.sim.now().saturating_since(SimTime::ZERO),
+            completed,
+            stats: self.sim.stats().clone(),
+            rank_stats: self
+                .rank_stats
+                .iter()
+                .map(|s| s.lock().unwrap().clone())
+                .collect(),
+            events: self.sim.events_processed(),
+        }
     }
+}
+
+/// Builds the deployment, runs `program` on every rank under `suite` and
+/// `faults`, and reports.
+pub fn run_cluster(
+    cfg: &ClusterConfig,
+    suite: Arc<dyn Suite>,
+    program: AppSpec,
+    faults: &FaultPlan,
+) -> RunReport {
+    ClusterRun::build(cfg, suite, program, faults).run()
 }
 
 /// Convenience: run a program under [`crate::vdummy::VdummySuite`].
 pub fn run_vdummy(cfg: &ClusterConfig, program: AppSpec) -> RunReport {
     run_cluster(
         cfg,
-        Rc::new(crate::vdummy::VdummySuite),
+        Arc::new(crate::vdummy::VdummySuite),
         program,
         &FaultPlan::none(),
     )

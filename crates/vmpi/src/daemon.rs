@@ -24,7 +24,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use vlog_sim::{
@@ -52,16 +52,18 @@ const SELF_DELAY: SimDuration = SimDuration::from_micros(1);
 /// Local snapshot memcpy cost (ns per image byte).
 const SNAPSHOT_NS_PER_BYTE: f64 = 2.0;
 
-/// An application program: invoked once per incarnation.
-pub type AppSpec = Rc<dyn Fn(Mpi) -> Pin<Box<dyn Future<Output = ()>>>>;
+/// An application program: invoked once per incarnation. The returned
+/// futures must be `Send` so a whole cluster run can be moved to a worker
+/// thread.
+pub type AppSpec = Arc<dyn Fn(Mpi) -> Pin<Box<dyn Future<Output = ()> + Send>> + Send + Sync>;
 
 /// Wraps an async closure into an [`AppSpec`].
 pub fn app<F, Fut>(f: F) -> AppSpec
 where
-    F: Fn(Mpi) -> Fut + 'static,
-    Fut: Future<Output = ()> + 'static,
+    F: Fn(Mpi) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = ()> + Send + 'static,
 {
-    Rc::new(move |mpi| Box::pin(f(mpi)))
+    Arc::new(move |mpi| Box::pin(f(mpi)))
 }
 
 /// How a daemon instance starts.
@@ -129,7 +131,7 @@ pub struct DaemonCore {
     node: NodeId,
     me: ActorId,
     topo: Topology,
-    profile: Rc<StackProfile>,
+    profile: Arc<StackProfile>,
     stats: SharedRankStats,
     app_spec: AppSpec,
 
@@ -223,7 +225,7 @@ impl DaemonCore {
     }
 
     /// Sends a protocol control message to the daemon of another rank.
-    pub fn control_to_rank(&self, sim: &mut Sim, dst: Rank, bytes: u64, body: Box<dyn Any>) {
+    pub fn control_to_rank(&self, sim: &mut Sim, dst: Rank, bytes: u64, body: Box<dyn Any + Send>) {
         let actor = self.topo.daemon(dst);
         self.control_to_actor(sim, actor, bytes, body_as_daemon(body));
     }
@@ -231,7 +233,13 @@ impl DaemonCore {
     /// Sends a control message to an arbitrary actor (Event Logger,
     /// checkpoint server...), choosing loopback vs network automatically.
     /// Large controls are paced (see [`stream_control`]).
-    pub fn control_to_actor(&self, sim: &mut Sim, actor: ActorId, bytes: u64, body: Box<dyn Any>) {
+    pub fn control_to_actor(
+        &self,
+        sim: &mut Sim,
+        actor: ActorId,
+        bytes: u64,
+        body: Box<dyn Any + Send>,
+    ) {
         stream_control(sim, self.node, actor, bytes, body);
     }
 
@@ -328,7 +336,7 @@ impl DaemonCore {
         if self.recovering {
             self.recovering = false;
             let dt = sim.now().saturating_since(self.recover_start);
-            self.stats.borrow_mut().recovery_total.push(dt);
+            self.stats.lock().unwrap().recovery_total.push(dt);
         }
     }
 
@@ -396,7 +404,7 @@ impl DaemonCore {
 }
 
 /// Wraps a protocol control body into the daemon wire envelope.
-fn body_as_daemon(body: Box<dyn Any>) -> Box<dyn Any> {
+fn body_as_daemon(body: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
     Box::new(DaemonMsg::Proto(body))
 }
 
@@ -418,7 +426,7 @@ pub fn stream_control(
     src_node: NodeId,
     dst: ActorId,
     bytes: u64,
-    body: Box<dyn Any>,
+    body: Box<dyn Any + Send>,
 ) {
     if sim.actor_node(dst) == src_node {
         sim.local_send(src_node, dst, WireSize::control(bytes), body, SELF_DELAY);
@@ -457,7 +465,7 @@ impl Vdaemon {
         node: NodeId,
         me: ActorId,
         topo: Topology,
-        profile: Rc<StackProfile>,
+        profile: Arc<StackProfile>,
         stats: SharedRankStats,
         app_spec: AppSpec,
         proto: Box<dyn VProtocol>,
@@ -523,7 +531,7 @@ impl Vdaemon {
         }
     }
 
-    fn finish_restart(&mut self, sim: &mut Sim, image: Option<Rc<Image>>) {
+    fn finish_restart(&mut self, sim: &mut Sim, image: Option<Arc<Image>>) {
         let (restored, blob) = match image {
             Some(img) => {
                 self.core.next_ssn = img.next_ssn.clone();
@@ -556,7 +564,7 @@ impl Vdaemon {
 
     fn drain_pipe(&mut self, sim: &mut Sim) {
         loop {
-            let req = self.core.pipe.borrow_mut().queue.pop_front();
+            let req = self.core.pipe.lock().unwrap().queue.pop_front();
             let Some(req) = req else { break };
             match req {
                 AppRequest::Send {
@@ -675,7 +683,7 @@ impl Vdaemon {
             self.proto.on_transmit(&mut ctx, dst, ssn)
         };
         {
-            let mut st = self.core.stats.borrow_mut();
+            let mut st = self.core.stats.lock().unwrap();
             st.app_msgs_sent += 1;
             st.pb_bytes_sent += pb.bytes;
             if pb.bytes == 0 {
@@ -784,7 +792,7 @@ impl Vdaemon {
             };
             self.proto.checkpoint_blob(&mut ctx)
         };
-        let image = Rc::new(Image {
+        let image = Arc::new(Image {
             rank: self.core.rank,
             version: pending.version,
             app_state: pending.app_state,
@@ -1057,7 +1065,7 @@ impl Actor for Vdaemon {
                     }
                 }
                 CkptReply::StoreAck { version, .. } => {
-                    self.core.stats.borrow_mut().checkpoints += 1;
+                    self.core.stats.lock().unwrap().checkpoints += 1;
                     let mut ctx = Ctx {
                         sim,
                         core: &mut self.core,

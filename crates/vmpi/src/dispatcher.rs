@@ -12,7 +12,8 @@
 //! ([`RecoveryStyle::GlobalRollback`], coordinated checkpointing).
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim};
 
@@ -22,8 +23,9 @@ use crate::hooks::{RecoveryStyle, Topology};
 use crate::types::Rank;
 
 /// Performs the actual relaunch of a rank: replaces the daemon actor in
-/// its slot and schedules its boot poke. Built by the cluster.
-pub type RelaunchFn = Rc<dyn Fn(&mut Sim, Rank, BootMode)>;
+/// its slot and schedules its boot poke. Built by the cluster; `Send +
+/// Sync` so a cluster run (which owns the dispatcher) stays `Send`.
+pub type RelaunchFn = Arc<dyn Fn(&mut Sim, Rank, BootMode) + Send + Sync>;
 
 /// Messages addressed to the dispatcher.
 pub enum DispatcherMsg {
@@ -42,7 +44,7 @@ pub struct Dispatcher {
     stop_on_completion: bool,
     done: BTreeSet<Rank>,
     stopped: bool,
-    all_done: Rc<std::cell::Cell<bool>>,
+    all_done: Arc<AtomicBool>,
 }
 
 impl Dispatcher {
@@ -53,7 +55,7 @@ impl Dispatcher {
         relaunch: RelaunchFn,
         style: RecoveryStyle,
         stop_on_completion: bool,
-        all_done: Rc<std::cell::Cell<bool>>,
+        all_done: Arc<AtomicBool>,
     ) -> Self {
         Dispatcher {
             node,
@@ -137,7 +139,7 @@ impl Actor for Dispatcher {
                     DispatcherMsg::Done { rank } => {
                         self.done.insert(rank);
                         if self.done.len() == self.n {
-                            self.all_done.set(true);
+                            self.all_done.store(true, Ordering::Relaxed);
                             if self.stop_on_completion && !self.stopped {
                                 self.stopped = true;
                                 sim.stop();

@@ -18,8 +18,7 @@
 //! cluster builder consumes.
 
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vlog_sim::{ActorId, NodeId, Sim, SimDuration, SimTime};
 
@@ -30,7 +29,7 @@ use crate::types::{AppMsg, Payload, PiggybackBlob, Rank, Ssn};
 /// simulation starts; shared read-only with every component.
 #[derive(Clone, Default)]
 pub struct Topology {
-    inner: Rc<RefCell<TopoInner>>,
+    inner: Arc<Mutex<TopoInner>>,
 }
 
 #[derive(Default)]
@@ -50,24 +49,24 @@ impl Topology {
     }
 
     pub fn set_ranks(&self, daemons: Vec<ActorId>, nodes: Vec<NodeId>) {
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         t.daemons = daemons;
         t.nodes = nodes;
     }
 
     pub fn set_el(&self, actor: ActorId, node: NodeId) {
-        self.inner.borrow_mut().els = vec![(actor, node)];
+        self.inner.lock().unwrap().els = vec![(actor, node)];
     }
 
     /// Registers several Event Logger instances (the paper's future-work
     /// distribution; see `vlog-core::el_multi`).
     pub fn set_els(&self, els: Vec<(ActorId, NodeId)>) {
-        self.inner.borrow_mut().els = els;
+        self.inner.lock().unwrap().els = els;
     }
 
     /// The Event Logger serving `rank` (round-robin assignment).
     pub fn el_for(&self, rank: Rank) -> Option<(ActorId, NodeId)> {
-        let t = self.inner.borrow();
+        let t = self.inner.lock().unwrap();
         if t.els.is_empty() {
             None
         } else {
@@ -77,39 +76,39 @@ impl Topology {
 
     /// Number of Event Logger instances.
     pub fn el_count(&self) -> usize {
-        self.inner.borrow().els.len()
+        self.inner.lock().unwrap().els.len()
     }
 
     pub fn set_ckpt_server(&self, actor: ActorId, node: NodeId) {
-        self.inner.borrow_mut().ckpt_server = Some((actor, node));
+        self.inner.lock().unwrap().ckpt_server = Some((actor, node));
     }
 
     pub fn set_dispatcher(&self, actor: ActorId, node: NodeId) {
-        self.inner.borrow_mut().dispatcher = Some((actor, node));
+        self.inner.lock().unwrap().dispatcher = Some((actor, node));
     }
 
     pub fn n_ranks(&self) -> usize {
-        self.inner.borrow().daemons.len()
+        self.inner.lock().unwrap().daemons.len()
     }
 
     pub fn daemon(&self, rank: Rank) -> ActorId {
-        self.inner.borrow().daemons[rank]
+        self.inner.lock().unwrap().daemons[rank]
     }
 
     pub fn node(&self, rank: Rank) -> NodeId {
-        self.inner.borrow().nodes[rank]
+        self.inner.lock().unwrap().nodes[rank]
     }
 
     pub fn el(&self) -> Option<(ActorId, NodeId)> {
-        self.inner.borrow().els.first().copied()
+        self.inner.lock().unwrap().els.first().copied()
     }
 
     pub fn ckpt_server(&self) -> Option<(ActorId, NodeId)> {
-        self.inner.borrow().ckpt_server
+        self.inner.lock().unwrap().ckpt_server
     }
 
     pub fn dispatcher(&self) -> Option<(ActorId, NodeId)> {
-        self.inner.borrow().dispatcher
+        self.inner.lock().unwrap().dispatcher
     }
 }
 
@@ -157,9 +156,10 @@ pub enum RecvGate {
 
 /// Protocol section of a checkpoint image: structured state plus the wire
 /// size it would occupy (counted as control traffic when the image moves).
-/// The body is reference-counted because the checkpoint server keeps it.
+/// The body is reference-counted because the checkpoint server keeps it;
+/// `Send + Sync` so checkpoint images move with a sharded cluster run.
 pub struct ProtoBlob {
-    pub body: Option<Rc<dyn Any>>,
+    pub body: Option<Arc<dyn Any + Send + Sync>>,
     pub bytes: u64,
 }
 
@@ -177,7 +177,7 @@ impl ProtoBlob {
 /// Default implementations are no-ops so trivial protocols (Vdummy) stay
 /// trivial.
 #[allow(unused_variables)]
-pub trait VProtocol {
+pub trait VProtocol: Send {
     /// Short name for reports ("vcausal+el", "manetho", ...).
     fn name(&self) -> String;
 
@@ -224,7 +224,7 @@ pub trait VProtocol {
 
     /// A protocol control message arrived (EL records/acks, reclaim
     /// requests, GC notices, rollback commands, ...).
-    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn Any>) {}
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, body: Box<dyn Any + Send>) {}
 
     /// A timer set through [`DaemonCore::set_proto_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
@@ -301,8 +301,10 @@ pub struct RankStats {
     pub checkpoints: u64,
 }
 
-/// Shared handle on [`RankStats`].
-pub type SharedRankStats = Rc<RefCell<RankStats>>;
+/// Shared handle on [`RankStats`]. Shared between successive protocol
+/// incarnations of one rank (stats survive daemon restarts) and the
+/// harness that reads them after the run — real sharing, hence `Arc`.
+pub type SharedRankStats = Arc<Mutex<RankStats>>;
 
 /// How the dispatcher recovers from a crash under this protocol family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,8 +316,10 @@ pub enum RecoveryStyle {
     GlobalRollback,
 }
 
-/// A protocol family bundled with its auxiliary components.
-pub trait Suite {
+/// A protocol family bundled with its auxiliary components. `Send + Sync`
+/// because the dispatcher's relaunch closure carries the suite into a
+/// (possibly worker-thread-hosted) cluster run.
+pub trait Suite: Send + Sync {
     /// Name for reports.
     fn name(&self) -> String;
 

@@ -43,7 +43,7 @@ pub mod types;
 pub mod vdummy;
 
 pub use api::{decode_f64s, encode_f64s, Mpi};
-pub use cluster::{run_cluster, run_vdummy, ClusterConfig, FaultPlan, RunReport};
+pub use cluster::{run_cluster, run_vdummy, ClusterConfig, ClusterRun, FaultPlan, RunReport};
 pub use collectives::{ReduceOp, RESERVED_TAG_BASE};
 pub use cost::StackProfile;
 pub use daemon::{app, AppSpec, BootMode, DaemonCore, Vdaemon};

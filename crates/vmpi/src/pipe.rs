@@ -6,12 +6,14 @@
 //! stages a *poke* for the daemon actor, delayed by the modelled pipe
 //! crossing cost; the daemon drains the queue when the poke fires.
 //!
-//! Each application incarnation gets a fresh queue, so requests from a
-//! killed incarnation can never leak into its successor.
+//! The queue is one of the two places where sharing is real (application
+//! task ↔ daemon actor), so it is an `Arc<Mutex<…>>` — which keeps the
+//! whole cluster run `Send`. Each application incarnation gets a fresh
+//! queue, so requests from a killed incarnation can never leak into its
+//! successor.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use vlog_sim::OpCell;
@@ -47,13 +49,13 @@ pub struct PipeBox {
 
 impl PipeBox {
     pub fn new() -> SharedPipe {
-        Rc::new(RefCell::new(PipeBox {
+        Arc::new(Mutex::new(PipeBox {
             queue: VecDeque::new(),
         }))
     }
 }
 
-pub type SharedPipe = Rc<RefCell<PipeBox>>;
+pub type SharedPipe = Arc<Mutex<PipeBox>>;
 
 /// What the daemon hands a freshly spawned application task.
 pub struct AppBoot {

@@ -61,7 +61,7 @@ impl Payload {
 /// byte-exact codecs live in `vlog-core::piggyback` and compute `bytes`,
 /// which is what the network model charges and Figure 7 accounts.
 pub struct PiggybackBlob {
-    pub body: Option<Box<dyn Any>>,
+    pub body: Option<Box<dyn Any + Send>>,
     pub bytes: u64,
 }
 
@@ -141,7 +141,7 @@ pub enum DaemonMsg {
     /// Clear-to-send for a rendezvous transfer.
     Cts { dst: Rank, ssn: Ssn },
     /// Protocol-specific control (EL records/acks, reclaim, resends...).
-    Proto(Box<dyn Any>),
+    Proto(Box<dyn Any + Send>),
 }
 
 /// A message as delivered to the application.

@@ -1,15 +1,14 @@
 //! End-to-end tests of the generic framework under the trivial protocol:
 //! transport correctness, matching semantics, collectives, timing sanity.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use vlog_vmpi::{app, run_vdummy, ClusterConfig, Payload, RecvSelector, ReduceOp};
 
 /// Shared result collector for programs (single-threaded simulation).
-fn collector<T: 'static>() -> (Rc<RefCell<Vec<T>>>, Rc<RefCell<Vec<T>>>) {
-    let c = Rc::new(RefCell::new(Vec::new()));
+fn collector<T: 'static>() -> (Arc<Mutex<Vec<T>>>, Arc<Mutex<Vec<T>>>) {
+    let c = Arc::new(Mutex::new(Vec::new()));
     (c.clone(), c)
 }
 
@@ -24,7 +23,7 @@ fn two_rank_message_roundtrip() {
                 if mpi.rank() == 0 {
                     mpi.send_bytes(1, 7, vec![1, 2, 3]).await;
                     let m = mpi.recv_from(1, 8).await;
-                    sink.borrow_mut().push(m.payload.data.to_vec());
+                    sink.lock().unwrap().push(m.payload.data.to_vec());
                 } else {
                     let m = mpi.recv_from(0, 7).await;
                     let mut v = m.payload.data.to_vec();
@@ -35,7 +34,7 @@ fn two_rank_message_roundtrip() {
         }),
     );
     assert!(report.completed);
-    assert_eq!(&*out.borrow(), &[vec![3, 2, 1]]);
+    assert_eq!(&*out.lock().unwrap(), &[vec![3, 2, 1]]);
     // 4 application messages at least crossed the network.
     assert!(report.stats.messages >= 2);
 }
@@ -51,7 +50,7 @@ fn wildcard_receive_matches_any_source() {
                 if mpi.rank() == 0 {
                     for _ in 0..3 {
                         let m = mpi.recv(RecvSelector::any()).await;
-                        sink.borrow_mut().push(m.src);
+                        sink.lock().unwrap().push(m.src);
                     }
                 } else {
                     mpi.send_bytes(0, 5, vec![mpi.rank() as u8]).await;
@@ -60,7 +59,7 @@ fn wildcard_receive_matches_any_source() {
         }),
     );
     assert!(report.completed);
-    let mut got = out.borrow().clone();
+    let mut got = out.lock().unwrap().clone();
     got.sort_unstable();
     assert_eq!(got, vec![1, 2, 3]);
 }
@@ -83,14 +82,14 @@ fn unexpected_messages_match_later_receives() {
                     mpi.elapse(vlog_sim::SimDuration::from_millis(5)).await;
                     let b = mpi.recv_from(0, 2).await;
                     let a = mpi.recv_from(0, 1).await;
-                    sink.borrow_mut().push((b.src, b.tag));
-                    sink.borrow_mut().push((a.src, a.tag));
+                    sink.lock().unwrap().push((b.src, b.tag));
+                    sink.lock().unwrap().push((a.src, a.tag));
                 }
             }
         }),
     );
     assert!(report.completed);
-    assert_eq!(&*out.borrow(), &[(0, 2), (0, 1)]);
+    assert_eq!(&*out.lock().unwrap(), &[(0, 2), (0, 1)]);
 }
 
 #[test]
@@ -108,14 +107,14 @@ fn per_channel_fifo_order_is_preserved() {
                 } else {
                     for _ in 0..20 {
                         let m = mpi.recv_from(0, 3).await;
-                        sink.borrow_mut().push(m.payload.data[0]);
+                        sink.lock().unwrap().push(m.payload.data[0]);
                     }
                 }
             }
         }),
     );
     assert!(report.completed);
-    assert_eq!(&*out.borrow(), &(0..20).collect::<Vec<u8>>());
+    assert_eq!(&*out.lock().unwrap(), &(0..20).collect::<Vec<u8>>());
 }
 
 #[test]
@@ -151,12 +150,14 @@ fn barrier_synchronizes_all_ranks() {
                 mpi.elapse(vlog_sim::SimDuration::from_millis(mpi.rank() as u64))
                     .await;
                 mpi.barrier().await;
-                sink.borrow_mut().push((mpi.rank(), mpi.time().as_nanos()));
+                sink.lock()
+                    .unwrap()
+                    .push((mpi.rank(), mpi.time().as_nanos()));
             }
         }),
     );
     assert!(report.completed);
-    let times: Vec<u64> = out.borrow().iter().map(|&(_, t)| t).collect();
+    let times: Vec<u64> = out.lock().unwrap().iter().map(|&(_, t)| t).collect();
     let min = *times.iter().min().unwrap();
     let max = *times.iter().max().unwrap();
     // All ranks leave the barrier after the slowest entered (4 ms).
@@ -180,13 +181,13 @@ fn bcast_from_every_root() {
                         None
                     };
                     let got = mpi.bcast_bytes(root, data).await;
-                    sink.borrow_mut().push(got.to_vec());
+                    sink.lock().unwrap().push(got.to_vec());
                 }
             }),
         );
         assert!(report.completed);
-        assert_eq!(out.borrow().len(), 4);
-        for v in out.borrow().iter() {
+        assert_eq!(out.lock().unwrap().len(), 4);
+        for v in out.lock().unwrap().iter() {
             assert_eq!(v, &vec![9, 9, root as u8]);
         }
     }
@@ -205,15 +206,15 @@ fn reduce_and_allreduce_compute_correctly() {
                     let mine = vec![r, r * 2.0, 1.0];
                     let summed = mpi.allreduce_f64(&mine, ReduceOp::Sum).await;
                     let maxed = mpi.allreduce_f64(&mine, ReduceOp::Max).await;
-                    sink.borrow_mut().push(summed);
-                    sink.borrow_mut().push(maxed);
+                    sink.lock().unwrap().push(summed);
+                    sink.lock().unwrap().push(maxed);
                 }
             }),
         );
         assert!(report.completed, "n={n}");
         let total: f64 = (0..n).map(|r| r as f64).sum();
         let top = (n - 1) as f64;
-        for pair in out.borrow().chunks(2) {
+        for pair in out.lock().unwrap().chunks(2) {
             assert_eq!(pair[0], vec![total, total * 2.0, n as f64], "n={n}");
             assert_eq!(pair[1], vec![top, top * 2.0, 1.0], "n={n}");
         }
@@ -235,19 +236,20 @@ fn alltoall_routes_every_pair() {
                     .collect();
                 let incoming = mpi.alltoall(outgoing).await;
                 for (src, p) in incoming.iter().enumerate() {
-                    sink.borrow_mut()
+                    sink.lock()
+                        .unwrap()
                         .push((mpi.rank(), vec![src as u8, p.data[0], p.data[1]]));
                 }
             }
         }),
     );
     assert!(report.completed);
-    for (me, v) in out.borrow().iter() {
+    for (me, v) in out.lock().unwrap().iter() {
         let (src, from, to) = (v[0], v[1], v[2]);
         assert_eq!(src, from, "payload source mismatch");
         assert_eq!(to as usize, *me, "payload destination mismatch");
     }
-    assert_eq!(out.borrow().len(), n * n);
+    assert_eq!(out.lock().unwrap().len(), n * n);
 }
 
 #[test]
@@ -304,7 +306,8 @@ fn ping_pong_latency_is_in_paper_ballpark() {
                         mpi.recv_from(1, 0).await;
                     }
                     let dt = mpi.time().saturating_since(t0);
-                    sink.borrow_mut()
+                    sink.lock()
+                        .unwrap()
                         .push(dt.as_micros_f64() / (2.0 * reps as f64));
                 } else {
                     for _ in 0..reps {
@@ -316,7 +319,7 @@ fn ping_pong_latency_is_in_paper_ballpark() {
         }),
     );
     assert!(report.completed);
-    let lat = out.borrow()[0];
+    let lat = out.lock().unwrap()[0];
     assert!(
         (100.0..180.0).contains(&lat),
         "Vdummy latency {lat:.2}us out of range"

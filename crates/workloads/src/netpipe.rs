@@ -5,8 +5,7 @@
 //! measurement runs *inside* the program with `Mpi::time()`, exactly like
 //! NetPIPE calls `MPI_Wtime`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
 
@@ -23,7 +22,7 @@ pub struct NetpipePoint {
 }
 
 /// Results shared out of the program.
-pub type NetpipeResults = Rc<RefCell<Vec<NetpipePoint>>>;
+pub type NetpipeResults = Arc<Mutex<Vec<NetpipePoint>>>;
 
 /// Power-of-two sweep 1 B … `max_bytes`.
 pub fn sizes(max_bytes: u64) -> Vec<u64> {
@@ -46,7 +45,7 @@ pub fn reps_for(bytes: u64, scale: f64) -> u32 {
 /// Builds the two-rank ping-pong program; results land in the returned
 /// collector once rank 0 finishes.
 pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
-    let results: NetpipeResults = Rc::new(RefCell::new(Vec::new()));
+    let results: NetpipeResults = Arc::new(Mutex::new(Vec::new()));
     let out = results.clone();
     let spec = app(move |mpi| {
         let out = out.clone();
@@ -78,7 +77,7 @@ pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
                     let dt = mpi.time().saturating_since(t0);
                     let half_rtt_us = dt.as_micros_f64() / (2.0 * reps as f64);
                     let mbps = (bytes as f64 * 8.0) / half_rtt_us; // b/us == Mbit/s
-                    out.borrow_mut().push(NetpipePoint {
+                    out.lock().unwrap().push(NetpipePoint {
                         bytes,
                         latency_us: half_rtt_us,
                         mbps,

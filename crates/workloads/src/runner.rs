@@ -1,6 +1,6 @@
 //! Convenience runners tying workloads to protocol suites.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_sim::SimDuration;
 use vlog_vmpi::{run_cluster, ClusterConfig, FaultPlan, RunReport, Suite};
@@ -24,7 +24,7 @@ impl NasRun {
 pub fn run_nas(
     nas: &NasConfig,
     cluster: &ClusterConfig,
-    suite: Rc<dyn Suite>,
+    suite: Arc<dyn Suite>,
     faults: &FaultPlan,
 ) -> NasRun {
     assert_eq!(cluster.ranks, nas.np, "rank count mismatch");

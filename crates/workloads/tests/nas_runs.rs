@@ -2,7 +2,7 @@
 //! framework, the benchmark communication characters match the paper's
 //! description, and NetPIPE lands near the paper's latency table.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
@@ -26,7 +26,12 @@ fn every_benchmark_completes_class_s() {
         (NasBench::SP, 4),
     ] {
         let nas = NasConfig::new(bench, Class::S, np);
-        let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
+        let run = run_nas(
+            &nas,
+            &cluster(np),
+            Arc::new(VdummySuite),
+            &FaultPlan::none(),
+        );
         assert!(run.report.completed, "{bench:?} class S did not complete");
         assert!(run.mflops() > 0.0);
     }
@@ -37,14 +42,24 @@ fn benchmarks_complete_on_all_paper_rank_counts() {
     for bench in [NasBench::CG, NasBench::LU, NasBench::FT, NasBench::MG] {
         for np in [2usize, 4, 8, 16] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
+            let run = run_nas(
+                &nas,
+                &cluster(np),
+                Arc::new(VdummySuite),
+                &FaultPlan::none(),
+            );
             assert!(run.report.completed, "{bench:?} np={np}");
         }
     }
     for np in [4usize, 9, 16, 25] {
         for bench in [NasBench::BT, NasBench::SP] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(&nas, &cluster(np), Rc::new(VdummySuite), &FaultPlan::none());
+            let run = run_nas(
+                &nas,
+                &cluster(np),
+                Arc::new(VdummySuite),
+                &FaultPlan::none(),
+            );
             assert!(run.report.completed, "{bench:?} np={np}");
         }
     }
@@ -57,7 +72,12 @@ fn communication_characters_match_the_paper() {
     // driven. Compare per-benchmark message statistics on class A / 16.
     let stats = |bench: NasBench| {
         let nas = NasConfig::new(bench, Class::A, 16).fraction(0.02);
-        let run = run_nas(&nas, &cluster(16), Rc::new(VdummySuite), &FaultPlan::none());
+        let run = run_nas(
+            &nas,
+            &cluster(16),
+            Arc::new(VdummySuite),
+            &FaultPlan::none(),
+        );
         assert!(run.report.completed, "{bench:?}");
         let msgs = run.report.stats.messages as f64;
         let payload = run.report.stats.bytes.payload as f64;
@@ -85,7 +105,7 @@ fn cg_a_runs_under_causal_protocols() {
         let run = run_nas(
             &nas,
             &cluster(4),
-            Rc::new(CausalSuite::new(technique, true)),
+            Arc::new(CausalSuite::new(technique, true)),
             &FaultPlan::none(),
         );
         assert!(run.report.completed, "{technique:?}");
@@ -98,7 +118,7 @@ fn lu_survives_a_fault_under_causal_logging() {
     let nas = NasConfig::new(NasBench::LU, Class::S, 4);
     let mut c = cluster(4);
     c.detect_delay = SimDuration::from_millis(20);
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(50)),
     );
     let run = run_nas(
@@ -124,7 +144,7 @@ fn netpipe_latency_matches_paper_table() {
         let (prog, results) = netpipe::program(1, 1.0);
         let report = run_vdummy(&cfg, prog);
         assert!(report.completed);
-        let r = results.borrow();
+        let r = results.lock().unwrap();
         r[0].latency_us
     };
     let vd = run_lat(cluster(2));
@@ -146,7 +166,7 @@ fn netpipe_bandwidth_approaches_line_rate() {
     let (prog, results) = netpipe::program(8 << 20, 0.05);
     let report = run_vdummy(&cluster(2).raw(), prog);
     assert!(report.completed);
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     let peak = r.iter().map(|p| p.mbps).fold(0.0, f64::max);
     assert!(
         peak > 80.0 && peak < 100.0,

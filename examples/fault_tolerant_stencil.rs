@@ -13,7 +13,7 @@
 //! cargo run --release -p vlog-bench --example fault_tolerant_stencil
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
@@ -62,8 +62,8 @@ fn unpack_state(bytes: &[u8]) -> (u64, Vec<f64>) {
 }
 
 fn main() {
-    let gathered: Rc<std::cell::RefCell<Vec<Vec<f64>>>> =
-        Rc::new(std::cell::RefCell::new(vec![Vec::new(); RANKS]));
+    let gathered: Arc<std::sync::Mutex<Vec<Vec<f64>>>> =
+        Arc::new(std::sync::Mutex::new(vec![Vec::new(); RANKS]));
     let sink = gathered.clone();
 
     let program = app(move |mpi| {
@@ -127,11 +127,11 @@ fn main() {
                 }
                 mpi.compute(2_000.0 * CELLS_PER_RANK as f64).await;
             }
-            sink.borrow_mut()[me] = cells;
+            sink.lock().unwrap()[me] = cells;
         }
     });
 
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(20)),
     );
     let mut cfg = ClusterConfig::new(RANKS);
@@ -141,7 +141,7 @@ fn main() {
     let report = run_cluster(&cfg, suite, program, &faults);
 
     assert!(report.completed, "run did not complete");
-    let parallel: Vec<f64> = gathered.borrow().concat();
+    let parallel: Vec<f64> = gathered.lock().unwrap().concat();
     let serial = reference();
     let max_err = parallel
         .iter()

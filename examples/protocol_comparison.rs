@@ -5,7 +5,7 @@
 //! cargo run --release -p vlog-bench --example protocol_comparison
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
@@ -17,29 +17,29 @@ fn main() {
     let nas = NasConfig::new(NasBench::CG, Class::A, np).fraction(0.5);
     let ckpt = SimDuration::from_millis(400);
 
-    let suites: Vec<(Rc<dyn Suite>, bool)> = vec![
-        (Rc::new(VdummySuite), false),
+    let suites: Vec<(Arc<dyn Suite>, bool)> = vec![
+        (Arc::new(VdummySuite), false),
         (
-            Rc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
+            Arc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(ckpt)),
             true,
         ),
         (
-            Rc::new(CausalSuite::new(Technique::Manetho, true).with_checkpoints(ckpt)),
+            Arc::new(CausalSuite::new(Technique::Manetho, true).with_checkpoints(ckpt)),
             true,
         ),
         (
-            Rc::new(CausalSuite::new(Technique::LogOn, true).with_checkpoints(ckpt)),
+            Arc::new(CausalSuite::new(Technique::LogOn, true).with_checkpoints(ckpt)),
             true,
         ),
         (
-            Rc::new(CausalSuite::new(Technique::Manetho, false).with_checkpoints(ckpt)),
+            Arc::new(CausalSuite::new(Technique::Manetho, false).with_checkpoints(ckpt)),
             true,
         ),
         (
-            Rc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
+            Arc::new(PessimisticSuite::new().with_checkpoints(ckpt)),
             true,
         ),
-        (Rc::new(CoordinatedSuite::new(ckpt)), true),
+        (Arc::new(CoordinatedSuite::new(ckpt)), true),
     ];
 
     println!(

@@ -5,7 +5,7 @@
 //! cargo run --release -p vlog-bench --example quickstart
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_vmpi::{app, run_cluster, ClusterConfig, FaultPlan, RecvSelector};
@@ -38,7 +38,7 @@ fn main() {
     });
 
     // Causal message logging, Manetho piggyback reduction, Event Logger on.
-    let suite = Rc::new(CausalSuite::new(Technique::Manetho, true));
+    let suite = Arc::new(CausalSuite::new(Technique::Manetho, true));
     let report = run_cluster(&ClusterConfig::new(4), suite, program, &FaultPlan::none());
 
     println!();

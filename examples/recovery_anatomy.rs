@@ -7,7 +7,7 @@
 //! cargo run --release -p vlog-bench --example recovery_anatomy
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
@@ -28,13 +28,13 @@ fn main() {
         let probe = run_nas(
             &probe_nas,
             &cfg,
-            Rc::new(CausalSuite::new(Technique::Vcausal, el)),
+            Arc::new(CausalSuite::new(Technique::Vcausal, el)),
             &FaultPlan::none(),
         );
         assert!(probe.report.completed);
         let t_app = probe.report.makespan;
         let suite =
-            Rc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
+            Arc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
         let run = run_nas(
             &nas,
             &cfg,

@@ -17,6 +17,14 @@ cargo test -q --offline
 echo "==> cargo bench --no-run (compile all paper-figure harnesses)"
 cargo bench --no-run --offline
 
+echo "==> smoke bench (micro, 5 ms window) -> BENCH_micro.json"
+VLOG_BENCH_MS=5 cargo bench -q --offline --bench micro >/dev/null
+test -s BENCH_micro.json || { echo "BENCH_micro.json was not produced" >&2; exit 1; }
+echo "    BENCH_micro.json: ok"
+
+echo "==> sweep driver smoke (--threads 2: parallel path must match sequential)"
+cargo run -q --release --offline --example sweep_smoke -- --threads 2
+
 echo "==> examples (smoke, quick scale)"
 for ex in quickstart protocol_comparison recovery_anatomy fault_tolerant_stencil; do
     VLOG_SCALE=quick cargo run -q --release --offline --example "$ex" >/dev/null

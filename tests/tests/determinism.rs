@@ -6,8 +6,9 @@
 //! if any protocol consulted unseeded state (hash order, wall clock,
 //! address-dependent ordering), the fingerprints would diverge.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
+use vlog_bench::run_many;
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{
@@ -58,7 +59,7 @@ fn fingerprint(report: &RunReport) -> String {
     )
 }
 
-fn run_once(suite: Rc<dyn Suite>, with_fault: bool) -> String {
+fn run_once(suite: Arc<dyn Suite>, with_fault: bool) -> String {
     let mut cfg = ClusterConfig::new(N);
     cfg.detect_delay = SimDuration::from_millis(8);
     cfg.event_limit = Some(50_000_000);
@@ -72,11 +73,13 @@ fn run_once(suite: Rc<dyn Suite>, with_fault: bool) -> String {
     fingerprint(&report)
 }
 
-fn assert_deterministic(mk: impl Fn() -> Rc<dyn Suite>, with_fault: bool) {
-    let first = run_once(mk(), with_fault);
-    let second = run_once(mk(), with_fault);
+fn assert_deterministic(mk: impl Fn() -> Arc<dyn Suite> + Send + Sync, with_fault: bool) {
+    // Both identical runs go through the sweep driver on two worker
+    // threads: determinism must hold per run, and the sweep must return
+    // results in job order regardless of which worker finished first.
+    let both = run_many(vec![(), ()], 2, |_| run_once(mk(), with_fault));
     assert_eq!(
-        first, second,
+        both[0], both[1],
         "two runs of the same seed produced different reports (fault: {with_fault})"
     );
 }
@@ -97,7 +100,7 @@ fn causal_suites_are_deterministic_fault_free() {
     for (technique, el) in causal_suites() {
         assert_deterministic(
             || {
-                Rc::new(
+                Arc::new(
                     CausalSuite::new(technique, el).with_checkpoints(SimDuration::from_millis(6)),
                 )
             },
@@ -111,7 +114,7 @@ fn causal_suites_are_deterministic_through_recovery() {
     for (technique, el) in causal_suites() {
         assert_deterministic(
             || {
-                Rc::new(
+                Arc::new(
                     CausalSuite::new(technique, el).with_checkpoints(SimDuration::from_millis(6)),
                 )
             },
@@ -124,7 +127,7 @@ fn causal_suites_are_deterministic_through_recovery() {
 fn pessimistic_suite_is_deterministic() {
     for with_fault in [false, true] {
         assert_deterministic(
-            || Rc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
+            || Arc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
             with_fault,
         );
     }
@@ -134,8 +137,42 @@ fn pessimistic_suite_is_deterministic() {
 fn coordinated_suite_is_deterministic() {
     for with_fault in [false, true] {
         assert_deterministic(
-            || Rc::new(CoordinatedSuite::new(SimDuration::from_millis(6))),
+            || Arc::new(CoordinatedSuite::new(SimDuration::from_millis(6))),
             with_fault,
+        );
+    }
+}
+
+/// One suite configuration of the cross-thread sweep, by index (jobs
+/// must be `Send`, so they carry an index instead of a suite handle).
+fn suite_for(idx: usize) -> Arc<dyn Suite> {
+    let ckpt = SimDuration::from_millis(6);
+    if idx < 6 {
+        let (technique, el) = causal_suites()[idx];
+        Arc::new(CausalSuite::new(technique, el).with_checkpoints(ckpt))
+    } else if idx == 6 {
+        Arc::new(PessimisticSuite::new().with_checkpoints(ckpt))
+    } else {
+        Arc::new(CoordinatedSuite::new(ckpt))
+    }
+}
+
+/// Cross-thread determinism: the same seed set swept through `run_many`
+/// on 1 worker thread and on N worker threads must produce byte-identical
+/// reports in the same order. This is the contract the figure benches
+/// rely on when they shard their grids.
+#[test]
+fn sweep_reports_are_identical_across_thread_counts() {
+    let jobs: Vec<(usize, bool)> = (0..8usize)
+        .flat_map(|idx| [(idx, false), (idx, true)])
+        .collect();
+    let runner = |(idx, with_fault): (usize, bool)| run_once(suite_for(idx), with_fault);
+    let sequential = run_many(jobs.clone(), 1, runner);
+    for threads in [2usize, 4] {
+        let sharded = run_many(jobs.clone(), threads, runner);
+        assert_eq!(
+            sequential, sharded,
+            "sweep on {threads} threads diverged from the 1-thread sweep"
         );
     }
 }

@@ -1,7 +1,7 @@
 //! Integration tests of the distributed Event Logger (the paper's
 //! future-work design implemented in `vlog-core::el_multi`).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
@@ -37,7 +37,7 @@ fn ring(iters: u64) -> vlog_vmpi::AppSpec {
 
 #[test]
 fn sharded_el_runs_and_gossips() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true)
             .with_distributed_el(3, SimDuration::from_millis(5)),
     );
@@ -55,17 +55,17 @@ fn gossip_enables_global_garbage_collection() {
     // With gossip, events of ranks served by *other* shards become
     // stable everywhere, so piggyback volume stays bounded — close to
     // the single-EL level and far below no-EL.
-    let run = |suite: Rc<dyn vlog_vmpi::Suite>| {
+    let run = |suite: Arc<dyn vlog_vmpi::Suite>| {
         let report = run_cluster(&ClusterConfig::new(6), suite, ring(150), &FaultPlan::none());
         assert!(report.completed);
         report.stats.bytes.piggyback
     };
-    let single = run(Rc::new(CausalSuite::new(Technique::Vcausal, true)));
-    let sharded = run(Rc::new(
+    let single = run(Arc::new(CausalSuite::new(Technique::Vcausal, true)));
+    let sharded = run(Arc::new(
         CausalSuite::new(Technique::Vcausal, true)
             .with_distributed_el(3, SimDuration::from_millis(2)),
     ));
-    let none = run(Rc::new(CausalSuite::new(Technique::Vcausal, false)));
+    let none = run(Arc::new(CausalSuite::new(Technique::Vcausal, false)));
     assert!(
         sharded < none / 2,
         "sharded EL ({sharded}) should collect far better than no EL ({none})"
@@ -78,7 +78,7 @@ fn gossip_enables_global_garbage_collection() {
 
 #[test]
 fn recovery_works_with_sharded_el() {
-    let suite = Rc::new(
+    let suite = Arc::new(
         CausalSuite::new(Technique::Manetho, true)
             .with_distributed_el(2, SimDuration::from_millis(5))
             .with_checkpoints(SimDuration::from_millis(5)),
@@ -104,7 +104,7 @@ fn sharding_relieves_the_lu_event_logger_bottleneck() {
         let nas = NasConfig::new(NasBench::LU, Class::A, 16).fraction(0.012);
         let mut cfg = ClusterConfig::new(16);
         cfg.event_limit = Some(200_000_000);
-        let run = run_nas(&nas, &cfg, Rc::new(suite), &FaultPlan::none());
+        let run = run_nas(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
         assert!(run.report.completed);
         run.report.stats.bytes.piggyback
     };

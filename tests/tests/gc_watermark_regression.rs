@@ -6,7 +6,7 @@
 //! still needs, wedging its replay forever. (Found by the ablation
 //! harness at default scale; fixed by keying GC watermarks per version.)
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vlog_core::{CausalSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
@@ -46,7 +46,7 @@ fn heavy_state_ring(iters: u64) -> vlog_vmpi::AppSpec {
     })
 }
 
-fn run_with(suite: Rc<dyn Suite>) {
+fn run_with(suite: Arc<dyn Suite>) {
     let mut cfg = ClusterConfig::new(3);
     cfg.detect_delay = SimDuration::from_millis(20);
     cfg.event_limit = Some(80_000_000);
@@ -63,14 +63,14 @@ fn run_with(suite: Rc<dyn Suite>) {
 
 #[test]
 fn causal_recovery_survives_overlapping_checkpoint_images() {
-    run_with(Rc::new(
+    run_with(Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(150)),
     ));
 }
 
 #[test]
 fn pessimistic_recovery_survives_overlapping_checkpoint_images() {
-    run_with(Rc::new(
+    run_with(Arc::new(
         PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(150)),
     ));
 }

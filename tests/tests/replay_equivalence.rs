@@ -4,8 +4,7 @@
 //! execution — piecewise-deterministic replay, verified through the full
 //! stack (daemons, Event Logger, checkpoint server, dispatcher).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use vlog_core::{CausalSuite, PessimisticSuite, Technique};
@@ -17,7 +16,7 @@ use vlog_vmpi::{
 const N: usize = 3;
 
 /// Per-rank observed trace: (iteration, src, first payload byte).
-type Trace = Rc<RefCell<Vec<(usize, u64, usize, u8)>>>;
+type Trace = Arc<Mutex<Vec<(usize, u64, usize, u8)>>>;
 
 /// A ring-with-occasional-broadcast program parameterized by a seed.
 /// Content is a deterministic function of (rank, iteration), so traces
@@ -49,7 +48,10 @@ fn program(iters: u64, seed: u8, trace: Trace) -> AppSpec {
                         RecvSelector::of(left, 0),
                     )
                     .await;
-                trace.borrow_mut().push((me, it, m.src, m.payload.data[0]));
+                trace
+                    .lock()
+                    .unwrap()
+                    .push((me, it, m.src, m.payload.data[0]));
                 // Every 5th iteration, a small broadcast from the seed-th
                 // rank exercises the collective path.
                 if it % 5 == 0 {
@@ -60,7 +62,7 @@ fn program(iters: u64, seed: u8, trace: Trace) -> AppSpec {
                         None
                     };
                     let got = mpi.bcast_bytes(root, data).await;
-                    trace.borrow_mut().push((me, it, root + 100, got[0]));
+                    trace.lock().unwrap().push((me, it, root + 100, got[0]));
                 }
             }
         }
@@ -68,12 +70,12 @@ fn program(iters: u64, seed: u8, trace: Trace) -> AppSpec {
 }
 
 fn run_once(
-    suite: Rc<dyn Suite>,
+    suite: Arc<dyn Suite>,
     iters: u64,
     seed: u8,
     fault_ms: Option<(u64, usize)>,
 ) -> Vec<(usize, u64, usize, u8)> {
-    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
     let prog = program(iters, seed, trace.clone());
     let mut cfg = ClusterConfig::new(N);
     cfg.detect_delay = SimDuration::from_millis(8);
@@ -84,13 +86,19 @@ fn run_once(
     };
     let report = run_cluster(&cfg, suite, prog, &faults);
     assert!(report.completed, "run did not complete");
-    let mut t = trace.borrow().clone();
+    let mut t = trace.lock().unwrap().clone();
     t.sort_unstable();
     t.dedup(); // the victim re-observes its replayed prefix
     t
 }
 
-fn check_equivalence(mk: impl Fn() -> Rc<dyn Suite>, iters: u64, seed: u8, at: u64, victim: usize) {
+fn check_equivalence(
+    mk: impl Fn() -> Arc<dyn Suite>,
+    iters: u64,
+    seed: u8,
+    at: u64,
+    victim: usize,
+) {
     let clean = run_once(mk(), iters, seed, None);
     let faulted = run_once(mk(), iters, seed, Some((at, victim)));
     assert_eq!(
@@ -113,7 +121,7 @@ proptest! {
         let technique = [Technique::Vcausal, Technique::Manetho, Technique::LogOn][technique_idx];
         check_equivalence(
             || {
-                Rc::new(
+                Arc::new(
                     CausalSuite::new(technique, el)
                         .with_checkpoints(SimDuration::from_millis(6)),
                 )
@@ -132,7 +140,7 @@ proptest! {
         victim in 0usize..N,
     ) {
         check_equivalence(
-            || Rc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
+            || Arc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
             30,
             seed,
             at,
@@ -143,14 +151,14 @@ proptest! {
 
 #[test]
 fn double_fault_on_different_ranks_is_trace_equivalent() {
-    let mk = || -> Rc<dyn Suite> {
-        Rc::new(
+    let mk = || -> Arc<dyn Suite> {
+        Arc::new(
             CausalSuite::new(Technique::Manetho, true)
                 .with_checkpoints(SimDuration::from_millis(6)),
         )
     };
     let clean = run_once(mk(), 60, 7, None);
-    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
     let prog = program(60, 7, trace.clone());
     let mut cfg = ClusterConfig::new(N);
     cfg.detect_delay = SimDuration::from_millis(8);
@@ -163,7 +171,7 @@ fn double_fault_on_different_ranks_is_trace_equivalent() {
     };
     let report = run_cluster(&cfg, mk(), prog, &faults);
     assert!(report.completed);
-    let mut t = trace.borrow().clone();
+    let mut t = trace.lock().unwrap().clone();
     t.sort_unstable();
     t.dedup();
     assert_eq!(clean, t, "double-fault trace diverged");

@@ -1,19 +1,34 @@
 //! Offline API-subset shim of the `criterion` crate.
 //!
 //! Compiles the workspace's Criterion benches unchanged and runs them as
-//! a simple calibrated timing loop: per benchmark it warms up, picks an
-//! iteration count that fills the measurement window, and reports the
-//! mean ns/iteration. No statistics machinery, no HTML reports, no CLI —
-//! a deterministic, dependency-free stand-in good enough for trend
-//! tracking.
+//! a calibrated sampling loop: per benchmark it warms up, picks a batch
+//! size, takes a set of timed samples, rejects outliers around the
+//! sample median (modified z-score on the MAD) and reports the mean with
+//! a 95% confidence interval. No HTML reports, no CLI — a deterministic,
+//! dependency-free stand-in good enough for trend tracking.
+//!
+//! Every run also appends its measurements to a process-global registry;
+//! [`criterion_main!`] flushes the registry to `BENCH_<target>.json` in
+//! the repository root (name, n, mean, median, std-dev, min/max and the
+//! CI per benchmark), so perf trajectories are trackable across PRs.
 //!
 //! Environment knobs: `VLOG_BENCH_MS` (measurement window per benchmark,
-//! default 100 ms; lower it for smoke runs).
+//! default 100 ms; lower it for smoke runs), `VLOG_BENCH_OUT` (directory
+//! for the JSON report; defaults to the nearest ancestor of the working
+//! directory containing a `Cargo.lock`).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Target number of timed samples per benchmark.
+const TARGET_SAMPLES: usize = 25;
+/// Modified z-score cutoff for MAD-based outlier rejection.
+const OUTLIER_Z: f64 = 3.5;
+/// Two-sided 95% normal quantile.
+const Z_95: f64 = 1.96;
 
 /// Identifies one benchmark: a function name, optionally parameterized.
 #[derive(Debug, Clone)]
@@ -81,22 +96,106 @@ pub enum Throughput {
     BytesDecimal(u64),
 }
 
+/// Summary statistics of one benchmark after outlier rejection. All
+/// times in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark id (group/name/parameter).
+    pub name: String,
+    /// Samples kept after outlier rejection.
+    pub n: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub stddev_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// 95% confidence interval on the mean: `mean ± ci95_ns`.
+    pub ci95_ns: f64,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median-based outlier rejection + normal-theory interval over raw
+/// per-iteration samples.
+fn summarize(name: &str, samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "no samples for {name}");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = median_of(&sorted);
+    // Modified z-score on the median absolute deviation: robust to the
+    // long right tail that scheduler noise produces.
+    let mut devs: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = median_of(&devs);
+    let kept: Vec<f64> = if mad > 0.0 {
+        let scale = 1.4826 * mad;
+        sorted
+            .iter()
+            .copied()
+            .filter(|x| ((x - median) / scale).abs() <= OUTLIER_Z)
+            .collect()
+    } else {
+        sorted.clone()
+    };
+    let kept = if kept.is_empty() {
+        sorted.clone()
+    } else {
+        kept
+    };
+    let n = kept.len();
+    let mean = kept.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let stddev = var.sqrt();
+    let ci95 = if n > 1 {
+        Z_95 * stddev / (n as f64).sqrt()
+    } else {
+        0.0
+    };
+    Summary {
+        name: name.to_string(),
+        n,
+        rejected: samples.len() - n,
+        mean_ns: mean,
+        median_ns: median_of(&kept),
+        stddev_ns: stddev,
+        min_ns: kept.first().copied().unwrap_or(0.0),
+        max_ns: kept.last().copied().unwrap_or(0.0),
+        ci95_ns: ci95,
+    }
+}
+
 /// The timing loop handed to benchmark closures.
 pub struct Bencher {
     window: Duration,
-    /// (iterations, total measured time) of the last measurement.
-    result: Option<(u64, Duration)>,
+    /// ns/iteration of each timed sample of the last measurement.
+    samples: Option<Vec<f64>>,
 }
 
 impl Bencher {
     fn new(window: Duration) -> Bencher {
         Bencher {
             window,
-            result: None,
+            samples: None,
         }
     }
 
-    /// Times `routine` over enough iterations to fill the window.
+    /// Times `routine` over a set of batched samples filling the window.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         // Calibrate: double the batch until it is measurable.
         let mut batch = 1u64;
@@ -111,20 +210,29 @@ impl Bencher {
             }
             batch *= 2;
         };
-        let iters = if per_iter.is_zero() {
-            batch
+        // Aim for TARGET_SAMPLES samples over the window, each of
+        // `sample_iters` iterations.
+        let total_iters = if per_iter.is_zero() {
+            batch.max(TARGET_SAMPLES as u64)
         } else {
             (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 50_000_000) as u64
         };
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
+        let sample_iters = (total_iters / TARGET_SAMPLES as u64).max(1);
+        let n_samples = (total_iters / sample_iters).clamp(1, TARGET_SAMPLES as u64) as usize;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / sample_iters as f64);
         }
-        self.result = Some((iters, start.elapsed()));
+        self.samples = Some(samples);
     }
 
     /// Times `routine` on inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement. Each timed invocation is one
+    /// sample.
     pub fn iter_batched<I, O>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -147,14 +255,14 @@ impl Bencher {
         } else {
             (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
         };
-        let mut total = Duration::ZERO;
+        let mut samples = Vec::with_capacity(iters.min(4096) as usize);
         for _ in 0..iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total += start.elapsed();
+            samples.push(start.elapsed().as_nanos() as f64);
         }
-        self.result = Some((iters, total));
+        self.samples = Some(samples);
     }
 
     /// Like [`Bencher::iter_batched`] but the routine borrows the input.
@@ -188,15 +296,113 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Process-global registry of finished measurements, flushed to JSON by
+/// [`criterion_main!`] through [`write_report`].
+static RESULTS: Mutex<Vec<Summary>> = Mutex::new(Vec::new());
+
 fn run_one(full_id: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher::new(window);
     f(&mut b);
-    match b.result {
-        Some((iters, total)) => {
-            let ns = total.as_nanos() as f64 / iters.max(1) as f64;
-            println!("{full_id:<50} time: [{}] ({iters} iterations)", fmt_ns(ns));
+    match b.samples {
+        Some(samples) => {
+            let s = summarize(full_id, &samples);
+            println!(
+                "{full_id:<50} time: [{} {} {}] ({} samples, {} outliers)",
+                fmt_ns(s.mean_ns - s.ci95_ns),
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.mean_ns + s.ci95_ns),
+                s.n,
+                s.rejected,
+            );
+            RESULTS.lock().unwrap().push(s);
         }
         None => println!("{full_id:<50} (no measurement)"),
+    }
+}
+
+/// Bench-target name: executable file stem with cargo's trailing
+/// `-<16 hex>` disambiguation hash stripped.
+fn target_name() -> String {
+    let exe = std::env::current_exe().unwrap_or_default();
+    let stem = exe
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Directory for `BENCH_*.json`: `VLOG_BENCH_OUT` if set, else the
+/// nearest ancestor of the working directory containing a `Cargo.lock`
+/// (the workspace root — cargo runs benches from the crate directory),
+/// else the working directory itself.
+fn out_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("VLOG_BENCH_OUT") {
+        return std::path::PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut probe = cwd.clone();
+    loop {
+        if probe.join("Cargo.lock").exists() {
+            return probe;
+        }
+        if !probe.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every registered measurement to `BENCH_<target>.json` and
+/// clears the registry. Called by [`criterion_main!`]; harmless no-op
+/// when nothing was measured.
+pub fn write_report() {
+    let results = std::mem::take(&mut *RESULTS.lock().unwrap());
+    if results.is_empty() {
+        return;
+    }
+    let target = target_name();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"target\": \"{}\",\n", json_escape(&target)));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"rejected\": {}, \"mean_ns\": {:.2}, \
+             \"median_ns\": {:.2}, \"stddev_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \
+             \"ci95_ns\": {:.2}}}{}\n",
+            json_escape(&s.name),
+            s.n,
+            s.rejected,
+            s.mean_ns,
+            s.median_ns,
+            s.stddev_ns,
+            s.min_ns,
+            s.max_ns,
+            s.ci95_ns,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = out_dir().join(format!("BENCH_{target}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("bench report: failed to write {}: {e}", path.display()),
     }
 }
 
@@ -320,12 +526,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given groups.
+/// Generates `main` running the given groups, then flushes the
+/// measurements to `BENCH_<target>.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_report();
         }
     };
 }
@@ -342,9 +550,9 @@ mod tests {
             count += 1;
             count
         });
-        let (iters, _) = b.result.expect("no measurement recorded");
-        assert!(iters >= 1);
-        assert!(count >= iters);
+        let samples = b.samples.expect("no measurement recorded");
+        assert!(!samples.is_empty());
+        assert!(count >= samples.len() as u64);
     }
 
     #[test]
@@ -355,7 +563,7 @@ mod tests {
             |v| v.iter().map(|&x| x as u64).sum::<u64>(),
             BatchSize::SmallInput,
         );
-        assert!(b.result.is_some());
+        assert!(b.samples.is_some());
     }
 
     #[test]
@@ -363,5 +571,52 @@ mod tests {
         assert_eq!(BenchmarkId::new("encode", 16).render(), "encode/16");
         assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
         assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn summary_rejects_median_outliers() {
+        // 20 well-behaved samples around 100 ns plus one wild outlier.
+        let mut samples: Vec<f64> = (0..20).map(|i| 100.0 + (i % 5) as f64).collect();
+        samples.push(100_000.0);
+        let s = summarize("t", &samples);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.n, 20);
+        assert!(s.mean_ns < 110.0, "outlier leaked into mean: {}", s.mean_ns);
+        assert!(s.max_ns < 110.0);
+        assert!(s.ci95_ns > 0.0);
+        assert!(s.stddev_ns > 0.0);
+    }
+
+    #[test]
+    fn summary_handles_constant_samples() {
+        let s = summarize("t", &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.mean_ns, 5.0);
+        assert_eq!(s.median_ns, 5.0);
+        assert_eq!(s.stddev_ns, 0.0);
+        assert_eq!(s.ci95_ns, 0.0);
+    }
+
+    #[test]
+    fn summary_median_is_robust() {
+        let s = summarize("t", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median_ns, 2.5);
+        let s = summarize("t", &[1.0, 2.0, 3.0]);
+        assert_eq!(s.median_ns, 2.0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tnl\n"), "tab\\u0009nl\\u000a");
+    }
+
+    #[test]
+    fn target_name_strips_cargo_hash() {
+        // Indirect check through the helper's rules on a synthetic stem.
+        let stem = "micro-0123456789abcdef";
+        let (base, hash) = stem.rsplit_once('-').unwrap();
+        assert_eq!(base, "micro");
+        assert!(hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

@@ -7,8 +7,12 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports its seed instead; runs are
-//!   deterministic, so the seed is a complete reproducer.
+//! * **Bounded shrinking.** On failure the runner minimizes the case with
+//!   an iterative halving/DFS pass over [`Strategy::shrink`] candidates
+//!   (at most [`test_runner::MAX_SHRINK_ATTEMPTS`] probes), then reports
+//!   the minimal failing value *and* the replay seeds. `prop_map`ped
+//!   strategies yield no candidates (no inverse), so they fall back to
+//!   seed-only reporting.
 //! * **Deterministic by default.** Case `i` of test `t` draws from a seed
 //!   mixed from (base seed, `t`, `i`). The base seed defaults to a fixed
 //!   constant and can be overridden with `PROPTEST_SEED` (decimal or
@@ -52,6 +56,14 @@ pub trait Strategy {
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner probes them depth-first (bounded); an empty
+    /// vector means the value is already minimal for this strategy.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -83,11 +95,43 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                    if v - 1 > lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = *self.start();
+                let v = *value;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                    if v - 1 > lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -97,10 +141,25 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident / $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -116,11 +175,25 @@ impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 /// Types with a canonical whole-domain strategy, for [`any`].
 pub trait Arbitrary: Sized {
     fn any_value(rng: &mut TestRng) -> Self;
+
+    /// Simplification candidates for [`Strategy::shrink`] on [`Any`].
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl Arbitrary for bool {
     fn any_value(rng: &mut TestRng) -> bool {
         rng.random::<bool>()
+    }
+
+    fn shrink_value(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -129,6 +202,19 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn any_value(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink_value(value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2;
+                    if half != 0 && half != v {
+                        out.push(half);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -144,6 +230,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn new_value(&self, rng: &mut TestRng) -> T {
         T::any_value(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 
@@ -163,7 +253,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -173,6 +266,35 @@ pub mod collection {
                 rng.random_range(self.size.lo..self.size.hi)
             };
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let lo = self.size.lo;
+            // Structural shrinks first: shortest legal prefix, halved
+            // prefix, drop-one (front positions first).
+            if len > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (len - lo) / 2;
+                if half > lo && half < len {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..len.min(4) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then element-wise shrinks on the first few positions.
+            for (i, item) in value.iter().enumerate().take(4) {
+                for cand in self.element.shrink(item) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -265,9 +387,111 @@ pub mod test_runner {
         z ^ (z >> 31)
     }
 
+    /// Hard cap on shrink probes per failing case: the minimizer is a
+    /// bounded DFS, never an unbounded search.
+    pub const MAX_SHRINK_ATTEMPTS: usize = 1_024;
+
+    /// Depth-first minimization of `failing`: repeatedly descend into the
+    /// first shrink candidate that still fails, until no candidate fails
+    /// or the probe budget is exhausted. Returns the minimal value plus
+    /// (accepted steps, probes spent).
+    pub(crate) fn minimize<S: Strategy>(
+        strat: &S,
+        mut failing: S::Value,
+        case: &mut impl FnMut(S::Value),
+    ) -> (S::Value, usize, usize)
+    where
+        S::Value: Clone,
+    {
+        let mut steps = 0usize;
+        let mut attempts = 0usize;
+        // Shrink probes re-run the (already failing) property many times;
+        // silence the default panic hook so the log stays readable. The
+        // guard restores the previous hook even if a `shrink()` or
+        // `clone()` panics out of the loop. (The hook is process-global:
+        // a concurrently failing test on another harness thread would be
+        // silenced too for the duration of this shrink pass.)
+        struct HookGuard(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+        impl Drop for HookGuard {
+            fn drop(&mut self) {
+                if let Some(h) = self.0.take() {
+                    std::panic::set_hook(h);
+                }
+            }
+        }
+        let _guard = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        'outer: while attempts < MAX_SHRINK_ATTEMPTS {
+            let candidates = strat.shrink(&failing);
+            if candidates.is_empty() {
+                break;
+            }
+            for cand in candidates {
+                if attempts >= MAX_SHRINK_ATTEMPTS {
+                    break 'outer;
+                }
+                attempts += 1;
+                let probe = cand.clone();
+                if catch_unwind(AssertUnwindSafe(|| case(probe))).is_err() {
+                    failing = cand;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break; // every candidate passes: minimal under this strategy
+        }
+        (failing, steps, attempts)
+    }
+
+    /// Runs `case` against `config.cases` deterministic random valuations
+    /// of `strat`. On failure the case is minimized (bounded DFS over
+    /// [`Strategy::shrink`]) and both the minimal value and the replay
+    /// seeds are reported before the panic is re-raised.
+    /// `PROPTEST_CASE_SEED` replays a single derived case seed.
+    pub fn run_cases<S: Strategy>(
+        config: &ProptestConfig,
+        name: &str,
+        strat: &S,
+        mut case: impl FnMut(S::Value),
+    ) where
+        S::Value: Clone + std::fmt::Debug,
+    {
+        if let Ok(v) = env::var("PROPTEST_CASE_SEED") {
+            let seed =
+                parse_seed(&v).unwrap_or_else(|| panic!("unparseable PROPTEST_CASE_SEED: {v:?}"));
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strat.new_value(&mut rng);
+            case(value);
+            return;
+        }
+        let base = base_seed();
+        let name_hash = hash_name(name);
+        for i in 0..config.cases {
+            let seed = case_seed(base, name_hash, i);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strat.new_value(&mut rng);
+            let first = value.clone();
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| case(first))) {
+                let (minimal, steps, attempts) = minimize(strat, value, &mut case);
+                eprintln!(
+                    "proptest: property `{name}` failed at case {i}/{cases} \
+                     (base seed {base:#018x}, case seed {seed:#018x})\n\
+                     proptest: minimal failing case after {steps} shrink step(s) \
+                     ({attempts} probes): {minimal:?}\n\
+                     proptest: rerun just this case with PROPTEST_CASE_SEED={seed:#x}, \
+                     or the whole run with PROPTEST_SEED={base:#x}",
+                    cases = config.cases,
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+
     /// Runs `case` against `config.cases` deterministic random cases.
     /// On failure, prints the reproduction seeds and re-raises the
     /// panic. `PROPTEST_CASE_SEED` replays a single derived case seed.
+    /// (Raw-rng variant without shrinking; the [`proptest!`] macro uses
+    /// [`run_cases`].)
     pub fn run(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng)) {
         if let Ok(v) = env::var("PROPTEST_CASE_SEED") {
             let seed =
@@ -317,10 +541,16 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            $crate::test_runner::run(&config, stringify!($name), |__vlog_rng| {
-                $(let $arg = $crate::Strategy::new_value(&($strat), __vlog_rng);)+
-                $body
-            });
+            let __vlog_strat = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                &config,
+                stringify!($name),
+                &__vlog_strat,
+                |__vlog_values| {
+                    let ($($arg,)+) = __vlog_values;
+                    $body
+                },
+            );
         }
     )*};
 }
@@ -412,6 +642,51 @@ mod tests {
             prop_assert!(t.0 < 4);
             prop_assert!((10..20).contains(&t.1));
         }
+    }
+
+    #[test]
+    fn range_shrink_candidates_halve_toward_lo() {
+        let s = 3u64..10;
+        assert_eq!(Strategy::shrink(&s, &9), vec![3, 6, 8]);
+        assert!(Strategy::shrink(&s, &3).is_empty());
+        let si = 0usize..=4;
+        assert_eq!(Strategy::shrink(&si, &4), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_minimum_length() {
+        let s = crate::collection::vec(0u8..=255, 2..7);
+        let candidates = Strategy::shrink(&s, &vec![9u8, 9, 9, 9]);
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!((2..7).contains(&c.len()), "illegal length {}", c.len());
+        }
+        // The shortest legal prefix comes first (most aggressive).
+        assert_eq!(candidates[0], vec![9u8, 9]);
+    }
+
+    #[test]
+    fn minimizer_finds_the_boundary_case() {
+        // Property fails for v >= 37; the DFS halving pass must land on
+        // exactly 37 from any failing start.
+        let strat = 0u64..1_000;
+        let mut case = |v: u64| assert!(v < 37, "too big");
+        let (minimal, steps, attempts) = crate::test_runner::minimize(&strat, 999, &mut case);
+        assert_eq!(minimal, 37);
+        assert!(steps > 0);
+        assert!(attempts <= crate::test_runner::MAX_SHRINK_ATTEMPTS);
+    }
+
+    #[test]
+    fn minimizer_shrinks_vectors_structurally() {
+        // Fails whenever the vec contains an element >= 5: minimal case
+        // is the shortest legal vec [5].
+        let strat = crate::collection::vec(0u64..100, 1..20);
+        let mut case = |v: Vec<u64>| assert!(v.iter().all(|&x| x < 5), "bad");
+        let failing = vec![93, 2, 61, 40, 7, 12];
+        let (minimal, _, attempts) = crate::test_runner::minimize(&strat, failing, &mut case);
+        assert_eq!(minimal, vec![5]);
+        assert!(attempts <= crate::test_runner::MAX_SHRINK_ATTEMPTS);
     }
 
     #[test]
