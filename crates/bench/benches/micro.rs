@@ -2,12 +2,16 @@
 //! protocol hot paths, complementing the calibrated virtual-time cost
 //! model with measured Rust numbers.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use vlog_core::{
     decode_factored, decode_flat, encode_factored, encode_flat, make_reduction, AGraph,
     Determinant, SenderLog, Technique,
 };
+use vlog_sim::{EventCalendar, SimDuration, SimTime};
 use vlog_vmpi::Payload;
 
 fn dets(n: usize, receivers: usize) -> Vec<Determinant> {
@@ -28,13 +32,13 @@ fn bench_codecs(c: &mut Criterion) {
         let mut input = dets(n, 4);
         input.sort_by_key(|d| (d.receiver, d.clock));
         g.bench_with_input(BenchmarkId::new("encode_factored", n), &input, |b, d| {
-            b.iter(|| encode_factored(d))
+            b.iter(|| encode_factored(d).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("encode_flat", n), &input, |b, d| {
-            b.iter(|| encode_flat(d))
+            b.iter(|| encode_flat(d).unwrap())
         });
-        let enc_f = encode_factored(&input);
-        let enc_l = encode_flat(&input);
+        let enc_f = encode_factored(&input).unwrap();
+        let enc_l = encode_flat(&input).unwrap();
         g.bench_with_input(BenchmarkId::new("decode_factored", n), &enc_f, |b, d| {
             b.iter(|| decode_factored(d.clone()))
         });
@@ -134,11 +138,125 @@ fn bench_sender_log(c: &mut Criterion) {
     g.finish();
 }
 
+/// Deterministic delay stream shaped like the simulator's: mostly
+/// near-future (pipe/NIC/loopback scale), a few timers far out.
+fn delays(n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(2_654_435_761) % 1_000;
+            match r % 16 {
+                0..=9 => 1 + r * 17,            // sub-microsecond kernel hops
+                10..=13 => 10_000 + r * 911,    // NIC / service latencies
+                14 => 1_000_000 + r * 7_001,    // millisecond timers
+                _ => 100_000_000 + r * 900_011, // checkpoint-period scale
+            }
+        })
+        .collect()
+}
+
+/// The event-calendar group: the run loop's schedule+dispatch hot path,
+/// arena/wheel calendar vs the old global-binary-heap baseline, plus the
+/// cancellation path only the calendar supports in O(1).
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_calendar");
+    for &n in &[1_024usize, 16_384] {
+        let ds = delays(n);
+        // Bulk: schedule everything, then drain — a cluster boot or a
+        // burst of staged events.
+        g.bench_with_input(BenchmarkId::new("heap_schedule_drain", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+                for (i, d) in ds.iter().enumerate() {
+                    heap.push(Reverse((*d, i as u64, i as u64)));
+                }
+                let mut acc = 0u64;
+                while let Some(Reverse((_, _, p))) = heap.pop() {
+                    acc = acc.wrapping_add(p);
+                }
+                acc
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("calendar_schedule_drain", n),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let mut cal: EventCalendar<u64> = EventCalendar::new();
+                    for (i, d) in ds.iter().enumerate() {
+                        cal.schedule(SimTime::from_nanos(*d), i as u64);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((_, _, _, p)) = cal.pop() {
+                        acc = acc.wrapping_add(p.unwrap());
+                    }
+                    acc
+                })
+            },
+        );
+        // Churn: steady-state run loop — every dispatched event schedules
+        // a successor, queue depth stays at `n`.
+        g.bench_with_input(BenchmarkId::new("heap_churn", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                for (i, d) in ds.iter().enumerate() {
+                    heap.push(Reverse((*d, seq, i as u64)));
+                    seq += 1;
+                }
+                let mut acc = 0u64;
+                for d in ds {
+                    let Reverse((now, _, p)) = heap.pop().unwrap();
+                    acc = acc.wrapping_add(p);
+                    heap.push(Reverse((now + d, seq, p)));
+                    seq += 1;
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("calendar_churn", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut cal: EventCalendar<u64> = EventCalendar::new();
+                for (i, d) in ds.iter().enumerate() {
+                    cal.schedule(SimTime::from_nanos(*d), i as u64);
+                }
+                let mut acc = 0u64;
+                for d in ds {
+                    let (now, _, _, p) = cal.pop().unwrap();
+                    let p = p.unwrap();
+                    acc = acc.wrapping_add(p);
+                    cal.schedule(now + SimDuration::from_nanos(*d), p);
+                }
+                acc
+            })
+        });
+        // Cancel: arm-and-disarm, the timer-wheel specialty (the heap
+        // baseline had no cancellation — stale entries reached dispatch).
+        g.bench_with_input(BenchmarkId::new("calendar_cancel", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut cal: EventCalendar<u64> = EventCalendar::new();
+                let keys: Vec<_> = ds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| cal.schedule(SimTime::from_nanos(*d), i as u64))
+                    .collect();
+                let mut hits = 0usize;
+                for k in keys {
+                    hits += cal.cancel(k).is_some() as usize;
+                }
+                assert!(cal.pop().is_none());
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codecs,
     bench_graph,
     bench_reductions,
-    bench_sender_log
+    bench_sender_log,
+    bench_calendar
 );
 criterion_main!(benches);

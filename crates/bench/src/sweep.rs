@@ -16,17 +16,66 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use for a sweep: `VLOG_THREADS` if set,
-/// otherwise the machine's available parallelism (at least 1).
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("VLOG_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+/// Why a `VLOG_THREADS` override was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsOverrideError {
+    /// `VLOG_THREADS=0` would spawn no workers and hang every sweep.
+    Zero,
+    /// The value did not parse as an unsigned integer.
+    NotANumber(String),
+}
+
+impl std::fmt::Display for ThreadsOverrideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsOverrideError::Zero => {
+                write!(f, "0 threads would run no jobs")
+            }
+            ThreadsOverrideError::NotANumber(raw) => {
+                write!(f, "{raw:?} is not an unsigned integer")
+            }
         }
     }
+}
+
+/// Parses a `VLOG_THREADS` override. Pure so both failure modes are unit
+/// testable without touching the (process-global, race-prone)
+/// environment.
+pub fn parse_threads_override(raw: &str) -> Result<usize, ThreadsOverrideError> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(ThreadsOverrideError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ThreadsOverrideError::NotANumber(raw.to_string())),
+    }
+}
+
+fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Number of worker threads to use for a sweep: `VLOG_THREADS` if set to
+/// a positive integer, otherwise the machine's available parallelism (at
+/// least 1). A malformed or zero override is *not* silently absorbed: it
+/// falls back with a warning on stderr, so a typo'd CI variable shows up
+/// in the logs instead of as a mysteriously sequential (or hung) sweep.
+pub fn default_threads() -> usize {
+    match std::env::var("VLOG_THREADS") {
+        Err(_) => hardware_threads(),
+        Ok(raw) => match parse_threads_override(&raw) {
+            Ok(n) => n,
+            Err(e) => {
+                let fallback = hardware_threads();
+                eprintln!(
+                    "warning: ignoring VLOG_THREADS={raw:?} ({e}); \
+                     falling back to {fallback} worker thread(s)"
+                );
+                fallback
+            }
+        },
+    }
 }
 
 /// Runs `f` over every job on `threads` worker threads and returns the
@@ -136,5 +185,33 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_thread_override_is_rejected() {
+        // Regression: VLOG_THREADS=0 must not configure a zero-worker
+        // pool (which would leave every job unclaimed forever).
+        assert_eq!(parse_threads_override("0"), Err(ThreadsOverrideError::Zero));
+        assert_eq!(
+            parse_threads_override(" 0 "),
+            Err(ThreadsOverrideError::Zero)
+        );
+    }
+
+    #[test]
+    fn non_numeric_thread_override_is_rejected() {
+        for raw in ["four", "", "4x", "-2", "1.5"] {
+            assert_eq!(
+                parse_threads_override(raw),
+                Err(ThreadsOverrideError::NotANumber(raw.to_string())),
+                "raw={raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_thread_overrides_parse() {
+        assert_eq!(parse_threads_override("1"), Ok(1));
+        assert_eq!(parse_threads_override(" 16 "), Ok(16));
     }
 }

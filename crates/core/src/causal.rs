@@ -128,6 +128,9 @@ pub struct CausalProtocol {
     ckpt_expected: BTreeMap<u64, Vec<Ssn>>,
 
     rec: Option<Recovery>,
+    /// Wheel handle of the armed reclaim retry timer, cancelled as soon
+    /// as collection completes instead of left to fire as a stale no-op.
+    reclaim_timer: Option<vlog_sim::TimerHandle>,
 }
 
 impl CausalProtocol {
@@ -153,6 +156,7 @@ impl CausalProtocol {
             ckpt_due: false,
             ckpt_expected: BTreeMap::new(),
             rec: None,
+            reclaim_timer: None,
         }
     }
 
@@ -275,6 +279,10 @@ impl CausalProtocol {
     fn maybe_finish_collection(&mut self, ctx: &mut Ctx<'_>) {
         if !self.collection_complete() {
             return;
+        }
+        // Collection is done: the retry timer has nothing left to retry.
+        if let Some(h) = self.reclaim_timer.take() {
+            ctx.core.cancel_proto_timer(ctx.sim, h);
         }
         let now = ctx.sim.now();
         let rec = self.rec.as_mut().unwrap();
@@ -560,8 +568,11 @@ impl VProtocol for CausalProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_RECLAIM && self.rec.as_ref().is_some_and(|r| r.collecting) {
             self.send_reclaims(ctx);
-            ctx.core
-                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+            self.reclaim_timer = Some(ctx.core.set_proto_timer(
+                ctx.sim,
+                RECLAIM_RETRY,
+                TIMER_RECLAIM,
+            ));
         }
     }
 
@@ -649,8 +660,10 @@ impl VProtocol for CausalProtocol {
             return;
         }
         self.send_reclaims(ctx);
-        ctx.core
-            .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        self.reclaim_timer = Some(
+            ctx.core
+                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM),
+        );
         if self.n == 1 {
             self.maybe_finish_collection(ctx);
         }

@@ -19,7 +19,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, WireSize};
+use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, TimerHandle, WireSize};
 use vlog_vmpi::{DaemonMsg, RClock, Rank, Topology};
 
 use crate::el::{el_ack_bytes, el_resp_bytes, ElMsg, ElReply};
@@ -49,6 +49,9 @@ pub struct ElShard {
     /// Peer shard actors (filled after installation).
     peers: Arc<Mutex<Vec<(ActorId, NodeId)>>>,
     gossip: SimDuration,
+    /// Cancellable wheel handle of the armed gossip timer (rearmed at
+    /// every firing; cancelled if the shard's node crashes).
+    gossip_timer: Option<TimerHandle>,
 }
 
 impl ElShard {
@@ -176,7 +179,13 @@ impl Actor for ElShard {
 
     fn on_timer(&mut self, sim: &mut Sim, me: ActorId, token: u64) {
         self.multicast_gossip(sim);
-        sim.set_timer(me, self.gossip, token);
+        self.gossip_timer = Some(sim.set_timer(me, self.gossip, token));
+    }
+
+    fn on_crash(&mut self, sim: &mut Sim, _me: ActorId) {
+        if let Some(h) = self.gossip_timer.take() {
+            sim.cancel_timer(h);
+        }
     }
 }
 
@@ -200,23 +209,28 @@ pub fn install_distributed_el(
         } else {
             sim.add_node()
         };
-        let shard = ElShard {
-            index,
-            node,
-            n,
-            stored: vec![Vec::new(); n],
-            local_stable: vec![0; n],
-            merged_stable: vec![0; n],
-            peers: peers.clone(),
-            gossip,
-        };
-        let id = sim.add_actor(node, Box::new(shard));
+        let peers_handle = peers.clone();
+        let id = sim.add_actor_with(node, |sim, id| {
+            let mut shard = ElShard {
+                index,
+                node,
+                n,
+                stored: vec![Vec::new(); n],
+                local_stable: vec![0; n],
+                merged_stable: vec![0; n],
+                peers: peers_handle,
+                gossip,
+                gossip_timer: None,
+            };
+            if k > 1 {
+                // Stagger the gossip timers so shards do not synchronize.
+                let first =
+                    SimDuration::from_nanos(gossip.as_nanos() * (index as u64 + 1) / k as u64);
+                shard.gossip_timer = Some(sim.set_timer(id, first, 0));
+            }
+            Box::new(shard)
+        });
         els.push((id, node));
-        if k > 1 {
-            // Stagger the gossip timers so shards do not synchronize.
-            let first = SimDuration::from_nanos(gossip.as_nanos() * (index as u64 + 1) / k as u64);
-            sim.set_timer(id, first, 0);
-        }
     }
     *peers.lock().unwrap() = els.clone();
     topo.set_els(els.clone());

@@ -57,11 +57,19 @@ impl Determinant {
     /// formats: clock (u32), sender (u16), ssn (u32), cause (u32).
     pub const BODY_BYTES: u64 = 14;
 
-    pub(crate) fn encode_body(&self, out: &mut BytesMut) {
-        codec::put_u32(out, self.clock as u32);
-        codec::put_u16(out, self.sender as u16);
-        codec::put_u32(out, self.ssn as u32);
-        codec::put_u32(out, self.cause as u32);
+    /// Checked: a field beyond its wire width is reported as a
+    /// [`PbCodecError`](crate::piggyback::PbCodecError) instead of being
+    /// silently truncated (`as u16`/`as u32` wrapped before).
+    pub(crate) fn encode_body(
+        &self,
+        out: &mut BytesMut,
+    ) -> Result<(), crate::piggyback::PbCodecError> {
+        use crate::piggyback::{wire_u16, wire_u32};
+        codec::put_u32(out, wire_u32("clock", self.clock)?);
+        codec::put_u16(out, wire_u16("sender", self.sender as u64)?);
+        codec::put_u32(out, wire_u32("ssn", self.ssn)?);
+        codec::put_u32(out, wire_u32("cause", self.cause)?);
+        Ok(())
     }
 
     pub(crate) fn decode_body(receiver: Rank, buf: &mut Bytes) -> Determinant {
@@ -113,7 +121,7 @@ mod tests {
             cause: 99,
         };
         let mut out = BytesMut::new();
-        d.encode_body(&mut out);
+        d.encode_body(&mut out).unwrap();
         assert_eq!(out.len() as u64, Determinant::BODY_BYTES);
         let mut buf = out.freeze();
         let back = Determinant::decode_body(7, &mut buf);

@@ -69,6 +69,9 @@ pub struct PessimisticProtocol {
     /// — GC notices must match the committed version exactly).
     ckpt_expected: BTreeMap<u64, Vec<Ssn>>,
     rec: Option<Recovery>,
+    /// Wheel handle of the armed reclaim retry timer, cancelled as soon
+    /// as collection completes instead of left to fire as a stale no-op.
+    reclaim_timer: Option<vlog_sim::TimerHandle>,
 }
 
 impl PessimisticProtocol {
@@ -84,6 +87,7 @@ impl PessimisticProtocol {
             ckpt_due: false,
             ckpt_expected: BTreeMap::new(),
             rec: None,
+            reclaim_timer: None,
         }
     }
 
@@ -156,6 +160,10 @@ impl PessimisticProtocol {
             .is_some_and(|r| r.resp_el && r.resp_from.len() == self.n - 1);
         if !complete {
             return;
+        }
+        // Collection is done: the retry timer has nothing left to retry.
+        if let Some(h) = self.reclaim_timer.take() {
+            ctx.core.cancel_proto_timer(ctx.sim, h);
         }
         let now = ctx.sim.now();
         {
@@ -376,8 +384,11 @@ impl VProtocol for PessimisticProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_RECLAIM && self.rec.as_ref().is_some_and(|r| r.collecting) {
             self.send_recovery_requests(ctx);
-            ctx.core
-                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+            self.reclaim_timer = Some(ctx.core.set_proto_timer(
+                ctx.sim,
+                RECLAIM_RETRY,
+                TIMER_RECLAIM,
+            ));
         }
     }
 
@@ -449,7 +460,9 @@ impl VProtocol for PessimisticProtocol {
             max_clock: 0,
         });
         self.send_recovery_requests(ctx);
-        ctx.core
-            .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM);
+        self.reclaim_timer = Some(
+            ctx.core
+                .set_proto_timer(ctx.sim, RECLAIM_RETRY, TIMER_RECLAIM),
+        );
     }
 }

@@ -14,6 +14,21 @@
 //! exact encoded length on the wire, the flat codec preserves the partial
 //! order LogOn relies on, and Criterion micro-benches measure the real
 //! encode/decode cost of both.
+//!
+//! # Wire limits
+//!
+//! The `rid` and `sender` fields are u16 on the wire and the per-group
+//! event count `nb` is u16. Encoding used to truncate with `as u16`,
+//! silently wrapping for ranks ≥ 65 536 — and a factored run of exactly
+//! 65 536 equal-receiver events encoded `nb = 0`, making the decoder lose
+//! the whole group. Conversions are now checked: out-of-range *values*
+//! (rank, clock, ssn) are reported as [`PbCodecError`] instead of
+//! corrupting the stream, while over-long runs — a shape limit, not a
+//! value limit — are transparently split into several maximal groups,
+//! which the decoder reassembles for free. Wire bytes are unchanged for
+//! everything that was previously encodable correctly.
+
+use std::fmt;
 
 use bytes::{Bytes, BytesMut};
 use vlog_vmpi::{RClock, Rank};
@@ -26,6 +41,48 @@ pub const GROUP_HEADER_BYTES: u64 = 4;
 pub const EVENT_BODY_BYTES: u64 = Determinant::BODY_BYTES;
 /// Per-event bytes of the flat (LogOn) format: rid (u16) + body.
 pub const FLAT_EVENT_BYTES: u64 = 2 + EVENT_BODY_BYTES;
+/// Maximum events per factored group (the `nb` field is u16). Longer
+/// equal-receiver runs are split into several groups by the encoder.
+pub const GROUP_MAX_EVENTS: usize = u16::MAX as usize;
+
+/// A determinant field that does not fit its wire representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbCodecError {
+    /// Which wire field overflowed ("receiver", "sender", "clock", ...).
+    pub field: &'static str,
+    /// The offending value, widened.
+    pub value: u64,
+    /// Bits the wire format affords that field.
+    pub wire_bits: u32,
+}
+
+impl fmt::Display for PbCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "piggyback codec: {} = {} exceeds the u{} wire field",
+            self.field, self.value, self.wire_bits
+        )
+    }
+}
+
+impl std::error::Error for PbCodecError {}
+
+pub(crate) fn wire_u16(field: &'static str, v: u64) -> Result<u16, PbCodecError> {
+    u16::try_from(v).map_err(|_| PbCodecError {
+        field,
+        value: v,
+        wire_bits: 16,
+    })
+}
+
+pub(crate) fn wire_u32(field: &'static str, v: u64) -> Result<u32, PbCodecError> {
+    u32::try_from(v).map_err(|_| PbCodecError {
+        field,
+        value: v,
+        wire_bits: 32,
+    })
+}
 
 /// Structured piggyback attached to a message by a causal protocol.
 /// Travels structured through the simulated wire; `wire_len_*` gives the
@@ -40,14 +97,24 @@ pub struct PbBody {
 }
 
 /// Exact wire length of the factored format for `dets` (grouped by
-/// consecutive runs of equal receiver, which is how the encoder factors).
+/// consecutive runs of equal receiver, which is how the encoder factors;
+/// runs longer than [`GROUP_MAX_EVENTS`] cost one extra header per
+/// split).
 pub fn factored_len(dets: &[Determinant]) -> u64 {
     let mut groups = 0u64;
+    let mut run = 0usize;
     let mut last: Option<Rank> = None;
     for d in dets {
         if last != Some(d.receiver) {
             groups += 1;
+            run = 1;
             last = Some(d.receiver);
+        } else {
+            run += 1;
+            if run > GROUP_MAX_EVENTS {
+                groups += 1;
+                run = 1;
+            }
         }
     }
     groups * GROUP_HEADER_BYTES + dets.len() as u64 * EVENT_BODY_BYTES
@@ -61,23 +128,23 @@ pub fn flat_len(dets: &[Determinant]) -> u64 {
 /// Encodes the factored `{rid, nb, events}` format. Runs of equal
 /// receiver share one group header; the encoder emits groups in input
 /// order, preserving the caller's (creator, clock) sorting.
-pub fn encode_factored(dets: &[Determinant]) -> Bytes {
+pub fn encode_factored(dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
     let mut out = BytesMut::with_capacity(factored_len(dets) as usize);
     let mut i = 0;
     while i < dets.len() {
         let rid = dets[i].receiver;
         let mut j = i;
-        while j < dets.len() && dets[j].receiver == rid {
+        while j < dets.len() && dets[j].receiver == rid && j - i < GROUP_MAX_EVENTS {
             j += 1;
         }
-        crate::codec::put_u16(&mut out, rid as u16);
+        crate::codec::put_u16(&mut out, wire_u16("receiver", rid as u64)?);
         crate::codec::put_u16(&mut out, (j - i) as u16);
         for d in &dets[i..j] {
-            d.encode_body(&mut out);
+            d.encode_body(&mut out)?;
         }
         i = j;
     }
-    out.freeze()
+    Ok(out.freeze())
 }
 
 /// Decodes the factored format.
@@ -94,13 +161,13 @@ pub fn decode_factored(mut buf: Bytes) -> Vec<Determinant> {
 }
 
 /// Encodes the flat (LogOn) format: order-preserving, one rid per event.
-pub fn encode_flat(dets: &[Determinant]) -> Bytes {
+pub fn encode_flat(dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
     let mut out = BytesMut::with_capacity(flat_len(dets) as usize);
     for d in dets {
-        crate::codec::put_u16(&mut out, d.receiver as u16);
-        d.encode_body(&mut out);
+        crate::codec::put_u16(&mut out, wire_u16("receiver", d.receiver as u64)?);
+        d.encode_body(&mut out)?;
     }
-    out.freeze()
+    Ok(out.freeze())
 }
 
 /// Decodes the flat format, preserving order.
@@ -130,7 +197,7 @@ mod tests {
     #[test]
     fn factored_roundtrip_and_length() {
         let dets = vec![det(0, 1, 1), det(0, 2, 2), det(1, 1, 0), det(2, 5, 0)];
-        let enc = encode_factored(&dets);
+        let enc = encode_factored(&dets).unwrap();
         assert_eq!(enc.len() as u64, factored_len(&dets));
         assert_eq!(
             factored_len(&dets),
@@ -144,7 +211,7 @@ mod tests {
         // Deliberately interleaved receivers: flat keeps the order, which
         // is what LogOn's partial-order decode relies on.
         let dets = vec![det(2, 9, 0), det(0, 1, 1), det(2, 8, 1), det(1, 3, 2)];
-        let enc = encode_flat(&dets);
+        let enc = encode_flat(&dets).unwrap();
         assert_eq!(enc.len() as u64, flat_len(&dets));
         assert_eq!(decode_flat(enc), dets);
     }
@@ -166,7 +233,63 @@ mod tests {
     fn empty_piggyback_is_zero_bytes() {
         assert_eq!(factored_len(&[]), 0);
         assert_eq!(flat_len(&[]), 0);
-        assert!(encode_factored(&[]).is_empty());
-        assert!(encode_flat(&[]).is_empty());
+        assert!(encode_factored(&[]).unwrap().is_empty());
+        assert!(encode_flat(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rank_at_the_u16_boundary_roundtrips() {
+        let dets = vec![det(u16::MAX as Rank, 3, u16::MAX as Rank)];
+        let enc = encode_factored(&dets).unwrap();
+        assert_eq!(decode_factored(enc), dets);
+        let enc = encode_flat(&dets).unwrap();
+        assert_eq!(decode_flat(enc), dets);
+    }
+
+    #[test]
+    fn rank_beyond_the_u16_boundary_is_an_error_not_a_wrap() {
+        // Regression: `as u16` used to silently encode rank 65 536 as
+        // rank 0, corrupting the determinant stream for large clusters.
+        let oversized = vec![det(u16::MAX as Rank + 1, 3, 0)];
+        let err = encode_factored(&oversized).unwrap_err();
+        assert_eq!(err.field, "receiver");
+        assert_eq!(err.value, u16::MAX as u64 + 1);
+        assert_eq!(err.wire_bits, 16);
+        assert!(encode_flat(&oversized).is_err());
+        // Same for the sender field inside the shared event body.
+        let bad_sender = vec![det(0, 3, u16::MAX as Rank + 1)];
+        assert_eq!(encode_factored(&bad_sender).unwrap_err().field, "sender");
+        assert_eq!(encode_flat(&bad_sender).unwrap_err().field, "sender");
+        // And for the u32 body fields.
+        let bad_clock = vec![Determinant {
+            clock: u32::MAX as u64 + 1,
+            ..det(0, 1, 1)
+        }];
+        assert_eq!(encode_flat(&bad_clock).unwrap_err().field, "clock");
+        let err = encode_flat(&bad_clock).unwrap_err();
+        assert!(err.to_string().contains("clock"), "{err}");
+    }
+
+    #[test]
+    fn runs_longer_than_a_group_split_and_roundtrip() {
+        // Regression: a run of exactly 65 536 equal-receiver events used
+        // to encode `nb = 0`, silently dropping the group on decode. The
+        // encoder now splits it into maximal groups.
+        let n = GROUP_MAX_EVENTS + 3;
+        let long: Vec<Determinant> = (0..n).map(|i| det(7, i as u64 + 1, 1)).collect();
+        let expected_len = 2 * GROUP_HEADER_BYTES + n as u64 * EVENT_BODY_BYTES;
+        assert_eq!(factored_len(&long), expected_len);
+        let enc = encode_factored(&long).unwrap();
+        assert_eq!(enc.len() as u64, expected_len);
+        assert_eq!(decode_factored(enc), long);
+        // A run of exactly the maximum stays a single group.
+        let exact: Vec<Determinant> = (0..GROUP_MAX_EVENTS)
+            .map(|i| det(7, i as u64 + 1, 1))
+            .collect();
+        assert_eq!(
+            factored_len(&exact),
+            GROUP_HEADER_BYTES + GROUP_MAX_EVENTS as u64 * EVENT_BODY_BYTES
+        );
+        assert_eq!(decode_factored(encode_factored(&exact).unwrap()), exact);
     }
 }

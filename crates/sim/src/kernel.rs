@@ -14,18 +14,32 @@
 //! Services (communication daemons, the Event Logger, the checkpoint
 //! server, the dispatcher) are [`Actor`]s registered on a node. Crashing a
 //! node drops its actors and tasks; restarting installs a fresh actor in
-//! the *same slot* with a bumped generation. Deliveries and timers capture
-//! the generation of their target at creation: anything addressed to a dead
-//! incarnation is silently dropped, which models TCP connections dying with
-//! the process.
+//! the *same slot* with a bumped generation. Deliveries capture the
+//! generation of their target at creation: anything addressed to a dead
+//! incarnation is silently dropped, which models TCP connections dying
+//! with the process. Timers are tracked per actor slot as cancellable
+//! [`TimerHandle`]s: crashing or replacing an actor *detaches* its
+//! outstanding timers at once (the payload is freed and the handler will
+//! never run), while the calendar entry keeps its dispatch position so
+//! event accounting is identical to the historical drop-at-dispatch
+//! behaviour.
+//!
+//! # The calendar
+//!
+//! Events live in the arena-backed [`EventCalendar`](crate::calendar):
+//! a slab with free-list reuse addressed by stable
+//! [`EventKey`](crate::calendar::EventKey) handles, a hierarchical timer
+//! wheel for near-future events, and a binary heap kept only as
+//! far-future overflow. Dispatch order is exact `(time, seq)` — see the
+//! [`calendar`](crate::calendar) module docs for the determinism
+//! argument.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::calendar::{EventCalendar, EventKey};
 use crate::exec::{noop_waker, ExecHandle, ExecShared, SharedExec, TaskId, TaskSlot};
 use crate::net::{EthernetParams, Network, WireSize};
 use crate::stats::Stats;
@@ -95,34 +109,25 @@ pub trait Actor: Send + 'static {
     }
 }
 
+/// Cancellable handle on a pending timer, returned by [`Sim::set_timer`].
+/// Stale handles (fired, cancelled, or belonging to a dead incarnation)
+/// are detected and ignored by [`Sim::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    key: EventKey,
+    actor: ActorId,
+}
+
 struct ActorSlot {
     actor: Option<Box<dyn Actor>>,
     node: NodeId,
     gen: u32,
     alive: bool,
-}
-
-struct QEntry {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for QEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QEntry {}
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    /// Calendar keys of this incarnation's outstanding timers. Fired
+    /// timers are unregistered at dispatch; crash/replace detaches the
+    /// rest wholesale instead of letting each one reach dispatch just to
+    /// fail a generation check.
+    timers: Vec<EventKey>,
 }
 
 /// Simulation parameters.
@@ -149,8 +154,7 @@ impl Default for SimConfig {
 /// The simulation world. See module docs.
 pub struct Sim {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<QEntry>>,
+    calendar: EventCalendar<Event>,
     actors: Vec<ActorSlot>,
     tasks: Vec<TaskSlot>,
     exec: SharedExec,
@@ -176,8 +180,7 @@ impl Sim {
     pub fn with_config(cfg: SimConfig) -> Self {
         Sim {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            calendar: EventCalendar::new(),
             actors: Vec::new(),
             tasks: Vec::new(),
             exec: ExecShared::new(),
@@ -252,24 +255,51 @@ impl Sim {
     /// Registers an actor on `node`; the returned id is stable across
     /// crash/restart cycles of that slot.
     pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor>) -> ActorId {
+        self.add_actor_with(node, |_, _| actor)
+    }
+
+    /// Registers an actor whose constructor needs its own [`ActorId`] —
+    /// e.g. to arm timers for itself and keep the returned cancellable
+    /// handles. The slot is allocated first, `build` runs with the kernel
+    /// re-borrowable (it may call [`Sim::set_timer`] for `id`), and the
+    /// actor it returns is installed in the slot.
+    pub fn add_actor_with<F>(&mut self, node: NodeId, build: F) -> ActorId
+    where
+        F: FnOnce(&mut Sim, ActorId) -> Box<dyn Actor>,
+    {
         assert!(node < self.nodes, "unknown node");
         let id = self.actors.len();
         self.actors.push(ActorSlot {
-            actor: Some(actor),
+            actor: None,
             node,
             gen: 0,
             alive: true,
+            timers: Vec::new(),
         });
+        let actor = build(self, id);
+        self.actors[id].actor = Some(actor);
         id
     }
 
     /// Installs a fresh actor in an existing slot (restart). Bumps the
-    /// generation so stale deliveries and timers are dropped.
+    /// generation so stale deliveries are dropped, and detaches the old
+    /// incarnation's timers.
     pub fn replace_actor(&mut self, id: ActorId, actor: Box<dyn Actor>) {
+        self.detach_actor_timers(id);
         let slot = &mut self.actors[id];
         slot.gen += 1;
         slot.actor = Some(actor);
         slot.alive = true;
+    }
+
+    /// Detaches every outstanding timer of an actor slot: payloads are
+    /// freed now and the handlers never run, while the calendar entries
+    /// keep their dispatch positions (see [`Sim::cancel_timer`]).
+    fn detach_actor_timers(&mut self, id: ActorId) {
+        let timers = std::mem::take(&mut self.actors[id].timers);
+        for key in timers {
+            self.calendar.detach(key);
+        }
     }
 
     /// Current generation of an actor slot.
@@ -289,17 +319,24 @@ impl Sim {
     // Scheduling
     // ------------------------------------------------------------------
 
-    /// Schedules an event `delay` from now.
-    pub fn schedule(&mut self, delay: SimDuration, event: Event) {
-        self.schedule_at(self.now + delay, event);
+    /// Schedules an event `delay` from now. The returned key can cancel
+    /// it through the calendar while it is still pending.
+    pub fn schedule(&mut self, delay: SimDuration, event: Event) -> EventKey {
+        self.schedule_at(self.now + delay, event)
     }
 
-    /// Schedules an event at an absolute instant (must not be in the past).
-    pub fn schedule_at(&mut self, time: SimTime, event: Event) {
+    /// Schedules an event at an absolute instant (must not be in the past,
+    /// must not be the [`SimTime::MAX`] sentinel).
+    pub fn schedule_at(&mut self, time: SimTime, event: Event) -> EventKey {
+        // MAX is the "run forever" deadline / "never" timeout sentinel;
+        // an event actually scheduled there is always a saturated (or
+        // formerly wrapped) arithmetic bug upstream.
+        assert!(
+            time < SimTime::MAX,
+            "attempted to schedule an event at the SimTime::MAX sentinel"
+        );
         debug_assert!(time >= self.now, "scheduling into the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QEntry { time, seq, event }));
+        self.calendar.schedule(time, event)
     }
 
     /// Schedules kernel-context work `delay` from now.
@@ -307,10 +344,41 @@ impl Sim {
         self.schedule(delay, Event::closure(f));
     }
 
-    /// Sets a timer for an actor; dropped if the actor is restarted first.
-    pub fn set_timer(&mut self, actor: ActorId, delay: SimDuration, token: u64) {
+    /// Sets a timer for an actor; detached (never fires) if the actor is
+    /// crashed or restarted first, cancellable through the returned
+    /// handle.
+    pub fn set_timer(&mut self, actor: ActorId, delay: SimDuration, token: u64) -> TimerHandle {
         let gen = self.actors[actor].gen;
-        self.schedule(delay, Event::Timer { actor, gen, token });
+        let key = self.schedule(delay, Event::Timer { actor, gen, token });
+        self.actors[actor].timers.push(key);
+        TimerHandle { key, actor }
+    }
+
+    /// Cancels a pending timer: its handler will not run. Returns false
+    /// for stale handles (already fired, cancelled, or detached by a
+    /// crash/restart of the owning actor).
+    ///
+    /// The calendar entry keeps its `(time, seq)` dispatch position and
+    /// is popped as a counted no-op — exactly the accounting of the
+    /// legacy path where a dead incarnation's timer reached dispatch and
+    /// failed the generation check. Cancellation therefore never shifts
+    /// `events_processed` or the virtual clock relative to the
+    /// generation-drop behaviour it replaces.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        if self.calendar.detach(handle.key).is_none() {
+            return false;
+        }
+        self.unregister_timer(handle.actor, handle.key);
+        true
+    }
+
+    /// Removes a timer key from its actor's outstanding-timer registry
+    /// (at cancellation, or when a live timer reaches dispatch).
+    fn unregister_timer(&mut self, actor: ActorId, key: EventKey) {
+        let timers = &mut self.actors[actor].timers;
+        if let Some(pos) = timers.iter().position(|k| *k == key) {
+            timers.swap_remove(pos);
+        }
     }
 
     /// Requests the run loop to exit at the next dispatch boundary.
@@ -493,6 +561,9 @@ impl Sim {
                 if let Some(mut a) = self.actors[id].actor.take() {
                     a.on_crash(self, id);
                 }
+                // Timers die with the incarnation — including any the
+                // actor armed from `on_crash` just above.
+                self.detach_actor_timers(id);
                 self.actors[id].alive = false;
                 self.actors[id].gen += 1;
             }
@@ -519,19 +590,24 @@ impl Sim {
             if self.stop {
                 return true;
             }
-            let Some(Reverse(head)) = self.queue.peek() else {
+            let Some(head_time) = self.calendar.peek_time() else {
                 return true;
             };
-            if head.time > deadline {
+            if head_time > deadline {
                 self.now = deadline;
                 self.exec.lock().unwrap().now = deadline;
                 return false;
             }
-            let Reverse(entry) = self.queue.pop().unwrap();
-            debug_assert!(entry.time >= self.now);
-            self.now = entry.time;
-            self.exec.lock().unwrap().now = entry.time;
-            self.dispatch(entry.event);
+            let (time, _seq, key, event) = self.calendar.pop().unwrap();
+            debug_assert!(time >= self.now);
+            self.now = time;
+            self.exec.lock().unwrap().now = time;
+            // A detached event (None payload) still advances the clock
+            // and the event counter: it occupies the dispatch slot a
+            // dead incarnation's timer would have burned anyway.
+            if let Some(event) = event {
+                self.dispatch(key, event);
+            }
             self.drain_tasks();
             self.events_processed += 1;
             if let Some(limit) = self.event_limit {
@@ -543,13 +619,17 @@ impl Sim {
         }
     }
 
-    fn dispatch(&mut self, event: Event) {
+    fn dispatch(&mut self, key: EventKey, event: Event) {
         match event {
             Event::Closure(f) => f(self),
             Event::Poke { actor, token } => {
                 self.with_actor(actor, None, |a, sim, me| a.on_poke(sim, me, token));
             }
             Event::Timer { actor, gen, token } => {
+                // A live (non-detached) timer always belongs to the
+                // current generation: stale ones were detached wholesale
+                // when the incarnation died.
+                self.unregister_timer(actor, key);
                 self.with_actor(actor, Some(gen), |a, sim, me| a.on_timer(sim, me, token));
             }
             Event::Deliver { actor, gen, msg } => {
@@ -704,6 +784,70 @@ mod tests {
         sim.set_timer(a, SimDuration::from_micros(20), 2);
         sim.run();
         assert_eq!(&*got.lock().unwrap(), &[(usize::MAX, 2u64)]);
+        // The detached timer still burned its dispatch slot, exactly as
+        // the old generation-check drop did.
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_but_keeps_accounting() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(n0, Box::new(Echo { got: got.clone() }));
+        let h1 = sim.set_timer(a, SimDuration::from_micros(10), 1);
+        sim.set_timer(a, SimDuration::from_micros(20), 2);
+        assert!(sim.cancel_timer(h1));
+        assert!(!sim.cancel_timer(h1), "double cancel is a no-op");
+        sim.run();
+        assert_eq!(&*got.lock().unwrap(), &[(usize::MAX, 2u64)]);
+        assert_eq!(sim.events_processed(), 2);
+        // A fired timer's handle is stale.
+        let mut sim2 = Sim::new(7);
+        let n = sim2.add_node();
+        let a2 = sim2.add_actor(n, Box::new(Echo { got: got.clone() }));
+        let h = sim2.set_timer(a2, SimDuration::from_micros(1), 9);
+        sim2.run();
+        assert!(!sim2.cancel_timer(h));
+    }
+
+    #[test]
+    fn add_actor_with_can_arm_its_own_timers() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor_with(n0, |sim, me| {
+            sim.set_timer(me, SimDuration::from_micros(5), 77);
+            Box::new(Echo { got: got.clone() })
+        });
+        sim.run();
+        assert_eq!(&*got.lock().unwrap(), &[(usize::MAX, 77u64)]);
+        let _ = a;
+    }
+
+    #[test]
+    fn crash_detaches_timers_but_counts_their_slots() {
+        let mut sim = Sim::new(7);
+        let n0 = sim.add_node();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let a = sim.add_actor(n0, Box::new(Echo { got: got.clone() }));
+        sim.set_timer(a, SimDuration::from_micros(10), 1);
+        sim.set_timer(a, SimDuration::from_micros(12), 2);
+        sim.after(SimDuration::from_micros(1), move |sim| sim.crash_node(0));
+        sim.run();
+        assert!(got.lock().unwrap().is_empty());
+        // crash closure + two detached timer slots.
+        assert_eq!(sim.events_processed(), 3);
+        assert_eq!(sim.now().as_nanos(), 12_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime::MAX sentinel")]
+    fn scheduling_at_the_sentinel_is_rejected() {
+        let mut sim = Sim::new(7);
+        // A wrapped/saturated delay must be caught loudly, not silently
+        // reorder the calendar.
+        sim.after(SimDuration::from_nanos(u64::MAX), |_| {});
     }
 
     #[test]

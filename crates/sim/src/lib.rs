@@ -4,7 +4,10 @@
 //! provides:
 //!
 //! * a **virtual clock** with nanosecond resolution ([`SimTime`]),
-//! * a deterministic **event queue** and run loop ([`Sim`]),
+//! * a deterministic **event calendar** and run loop ([`Sim`]): an
+//!   arena-backed slab of events plus a hierarchical timer wheel with a
+//!   far-future overflow heap ([`calendar`]), dispatching in exact
+//!   `(time, sequence)` order with O(1) scheduling and cancellation,
 //! * an **actor** model for message/timer-driven services such as
 //!   communication daemons, the Event Logger, the checkpoint server and the
 //!   dispatcher ([`Actor`]),
@@ -41,14 +44,16 @@
 //! assert_eq!(sim.now().as_nanos(), 5_000);
 //! ```
 
+pub mod calendar;
 pub mod exec;
 pub mod kernel;
 pub mod net;
 pub mod stats;
 pub mod time;
 
+pub use calendar::{EventCalendar, EventKey};
 pub use exec::{ExecHandle, OpCell, TaskId};
-pub use kernel::{Actor, ActorId, Delivery, Event, NodeId, Sim, SimConfig};
+pub use kernel::{Actor, ActorId, Delivery, Event, NodeId, Sim, SimConfig, TimerHandle};
 pub use net::{EthernetParams, Network, WireSize};
 pub use stats::Stats;
 pub use time::{SimDuration, SimTime};

@@ -102,16 +102,22 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturating: arithmetic at or near the [`SimTime::MAX`] sentinel
+    /// (the "run forever" deadline, detection-disabled timeouts, ...)
+    /// clamps instead of wrapping past zero in release builds. The
+    /// kernel separately asserts that the sentinel itself is never
+    /// *scheduled*, so a saturated instant is caught loudly rather than
+    /// silently reordering the calendar.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -127,16 +133,17 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// Saturating, for the same reason as `SimTime + SimDuration`.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -232,5 +239,26 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
         assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn addition_saturates_at_the_sentinel() {
+        // Regression: these used to wrap in release builds, scheduling
+        // "never" timeouts into the simulation's distant past.
+        let big = SimDuration::from_nanos(u64::MAX - 5);
+        assert_eq!(SimTime::MAX + big, SimTime::MAX);
+        assert_eq!(SimTime::from_nanos(10) + big, SimTime::MAX);
+        let mut t = SimTime::from_nanos(u64::MAX - 2);
+        t += SimDuration::from_nanos(100);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!((big + SimDuration::from_nanos(100)).as_nanos(), u64::MAX);
+        let mut d = big;
+        d += SimDuration::from_nanos(100);
+        assert_eq!(d.as_nanos(), u64::MAX);
+        // Ordinary arithmetic is unchanged.
+        assert_eq!(
+            (SimTime::from_nanos(3) + SimDuration::from_nanos(4)).as_nanos(),
+            7
+        );
     }
 }

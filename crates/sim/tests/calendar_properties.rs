@@ -1,0 +1,202 @@
+//! Property tests of the event calendar: the wheel/arena structure must
+//! dispatch in **exactly** the order of the old global binary heap, under
+//! any interleaving of schedules, cancellations, detachments and pops.
+//!
+//! The model is the pre-refactor structure itself — a `BinaryHeap`
+//! ordered by `(time, seq)` with lazy skip of cancelled entries — so any
+//! divergence is a real ordering (or staleness-detection) bug in the
+//! calendar, not a modelling artifact.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use vlog_sim::{EventCalendar, EventKey, SimTime};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Cancelled,
+    Detached,
+    Popped,
+}
+
+/// Reference model: the old heap, plus explicit status tracking.
+struct Model {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    status: Vec<Status>,
+    seq: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            heap: BinaryHeap::new(),
+            status: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: u64) -> u32 {
+        let id = self.status.len() as u32;
+        self.status.push(Status::Pending);
+        self.heap.push(Reverse((time, self.seq, id)));
+        self.seq += 1;
+        id
+    }
+
+    /// Next dispatch: skips cancelled entries, keeps detached slots.
+    fn pop(&mut self) -> Option<(u64, u64, Option<u32>)> {
+        while let Some(Reverse((time, seq, id))) = self.heap.pop() {
+            match self.status[id as usize] {
+                Status::Cancelled => continue,
+                Status::Pending => {
+                    self.status[id as usize] = Status::Popped;
+                    return Some((time, seq, Some(id)));
+                }
+                Status::Detached => {
+                    self.status[id as usize] = Status::Popped;
+                    return Some((time, seq, None));
+                }
+                Status::Popped => unreachable!("popped id still in the model heap"),
+            }
+        }
+        None
+    }
+}
+
+/// One scripted step. `arg` selects a delay or a victim key.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule { delay: u64 },
+    Cancel { victim: usize },
+    Detach { victim: usize },
+    Pop,
+}
+
+fn decode_op((kind, arg): (u8, u64)) -> Op {
+    match kind % 6 {
+        // Two schedule arms: near-future delays live in the wheel's low
+        // levels; the rare huge ones cross every level and the overflow
+        // heap (the wheel horizon is ~2^36 ns).
+        0 | 1 => Op::Schedule {
+            delay: arg % 50_000_000,
+        },
+        2 => Op::Schedule {
+            delay: (arg % 64) * (1 << 31),
+        },
+        3 => Op::Cancel {
+            victim: arg as usize,
+        },
+        4 => Op::Detach {
+            victim: arg as usize,
+        },
+        _ => Op::Pop,
+    }
+}
+
+/// Runs the script through both structures, checking every observation.
+fn run_script(raw_ops: &[(u8, u64)]) {
+    let mut cal: EventCalendar<u32> = EventCalendar::new();
+    let mut model = Model::new();
+    let mut keys: Vec<(EventKey, u32)> = Vec::new();
+    let mut now = 0u64;
+    for &raw in raw_ops {
+        match decode_op(raw) {
+            Op::Schedule { delay } => {
+                let time = now.saturating_add(delay);
+                let id = model.schedule(time);
+                let key = cal.schedule(SimTime::from_nanos(time), id);
+                keys.push((key, id));
+            }
+            Op::Cancel { victim } if !keys.is_empty() => {
+                let (key, id) = keys[victim % keys.len()];
+                let expect = model.status[id as usize] == Status::Pending;
+                if expect {
+                    model.status[id as usize] = Status::Cancelled;
+                }
+                let got = cal.cancel(key);
+                prop_assert_eq!(
+                    got.is_some(),
+                    expect,
+                    "cancel of id {} disagreed with the model",
+                    id
+                );
+                if let Some(p) = got {
+                    prop_assert_eq!(p, id);
+                }
+            }
+            Op::Detach { victim } if !keys.is_empty() => {
+                let (key, id) = keys[victim % keys.len()];
+                let expect = model.status[id as usize] == Status::Pending;
+                if expect {
+                    model.status[id as usize] = Status::Detached;
+                }
+                let got = cal.detach(key);
+                prop_assert_eq!(
+                    got.is_some(),
+                    expect,
+                    "detach of id {} disagreed with the model",
+                    id
+                );
+            }
+            Op::Cancel { .. } | Op::Detach { .. } => {}
+            Op::Pop => {
+                let want = model.pop();
+                let got = cal.pop().map(|(t, s, _k, p)| (t.as_nanos(), s, p));
+                prop_assert_eq!(got, want, "pop order diverged from the heap model");
+                if let Some((t, _, _)) = got {
+                    now = t;
+                }
+            }
+        }
+    }
+    // Drain both to the end: the tails must agree too.
+    loop {
+        let want = model.pop();
+        let got = cal.pop().map(|(t, s, _k, p)| (t.as_nanos(), s, p));
+        prop_assert_eq!(got, want, "drain order diverged from the heap model");
+        if got.is_none() {
+            prop_assert!(cal.is_empty());
+            return;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random `(time, seq)` schedules with interleaved cancellations,
+    /// detachments and pops dispatch identically through the old heap
+    /// ordering model and the wheel/arena calendar.
+    #[test]
+    fn calendar_matches_heap_model(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..120),
+    ) {
+        run_script(&ops);
+    }
+
+    /// Pure schedule-then-drain at wheel-stressing magnitudes: every
+    /// level plus the overflow heap, including same-tick collisions.
+    #[test]
+    fn bulk_drain_is_fully_sorted(
+        times in prop::collection::vec(0u64..(1u64 << 40), 1..200),
+    ) {
+        let mut cal: EventCalendar<u32> = EventCalendar::new();
+        for (i, t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_nanos(*t), i as u32);
+        }
+        let mut want: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i as u64))
+            .collect();
+        want.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, s, _k, p)) = cal.pop() {
+            prop_assert!(p.is_some());
+            got.push((t.as_nanos(), s));
+        }
+        prop_assert_eq!(got, want);
+    }
+}

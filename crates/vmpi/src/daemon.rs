@@ -28,7 +28,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use vlog_sim::{
-    Actor, ActorId, Delivery, Event, NodeId, OpCell, Sim, SimDuration, SimTime, TaskId, WireSize,
+    Actor, ActorId, Delivery, Event, NodeId, OpCell, Sim, SimDuration, SimTime, TaskId,
+    TimerHandle, WireSize,
 };
 
 use crate::api::Mpi;
@@ -341,9 +342,19 @@ impl DaemonCore {
     }
 
     /// Sets a protocol timer; it arrives at `VProtocol::on_timer` with the
-    /// given token.
-    pub fn set_proto_timer(&self, sim: &mut Sim, delay: SimDuration, token: u64) {
-        sim.set_timer(self.me, delay, PROTO_TIMER_BASE + token);
+    /// given token. The returned wheel handle cancels it — protocols that
+    /// arm retry/timeout timers should cancel them once the awaited event
+    /// arrives instead of letting a stale no-op fire.
+    pub fn set_proto_timer(&self, sim: &mut Sim, delay: SimDuration, token: u64) -> TimerHandle {
+        sim.set_timer(self.me, delay, PROTO_TIMER_BASE + token)
+    }
+
+    /// Cancels a protocol timer set through [`DaemonCore::set_proto_timer`].
+    /// Stale handles (fired, already cancelled, or detached because the
+    /// daemon's incarnation died) are ignored; returns whether a live
+    /// timer was cancelled.
+    pub fn cancel_proto_timer(&self, sim: &mut Sim, handle: TimerHandle) -> bool {
+        sim.cancel_timer(handle)
     }
 
     // ---- internal helpers -------------------------------------------

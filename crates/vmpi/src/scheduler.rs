@@ -12,7 +12,7 @@
 //! application checkpoint point.
 
 use rand::Rng;
-use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration};
+use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, TimerHandle};
 
 use crate::hooks::{SchedulerCmd, Topology};
 use crate::types::DaemonMsg;
@@ -36,16 +36,37 @@ pub struct CkptScheduler {
     topo: Topology,
     policy: SchedulerPolicy,
     snapshot_id: u64,
+    /// Cancellable wheel handles of the armed timers: one per rank for
+    /// round robin (indexed by rank), one for the other periodic
+    /// policies. Rearming replaces the handle; `on_crash` cancels them
+    /// so a dead scheduler's timers are freed at once instead of each
+    /// reaching dispatch as a stale generation drop.
+    timers: Vec<Option<TimerHandle>>,
 }
 
 impl CkptScheduler {
     pub fn new(node: NodeId, topo: Topology, policy: SchedulerPolicy) -> Self {
+        let slots = match policy {
+            SchedulerPolicy::Disabled => 0,
+            SchedulerPolicy::RoundRobin { .. } => topo.n_ranks(),
+            SchedulerPolicy::Random { .. } | SchedulerPolicy::Coordinated { .. } => 1,
+        };
         CkptScheduler {
             node,
             topo,
             policy,
             snapshot_id: 0,
+            timers: vec![None; slots],
         }
+    }
+
+    /// Remembers the handle of a (re)armed timer.
+    fn register(&mut self, token: u64, handle: TimerHandle) {
+        let slot = match self.policy {
+            SchedulerPolicy::RoundRobin { .. } => token as usize,
+            _ => 0,
+        };
+        self.timers[slot] = Some(handle);
     }
 
     /// Installs the scheduler actor and arms its first timers.
@@ -55,26 +76,30 @@ impl CkptScheduler {
         topo: Topology,
         policy: SchedulerPolicy,
     ) -> ActorId {
-        let scheduler = CkptScheduler::new(node, topo.clone(), policy);
-        let id = sim.add_actor(node, Box::new(scheduler));
-        match policy {
-            SchedulerPolicy::Disabled => {}
-            SchedulerPolicy::RoundRobin { period } => {
-                let n = topo.n_ranks() as u64;
-                for r in 0..topo.n_ranks() {
-                    let first = SimDuration::from_nanos(period.as_nanos() * (r as u64 + 1) / n);
-                    sim.set_timer(id, first, r as u64);
+        sim.add_actor_with(node, |sim, id| {
+            let mut scheduler = CkptScheduler::new(node, topo.clone(), policy);
+            match policy {
+                SchedulerPolicy::Disabled => {}
+                SchedulerPolicy::RoundRobin { period } => {
+                    let n = topo.n_ranks() as u64;
+                    for r in 0..topo.n_ranks() {
+                        let first = SimDuration::from_nanos(period.as_nanos() * (r as u64 + 1) / n);
+                        let h = sim.set_timer(id, first, r as u64);
+                        scheduler.register(r as u64, h);
+                    }
+                }
+                SchedulerPolicy::Random { period } => {
+                    let slice = SimDuration::from_nanos(period.as_nanos() / topo.n_ranks() as u64);
+                    let h = sim.set_timer(id, slice, u64::MAX);
+                    scheduler.register(u64::MAX, h);
+                }
+                SchedulerPolicy::Coordinated { period } => {
+                    let h = sim.set_timer(id, period, u64::MAX - 1);
+                    scheduler.register(u64::MAX - 1, h);
                 }
             }
-            SchedulerPolicy::Random { period } => {
-                let slice = SimDuration::from_nanos(period.as_nanos() / topo.n_ranks() as u64);
-                sim.set_timer(id, slice, u64::MAX);
-            }
-            SchedulerPolicy::Coordinated { period } => {
-                sim.set_timer(id, period, u64::MAX - 1);
-            }
-        }
-        id
+            Box::new(scheduler)
+        })
     }
 
     fn command(&self, sim: &mut Sim, rank: usize, cmd: SchedulerCmd) {
@@ -98,14 +123,16 @@ impl Actor for CkptScheduler {
             SchedulerPolicy::RoundRobin { period } => {
                 let rank = token as usize;
                 self.command(sim, rank, SchedulerCmd::TakeCheckpoint);
-                sim.set_timer(me, period, token);
+                let h = sim.set_timer(me, period, token);
+                self.register(token, h);
             }
             SchedulerPolicy::Random { period } => {
                 let n = self.topo.n_ranks();
                 let rank = sim.rng().random_range(0..n);
                 self.command(sim, rank, SchedulerCmd::TakeCheckpoint);
                 let slice = SimDuration::from_nanos(period.as_nanos() / n as u64);
-                sim.set_timer(me, slice, token);
+                let h = sim.set_timer(me, slice, token);
+                self.register(token, h);
             }
             SchedulerPolicy::Coordinated { period } => {
                 self.snapshot_id += 1;
@@ -118,8 +145,19 @@ impl Actor for CkptScheduler {
                         },
                     );
                 }
-                sim.set_timer(me, period, token);
+                let h = sim.set_timer(me, period, token);
+                self.register(token, h);
             }
+        }
+    }
+
+    fn on_crash(&mut self, sim: &mut Sim, _me: ActorId) {
+        // Free the periodic timers now; the kernel would otherwise
+        // detach them right after this hook anyway, so behaviour is
+        // identical — but the intent is explicit and the handles do not
+        // linger in the slot's registry.
+        for h in self.timers.drain(..).flatten() {
+            sim.cancel_timer(h);
         }
     }
 }

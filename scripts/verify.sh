@@ -20,7 +20,11 @@ cargo bench --no-run --offline
 echo "==> smoke bench (micro, 5 ms window) -> BENCH_micro.json"
 VLOG_BENCH_MS=5 cargo bench -q --offline --bench micro >/dev/null
 test -s BENCH_micro.json || { echo "BENCH_micro.json was not produced" >&2; exit 1; }
-echo "    BENCH_micro.json: ok"
+grep -q "event_calendar/calendar_schedule_drain" BENCH_micro.json || {
+    echo "BENCH_micro.json is missing the event_calendar group" >&2; exit 1; }
+grep -q "event_calendar/heap_schedule_drain" BENCH_micro.json || {
+    echo "BENCH_micro.json is missing the heap baseline" >&2; exit 1; }
+echo "    BENCH_micro.json: ok (event_calendar group present)"
 
 echo "==> sweep driver smoke (--threads 2: parallel path must match sequential)"
 cargo run -q --release --offline --example sweep_smoke -- --threads 2

@@ -180,13 +180,14 @@ proptest! {
                 cause,
             })
             .collect();
-        // Flat preserves arbitrary order.
-        let flat = encode_flat(&dets);
+        // Flat preserves arbitrary order. All generated fields are in
+        // wire range, so encoding cannot fail.
+        let flat = encode_flat(&dets).expect("in-range determinants encode");
         prop_assert_eq!(flat.len() as u64, flat_len(&dets));
         prop_assert_eq!(decode_flat(flat), dets.clone());
         // Factored groups runs of equal receiver; canonicalize first.
         dets.sort_by_key(|d| (d.receiver, d.clock));
-        let fac = encode_factored(&dets);
+        let fac = encode_factored(&dets).expect("in-range determinants encode");
         prop_assert_eq!(fac.len() as u64, factored_len(&dets));
         prop_assert_eq!(decode_factored(fac), dets);
     }
