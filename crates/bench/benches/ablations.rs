@@ -19,7 +19,7 @@ use vlog_vmpi::{
     CkptScheduler, ClusterConfig, FaultPlan, RecoveryStyle, SharedRankStats, Suite, Topology,
     VProtocol,
 };
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 /// CausalSuite variant that co-locates the Event Logger with the
 /// checkpoint server on one stable node (stable_nodes[1]).
@@ -76,13 +76,13 @@ fn main() {
         // Checkpoints on, so image traffic and EL traffic contend for the
         // shared stable node's link (the paper's §III-A concern).
         let period = vlog_sim::SimDuration::from_secs(1);
-        let dedicated = run_nas(
+        let dedicated = run_workload(
             &nas,
             &cfg,
             Arc::new(CausalSuite::new(Technique::Vcausal, true).with_checkpoints(period)),
             &FaultPlan::none(),
         );
-        let shared = run_nas(
+        let shared = run_workload(
             &nas,
             &cfg,
             Arc::new(SharedNodeSuite {
@@ -116,10 +116,10 @@ fn main() {
             CausalSuite::new(Technique::Vcausal, true)
                 .with_checkpoints(SimDuration::from_secs_f64(period_s)),
         );
-        let probe = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::none());
+        let probe = run_workload(&nas, &cfg, suite.clone(), &FaultPlan::none());
         assert!(probe.report.completed);
         let half = probe.report.makespan.mul_f64(0.5);
-        let run = run_nas(&nas, &cfg, suite, &FaultPlan::kill_at(half, 0));
+        let run = run_workload(&nas, &cfg, suite, &FaultPlan::kill_at(half, 0));
         assert!(run.report.completed);
         let st = &run.report.rank_stats[0];
         t2.row(vec![
@@ -146,8 +146,7 @@ fn main() {
         cfg.profile.eager_threshold = threshold;
         let report = vlog_vmpi::run_cluster(&cfg, Stack::Vdummy.suite(), prog, &FaultPlan::none());
         assert!(report.completed);
-        let out = results.lock().unwrap().clone();
-        out
+        results.sorted()
     };
     let big = run_with_threshold(128 << 10);
     let small = run_with_threshold(16 << 10);
@@ -172,7 +171,7 @@ fn main() {
         let nas = NasConfig::new(NasBench::LU, Class::A, 16).fraction(scale.fraction(0.03));
         let mut cfg = ClusterConfig::new(16);
         cfg.event_limit = Some(2_000_000_000);
-        let run = run_nas(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
+        let run = run_workload(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
         assert!(run.report.completed);
         t4.row(vec![
             k.to_string(),

@@ -14,7 +14,7 @@ use vlog_bench::{banner, fmt3, Scale, Table};
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{FaultPlan, Suite};
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 /// Runs one recovery experiment; returns the event-collection time in ms.
 fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> f64 {
@@ -27,7 +27,7 @@ fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> 
     // the checkpoint server's link, long after the applications ended).
     let mut probe_nas = nas.clone();
     probe_nas.checkpoints = false;
-    let probe = run_nas(
+    let probe = run_workload(
         &probe_nas,
         &cfg,
         Arc::new(CausalSuite::new(Technique::Vcausal, el)),
@@ -41,7 +41,7 @@ fn recover_ms(bench: NasBench, class: Class, np: usize, frac: f64, el: bool) -> 
     let suite: Arc<dyn Suite> =
         Arc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
     let kill = t_app.mul_f64(0.55);
-    let run = run_nas(&nas, &cfg, suite, &FaultPlan::kill_at(kill, 0));
+    let run = run_workload(&nas, &cfg, suite, &FaultPlan::kill_at(kill, 0));
     assert!(
         run.report.completed,
         "{} np={np} el={el}: faulted run incomplete",

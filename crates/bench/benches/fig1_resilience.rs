@@ -16,7 +16,7 @@ use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Table};
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{ClusterConfig, Suite};
-use vlog_workloads::{run_nas, runner::faults, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, runner::faults, Class, NasBench, NasConfig};
 
 const NP: usize = 25;
 
@@ -55,7 +55,7 @@ fn main() {
         let mut cfg = ClusterConfig::new(NP);
         cfg.event_limit = Some(4_000_000_000);
         cfg.detect_delay = SimDuration::from_millis(250);
-        let run = run_nas(&nas, &cfg, suite(kind, ckpt), &vlog_vmpi::FaultPlan::none());
+        let run = run_workload(&nas, &cfg, suite(kind, ckpt), &vlog_vmpi::FaultPlan::none());
         assert!(run.report.completed, "{kind} baseline incomplete");
         run.report.makespan
     });
@@ -85,7 +85,7 @@ fn main() {
         cfg.time_limit = Some(base_ref[i].mul_f64(8.0));
         let horizon = base_ref[i].mul_f64(8.0);
         let plan = faults::periodic_per_minute(f, NP, horizon);
-        let run = run_nas(&nas, &cfg, suite(kind, ckpt), &plan);
+        let run = run_workload(&nas, &cfg, suite(kind, ckpt), &plan);
         run.report
             .completed
             .then(|| 100.0 * run.report.makespan.as_secs_f64() / base_ref[i].as_secs_f64())

@@ -10,7 +10,7 @@
 use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Stack, Table};
 use vlog_core::Technique;
 use vlog_vmpi::FaultPlan;
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 fn techniques() -> [Technique; 3] {
     [Technique::Vcausal, Technique::Manetho, Technique::LogOn]
@@ -56,7 +56,7 @@ fn main() {
             let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
             let mut cfg = stack.cluster(np);
             cfg.event_limit = Some(2_000_000_000);
-            let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+            let run = run_workload(&nas, &cfg, stack.suite(), &FaultPlan::none());
             assert!(run.report.completed, "{} np={np}", stack.label());
             run.report.piggyback_percent()
         });

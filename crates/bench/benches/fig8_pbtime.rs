@@ -11,7 +11,7 @@
 use vlog_bench::{banner, default_threads, fmt3, run_many, Scale, Stack, Table};
 use vlog_core::Technique;
 use vlog_vmpi::FaultPlan;
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 struct Cell {
     send_s: f64,
@@ -72,7 +72,7 @@ fn main() {
             let nas = NasConfig::new(*bench, Class::A, np).fraction(frac);
             let mut cfg = stack.cluster(np);
             cfg.event_limit = Some(2_000_000_000);
-            let run = run_nas(&nas, &cfg, stack.suite(), &FaultPlan::none());
+            let run = run_workload(&nas, &cfg, stack.suite(), &FaultPlan::none());
             assert!(run.report.completed, "{} np={np}", stack.label());
             let (send, recv) = run.report.pb_times();
             Cell {

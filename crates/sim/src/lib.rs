@@ -55,5 +55,5 @@ pub use calendar::{EventCalendar, EventKey};
 pub use exec::{ExecHandle, OpCell, TaskId};
 pub use kernel::{Actor, ActorId, Delivery, Event, NodeId, Sim, SimConfig, TimerHandle};
 pub use net::{EthernetParams, Network, WireSize};
-pub use stats::Stats;
+pub use stats::{MsgHistogram, Stats};
 pub use time::{SimDuration, SimTime};

@@ -12,6 +12,79 @@ use std::collections::BTreeMap;
 use crate::net::WireSize;
 use crate::time::SimDuration;
 
+/// Number of power-of-two size buckets: bucket 47 absorbs everything at
+/// or above 64 TiB, far beyond any message this simulation moves.
+const HIST_BUCKETS: usize = 48;
+
+/// Message-count histogram over power-of-two total-wire-size buckets.
+///
+/// Bucket `i` counts delivered messages whose total wire size (header +
+/// payload + piggyback + control) is in `[2^(i-1)+1, 2^i]` bytes, with
+/// bucket 0 holding empty and 1-byte messages. Workload harnesses use it
+/// to characterize a traffic shape (LU's sub-kilobyte storms vs FT's
+/// megabyte transposes) without logging every message.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MsgHistogram {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for MsgHistogram {
+    fn default() -> Self {
+        MsgHistogram {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl MsgHistogram {
+    /// Bucket index for a message of `bytes` total wire size.
+    fn bucket_of(bytes: u64) -> usize {
+        let ceil_log2 = (64 - bytes.saturating_sub(1).leading_zeros()) as usize;
+        ceil_log2.min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one message of `bytes` total wire size.
+    pub fn record(&mut self, bytes: u64) {
+        self.buckets[Self::bucket_of(bytes)] += 1;
+    }
+
+    /// Total messages recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Messages recorded in the bucket whose upper bound is `2^i` bytes.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Non-empty `(upper_bound_bytes, count)` pairs, smallest sizes first.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i.min(63), c))
+    }
+
+    /// Upper bound (bytes) of the largest non-empty bucket, 0 when empty.
+    pub fn max_bucket_bytes(&self) -> u64 {
+        self.nonzero().map(|(b, _)| b).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for MsgHistogram {
+    /// Compact sparse form so report fingerprints stay readable:
+    /// `{<=64: 12, <=4096: 3}`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (bound, count) in self.nonzero() {
+            map.entry(&format_args!("<={bound}"), &count);
+        }
+        map.finish()
+    }
+}
+
 /// Aggregated counters for one simulation run.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
@@ -19,6 +92,8 @@ pub struct Stats {
     pub messages: u64,
     /// Bytes by category, summed over all delivered messages.
     pub bytes: WireSize,
+    /// Message-count histogram over power-of-two wire-size buckets.
+    pub msg_sizes: MsgHistogram,
     /// Named integer counters (protocol-specific).
     counters: BTreeMap<&'static str, u64>,
     /// Named duration accumulators (protocol-specific).
@@ -37,6 +112,7 @@ impl Stats {
         self.bytes.payload += size.payload;
         self.bytes.piggyback += size.piggyback;
         self.bytes.control += size.control;
+        self.msg_sizes.record(size.total());
     }
 
     /// Adds `v` to the named counter, creating it at zero if absent.
@@ -136,5 +212,49 @@ mod tests {
     fn empty_run_has_no_piggyback_percent() {
         let s = Stats::new();
         assert_eq!(s.piggyback_percent(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = MsgHistogram::default();
+        for bytes in [0u64, 1, 2, 3, 64, 65, 1 << 20] {
+            h.record(bytes);
+        }
+        // 0 and 1 land in bucket 0; 2 in bucket 1; 3 in bucket 2 (<=4);
+        // 64 in bucket 6; 65 in bucket 7; 1 MiB in bucket 20.
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(6), 1);
+        assert_eq!(h.bucket(7), 1);
+        assert_eq!(h.bucket(20), 1);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_bucket_bytes(), 1 << 20);
+        let sparse: Vec<_> = h.nonzero().collect();
+        assert_eq!(sparse[0], (1, 2));
+        assert_eq!(sparse.last().copied(), Some((1 << 20, 1)));
+    }
+
+    #[test]
+    fn histogram_absorbs_huge_messages_without_overflow() {
+        let mut h = MsgHistogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 50);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(HIST_BUCKETS - 1), 2);
+    }
+
+    #[test]
+    fn messages_land_in_the_stats_histogram() {
+        let mut s = Stats::new();
+        s.record_message(WireSize {
+            header: 10,
+            payload: 90,
+            piggyback: 0,
+            control: 0,
+        });
+        assert_eq!(s.msg_sizes.count(), 1);
+        assert_eq!(s.msg_sizes.bucket(7), 1); // 100 bytes <= 128
+        assert_eq!(format!("{:?}", s.msg_sizes), "{<=128: 1}");
     }
 }

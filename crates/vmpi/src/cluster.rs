@@ -139,6 +139,12 @@ impl RunReport {
         let recv = self.rank_stats.iter().map(|s| s.pb_recv_time).sum();
         (send, recv)
     }
+
+    /// Message-count histogram over power-of-two wire-size buckets — the
+    /// traffic shape workload harnesses report alongside the scalars.
+    pub fn msg_histogram(&self) -> &vlog_sim::MsgHistogram {
+        &self.stats.msg_sizes
+    }
 }
 
 /// A fully built, not-yet-executed cluster run. Owns the simulation and

@@ -1,0 +1,213 @@
+//! Bursty request/reply service — the "millions of users" traffic shape.
+//!
+//! Rank 0 is a server; every other rank is a client firing *bursts* of
+//! requests with deterministic-RNG arrivals (exponential think times,
+//! heavy-tailed burst sizes), then waiting for the replies. The server
+//! drains requests with a **wildcard receive**, so the delivery order is
+//! a race decided by the network — exactly the nondeterminism causal
+//! message logging exists to capture. Compared to the NAS skeletons
+//! (static partners, deterministic schedules) this regime stresses the
+//! determinant path: every served request is a genuinely nondeterministic
+//! event the protocols must log, piggyback or ack before the reply's
+//! causal effects escape.
+//!
+//! The RNG draws are keyed by `(seed, rank, round)`, never by elapsed
+//! state, so an incarnation restarted from a round checkpoint regenerates
+//! byte-identical traffic — the piecewise-determinism contract replay
+//! needs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{app, Payload, RecvSelector};
+
+use crate::workload::{ckpt_payload, mix_seed, restored_u64, Workload, WorkloadProgram};
+
+const TAG_REQ: u32 = 70;
+const TAG_REP: u32 = 71;
+
+/// One bursty service configuration.
+#[derive(Debug, Clone)]
+pub struct BurstyConfig {
+    /// Total ranks: rank 0 serves, ranks `1..np` are clients.
+    pub np: usize,
+    /// Bursts each client fires.
+    pub rounds: u64,
+    /// Mean requests per burst (tail is exponential, capped at 16x).
+    pub mean_burst: f64,
+    /// Mean think time between a client's bursts.
+    pub mean_think: SimDuration,
+    /// Request payload bytes.
+    pub req_bytes: u64,
+    /// Reply payload bytes.
+    pub reply_bytes: u64,
+    /// Service cost per request, flops.
+    pub flops_per_req: f64,
+    /// Server checkpoints every this many served requests; clients at
+    /// every round boundary.
+    pub ckpt_every: u64,
+    /// Per-rank checkpoint state bytes.
+    pub state_bytes: u64,
+    /// Arrival-process seed.
+    pub seed: u64,
+    /// Offer checkpoints (required to survive fault injection).
+    pub checkpoints: bool,
+}
+
+impl BurstyConfig {
+    pub fn new(np: usize, rounds: u64, seed: u64) -> Self {
+        assert!(np >= 2, "bursty service needs a server and >=1 client");
+        assert!(rounds >= 1, "bursty service needs >=1 round");
+        BurstyConfig {
+            np,
+            rounds,
+            mean_burst: 4.0,
+            mean_think: SimDuration::from_micros(300),
+            req_bytes: 256,
+            reply_bytes: 1024,
+            flops_per_req: 2.0e5,
+            ckpt_every: 16,
+            state_bytes: 2 << 20,
+            seed,
+            checkpoints: true,
+        }
+    }
+
+    /// Burst size and think time of client `rank`'s round `round` —
+    /// a pure function of the seed, so replay regenerates it exactly.
+    fn draw(&self, rank: usize, round: u64) -> (u64, SimDuration) {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, rank as u64, round));
+        let u: f64 = rng.random();
+        // Exponential tail over a minimum of one request, capped so one
+        // outlier round cannot dominate a whole run.
+        let cap = (self.mean_burst * 16.0).max(1.0);
+        let burst = (1.0 + (-(1.0 - u).ln()) * self.mean_burst).min(cap) as u64;
+        let v: f64 = rng.random();
+        let think = self.mean_think.mul_f64(-(1.0 - v).ln());
+        (burst.max(1), think)
+    }
+
+    /// Total requests the whole run serves (the server derives its
+    /// termination condition from the same pure arrival process).
+    pub fn total_requests(&self) -> u64 {
+        (1..self.np)
+            .flat_map(|c| (0..self.rounds).map(move |r| self.draw(c, r).0))
+            .sum()
+    }
+}
+
+impl Workload for BurstyConfig {
+    fn family(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn label(&self) -> String {
+        format!("{}c.x{}", self.np - 1, self.rounds)
+    }
+
+    fn np(&self) -> usize {
+        self.np
+    }
+
+    fn valid_np(&self, np: usize) -> bool {
+        np >= 2
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.state_bytes
+    }
+
+    fn total_flops(&self) -> f64 {
+        self.total_requests() as f64 * self.flops_per_req
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        let cfg = self.clone();
+        let total = cfg.total_requests();
+        let spec = app(move |mpi| {
+            let cfg = cfg.clone();
+            async move {
+                let me = mpi.rank();
+                if me == 0 {
+                    // Server: drain `total` requests in whatever order
+                    // the network delivers them; reply to the source.
+                    let mut served = restored_u64(&mpi);
+                    while served < total {
+                        if cfg.checkpoints && served % cfg.ckpt_every == 0 {
+                            mpi.checkpoint_point(ckpt_payload(cfg.state_bytes, served))
+                                .await;
+                        }
+                        let req = mpi
+                            .recv(RecvSelector {
+                                src: None,
+                                tag: Some(TAG_REQ),
+                            })
+                            .await;
+                        mpi.compute(cfg.flops_per_req).await;
+                        mpi.send(req.src, TAG_REP, Payload::synthetic(cfg.reply_bytes))
+                            .await;
+                        served += 1;
+                    }
+                } else {
+                    // Client: think, fire a burst, collect the replies.
+                    let start = restored_u64(&mpi);
+                    for round in start..cfg.rounds {
+                        if cfg.checkpoints {
+                            mpi.checkpoint_point(ckpt_payload(cfg.state_bytes, round))
+                                .await;
+                        }
+                        let (burst, think) = cfg.draw(me, round);
+                        mpi.elapse(think).await;
+                        for _ in 0..burst {
+                            mpi.send(0, TAG_REQ, Payload::synthetic(cfg.req_bytes))
+                                .await;
+                        }
+                        for _ in 0..burst {
+                            mpi.recv_from(0, TAG_REP).await;
+                        }
+                    }
+                }
+            }
+        });
+        let (clients, total_f) = (self.np as u64 - 1, total as f64);
+        let rounds = self.rounds;
+        WorkloadProgram::with_probe(
+            spec,
+            Box::new(move |_| {
+                vec![
+                    ("requests", total_f),
+                    ("mean_burst", total_f / (clients * rounds).max(1) as f64),
+                ]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_and_nonuniform() {
+        let cfg = BurstyConfig::new(4, 8, 42);
+        let again = BurstyConfig::new(4, 8, 42);
+        assert_eq!(cfg.total_requests(), again.total_requests());
+        // Distinct (rank, round) pairs draw distinct bursts somewhere.
+        let a: Vec<u64> = (0..8).map(|r| cfg.draw(1, r).0).collect();
+        let b: Vec<u64> = (0..8).map(|r| cfg.draw(2, r).0).collect();
+        assert_ne!(a, b, "clients must not fire identical burst trains");
+        // Every burst fires at least one request.
+        assert!(a.iter().chain(&b).all(|&n| n >= 1));
+        // A different seed reshapes the traffic.
+        assert_ne!(
+            BurstyConfig::new(4, 8, 7).total_requests(),
+            cfg.total_requests()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a server")]
+    fn single_rank_service_is_rejected() {
+        let _ = BurstyConfig::new(1, 4, 1);
+    }
+}

@@ -1,16 +1,39 @@
 //! # vlog-workloads — benchmarks driving the protocol evaluation
 //!
-//! * [`netpipe`] — the NetPIPE ping-pong micro-benchmark of Figure 6,
+//! Every benchmark is an instance of one abstraction: the
+//! [`Workload`] trait (label, geometry rules, flop/state accounting,
+//! program construction) plus the [`registry`] enumerating all
+//! registered configurations. The generic [`run_workload`] runner
+//! executes any workload under any protocol suite and extracts the
+//! shared metrics as a [`WorkloadRun`].
+//!
+//! Families:
+//!
 //! * [`nas`] — communication skeletons of the NAS Parallel Benchmarks
 //!   (CG, MG, FT, LU, BT, SP) with published class geometry, iteration
 //!   counts, operation counts and memory footprints,
-//! * [`runner`] — glue running a workload under a protocol suite and
-//!   extracting the paper's metrics (Megaflops, piggyback volume, ...).
+//! * [`netpipe`] — the NetPIPE ping-pong micro-benchmark of Figure 6,
+//! * [`bursty`] — a bursty request/reply service (wildcard-receive
+//!   server, deterministic-RNG burst arrivals),
+//! * [`halo`] — irregular sparse halo exchange over seeded random
+//!   neighbor graphs with non-uniform degrees,
+//! * [`fft_pipe`] — a pipelined transpose/all-to-all FFT variant with
+//!   configurable tile sizes,
+//! * [`runner`] — fault-plan helpers shared by the figure harnesses.
 
+pub mod bursty;
+pub mod fft_pipe;
+pub mod halo;
 pub mod nas;
 pub mod netpipe;
+pub mod registry;
 pub mod runner;
+pub mod workload;
 
+pub use bursty::BurstyConfig;
+pub use fft_pipe::FftPipeConfig;
+pub use halo::HaloConfig;
 pub use nas::{full_flops, full_iters, grid_n, mem_bytes, Class, NasBench, NasConfig};
-pub use netpipe::{NetpipePoint, NetpipeResults};
-pub use runner::{run_nas, NasRun};
+pub use netpipe::{NetpipeConfig, NetpipePoint, NetpipePoints};
+pub use registry::{registry, RegistryScale, FAMILIES};
+pub use workload::{run_workload, MetricProbe, Workload, WorkloadProgram, WorkloadRun};

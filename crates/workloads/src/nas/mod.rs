@@ -32,6 +32,8 @@ mod sp;
 
 use vlog_vmpi::{AppSpec, Mpi, Payload};
 
+use crate::workload::{Workload, WorkloadProgram};
+
 /// NPB problem class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Class {
@@ -107,7 +109,16 @@ impl NasConfig {
         self
     }
 
+    /// Sets the iteration fraction. Panics on NaN, zero or negative
+    /// fractions — such a value used to be accepted silently and made
+    /// the run "complete" after zero (or a nonsensical number of)
+    /// iterations, which poisons every derived metric downstream.
     pub fn fraction(mut self, f: f64) -> Self {
+        assert!(
+            f.is_finite() && f > 0.0,
+            "{:?} iteration fraction must be a positive finite number, got {f}",
+            self.bench
+        );
         self.iter_fraction = f;
         self
     }
@@ -150,6 +161,36 @@ impl NasConfig {
             NasBench::BT => bt::program(cfg),
             NasBench::SP => sp::program(cfg),
         }
+    }
+}
+
+impl Workload for NasConfig {
+    fn family(&self) -> &'static str {
+        "nas"
+    }
+
+    fn label(&self) -> String {
+        format!("{}.{:?}/{}", self.bench.label(), self.class, self.np)
+    }
+
+    fn np(&self) -> usize {
+        self.np
+    }
+
+    fn valid_np(&self, np: usize) -> bool {
+        self.bench.valid_np(np)
+    }
+
+    fn state_bytes(&self) -> u64 {
+        NasConfig::state_bytes(self)
+    }
+
+    fn total_flops(&self) -> f64 {
+        NasConfig::total_flops(self)
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        NasConfig::program(self).into()
     }
 }
 
@@ -259,17 +300,12 @@ fn default_fraction(bench: NasBench) -> f64 {
 
 /// Shared helper: read the restored iteration or 0.
 pub(crate) fn restored_iter(mpi: &Mpi) -> u64 {
-    match mpi.restored() {
-        Some(bytes) if bytes.len() >= 8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-        _ => 0,
-    }
+    crate::workload::restored_u64(mpi)
 }
 
 /// Shared helper: the checkpoint payload for iteration `it`.
 pub(crate) fn state_payload(cfg: &NasConfig, it: u64) -> Payload {
-    let mut p = Payload::new(it.to_le_bytes().to_vec());
-    p.pad = cfg.state_bytes().saturating_sub(8);
-    p
+    crate::workload::ckpt_payload(cfg.state_bytes(), it)
 }
 
 /// Integer log2 for power-of-two rank counts.
@@ -317,6 +353,37 @@ mod tests {
         assert_eq!(tenth.iters(), 25);
         let ratio = tenth.total_flops() / full.total_flops();
         assert!((ratio - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite number")]
+    fn zero_fraction_is_rejected() {
+        let _ = NasConfig::new(NasBench::CG, Class::S, 4).fraction(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite number")]
+    fn negative_fraction_is_rejected() {
+        let _ = NasConfig::new(NasBench::CG, Class::S, 4).fraction(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite number")]
+    fn nan_fraction_is_rejected() {
+        let _ = NasConfig::new(NasBench::CG, Class::S, 4).fraction(f64::NAN);
+    }
+
+    #[test]
+    fn workload_trait_mirrors_the_config() {
+        use crate::workload::Workload;
+        let cfg = NasConfig::new(NasBench::BT, Class::A, 9);
+        assert_eq!(cfg.family(), "nas");
+        assert_eq!(Workload::label(&cfg), "BT.A/9");
+        assert_eq!(Workload::np(&cfg), 9);
+        assert!(Workload::valid_np(&cfg, 16));
+        assert!(!Workload::valid_np(&cfg, 8));
+        assert_eq!(Workload::state_bytes(&cfg), cfg.state_bytes());
+        assert!(Workload::total_flops(&cfg) > 0.0);
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! message sizes, reporting half round-trip latency and throughput. The
 //! measurement runs *inside* the program with `Mpi::time()`, exactly like
 //! NetPIPE calls `MPI_Wtime`.
+//!
+//! [`NetpipeConfig`] is the [`Workload`] face of the benchmark; the
+//! lower-level [`program`] builder remains for harnesses that want the
+//! full per-size point sweep (Figure 6 tables and curves) rather than
+//! the summary metrics.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use vlog_vmpi::{app, AppSpec, Payload, RecvSelector};
+use vlog_vmpi::{app, AppSpec, Payload, RecvSelector, RunReport};
+
+use crate::workload::{ckpt_payload, restored_u64, Workload, WorkloadProgram};
 
 const TAG: u32 = 7;
 
@@ -21,11 +29,37 @@ pub struct NetpipePoint {
     pub mbps: f64,
 }
 
-/// Results shared out of the program.
-pub type NetpipeResults = Arc<Mutex<Vec<NetpipePoint>>>;
+/// Handle on the points rank 0 measures, shared out of the program.
+///
+/// Keyed by message size so a size re-measured during post-fault replay
+/// overwrites its pre-crash point instead of duplicating it — the sweep
+/// a harness reads is one point per size, in size order, whether or not
+/// the run recovered from a crash.
+#[derive(Clone, Default)]
+pub struct NetpipePoints {
+    inner: Arc<Mutex<BTreeMap<u64, NetpipePoint>>>,
+}
 
-/// Power-of-two sweep 1 B … `max_bytes`.
+impl NetpipePoints {
+    /// The measured sweep, smallest size first.
+    pub fn sorted(&self) -> Vec<NetpipePoint> {
+        self.inner.lock().unwrap().values().copied().collect()
+    }
+
+    fn insert(&self, p: NetpipePoint) {
+        self.inner.lock().unwrap().insert(p.bytes, p);
+    }
+}
+
+/// Power-of-two sweep 1 B … `max_bytes`. Panics on `max_bytes == 0`:
+/// an empty sweep would "complete" without measuring anything, which
+/// used to silently produce a run with no points.
 pub fn sizes(max_bytes: u64) -> Vec<u64> {
+    assert!(
+        max_bytes >= 1,
+        "NetPIPE sweep needs max_bytes >= 1 (got 0: the sweep would be empty \
+         and the run would complete without measuring a single point)"
+    );
     let mut v = Vec::new();
     let mut s = 1u64;
     while s <= max_bytes {
@@ -42,18 +76,40 @@ pub fn reps_for(bytes: u64, scale: f64) -> u32 {
     (base * scale).ceil().max(3.0) as u32
 }
 
-/// Builds the two-rank ping-pong program; results land in the returned
-/// collector once rank 0 finishes.
-pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
-    let results: NetpipeResults = Arc::new(Mutex::new(Vec::new()));
+/// Builds the two-rank ping-pong program; points land in the returned
+/// collector as rank 0 finishes each size. Equivalent to
+/// [`NetpipeConfig`] without checkpoint offers — the Figure 6 harnesses
+/// use this directly to keep the measured path free of checkpoint
+/// plumbing.
+pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipePoints) {
+    build(max_bytes, rep_scale, None)
+}
+
+/// `ckpt_state_bytes`: `Some(per-rank image size)` to offer a checkpoint
+/// before each sweep size, `None` for the bare Figure 6 measurement.
+fn build(
+    max_bytes: u64,
+    rep_scale: f64,
+    ckpt_state_bytes: Option<u64>,
+) -> (AppSpec, NetpipePoints) {
+    let results = NetpipePoints::default();
     let out = results.clone();
+    let all_sizes = sizes(max_bytes);
     let spec = app(move |mpi| {
         let out = out.clone();
+        let all_sizes = all_sizes.clone();
         async move {
             assert_eq!(mpi.size(), 2, "NetPIPE is a two-rank benchmark");
             let me = mpi.rank();
             let peer = 1 - me;
-            for bytes in sizes(max_bytes) {
+            // Fast-forward past the sizes a pre-crash incarnation
+            // already completed.
+            let start = restored_u64(&mpi) as usize;
+            for (idx, &bytes) in all_sizes.iter().enumerate().skip(start) {
+                if let Some(state_bytes) = ckpt_state_bytes {
+                    mpi.checkpoint_point(ckpt_payload(state_bytes, idx as u64))
+                        .await;
+                }
                 let reps = reps_for(bytes, rep_scale);
                 // One warm-up round, unmeasured.
                 if me == 0 {
@@ -77,7 +133,7 @@ pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
                     let dt = mpi.time().saturating_since(t0);
                     let half_rtt_us = dt.as_micros_f64() / (2.0 * reps as f64);
                     let mbps = (bytes as f64 * 8.0) / half_rtt_us; // b/us == Mbit/s
-                    out.lock().unwrap().push(NetpipePoint {
+                    out.insert(NetpipePoint {
                         bytes,
                         latency_us: half_rtt_us,
                         mbps,
@@ -87,6 +143,85 @@ pub fn program(max_bytes: u64, rep_scale: f64) -> (AppSpec, NetpipeResults) {
         }
     });
     (spec, results)
+}
+
+/// The NetPIPE sweep as a registered workload.
+#[derive(Debug, Clone)]
+pub struct NetpipeConfig {
+    pub max_bytes: u64,
+    pub rep_scale: f64,
+    /// Offer a checkpoint before each size of the sweep (off for the
+    /// Figure 6 measurements, on when run under fault injection).
+    pub checkpoints: bool,
+}
+
+impl NetpipeConfig {
+    /// Panics on an empty sweep (`max_bytes == 0`) or a non-positive
+    /// repetition scale — both used to yield runs that complete without
+    /// measuring anything meaningful.
+    pub fn new(max_bytes: u64, rep_scale: f64) -> Self {
+        assert!(max_bytes >= 1, "NetPIPE sweep needs max_bytes >= 1");
+        assert!(
+            rep_scale.is_finite() && rep_scale > 0.0,
+            "NetPIPE repetition scale must be a positive finite number, got {rep_scale}"
+        );
+        NetpipeConfig {
+            max_bytes,
+            rep_scale,
+            checkpoints: false,
+        }
+    }
+
+    pub fn with_checkpoints(mut self) -> Self {
+        self.checkpoints = true;
+        self
+    }
+}
+
+impl Workload for NetpipeConfig {
+    fn family(&self) -> &'static str {
+        "netpipe"
+    }
+
+    fn label(&self) -> String {
+        format!("{}B", self.max_bytes)
+    }
+
+    fn np(&self) -> usize {
+        2
+    }
+
+    fn valid_np(&self, np: usize) -> bool {
+        np == 2
+    }
+
+    /// The process image is dominated by the message buffer.
+    fn state_bytes(&self) -> u64 {
+        self.max_bytes.max(4096)
+    }
+
+    /// NetPIPE measures latency and bandwidth; Mflop/s is undefined.
+    fn total_flops(&self) -> f64 {
+        0.0
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        let ckpt = self.checkpoints.then(|| self.state_bytes());
+        let (spec, points) = build(self.max_bytes, self.rep_scale, ckpt);
+        WorkloadProgram::with_probe(
+            spec,
+            Box::new(move |_report: &RunReport| {
+                let pts = points.sorted();
+                let latency_1b = pts.first().map_or(0.0, |p| p.latency_us);
+                let peak = pts.iter().map(|p| p.mbps).fold(0.0, f64::max);
+                vec![
+                    ("latency_1b_us", latency_1b),
+                    ("peak_mbps", peak),
+                    ("points", pts.len() as f64),
+                ]
+            }),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -101,9 +236,42 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "max_bytes >= 1")]
+    fn empty_sweep_is_rejected() {
+        let _ = sizes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bytes >= 1")]
+    fn empty_sweep_config_is_rejected() {
+        let _ = NetpipeConfig::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite number")]
+    fn zero_rep_scale_is_rejected() {
+        let _ = NetpipeConfig::new(1024, 0.0);
+    }
+
+    #[test]
     fn reps_scale_down_with_size() {
         assert!(reps_for(1, 1.0) > reps_for(1 << 20, 1.0));
         assert!(reps_for(8 << 20, 1.0) >= 3);
         assert!(reps_for(1, 0.01) >= 3);
+    }
+
+    #[test]
+    fn points_dedupe_by_size() {
+        let points = NetpipePoints::default();
+        for latency in [2.0, 1.0] {
+            points.insert(NetpipePoint {
+                bytes: 64,
+                latency_us: latency,
+                mbps: 1.0,
+            });
+        }
+        let sorted = points.sorted();
+        assert_eq!(sorted.len(), 1);
+        assert_eq!(sorted[0].latency_us, 1.0); // last write wins
     }
 }

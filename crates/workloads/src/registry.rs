@@ -1,0 +1,113 @@
+//! The workload registry: every benchmark configuration the harnesses
+//! sweep, behind one enumeration.
+//!
+//! The registry is the single source of truth for "all workloads": the
+//! `workloads` sweep bench runs every entry under every protocol suite,
+//! and the determinism conformance suite proves each entry completes,
+//! survives an injected fault and reports byte-identically across sweep
+//! thread counts. Adding a workload family is: implement
+//! [`Workload`](crate::Workload), list configurations here, and every
+//! downstream harness picks it up.
+
+use std::sync::Arc;
+
+use crate::bursty::BurstyConfig;
+use crate::fft_pipe::FftPipeConfig;
+use crate::halo::HaloConfig;
+use crate::nas::{Class, NasBench, NasConfig};
+use crate::netpipe::NetpipeConfig;
+use crate::workload::Workload;
+
+/// Every registered workload family, in registry order.
+pub const FAMILIES: [&str; 5] = ["nas", "netpipe", "bursty", "halo", "fft"];
+
+/// How big the enumerated configurations should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryScale {
+    /// Small rank counts and short runs: CI conformance and smoke
+    /// benches. Every family still appears.
+    Smoke,
+    /// The spread the `workloads` bench sweeps by default.
+    Default,
+}
+
+/// Enumerates every registered `(workload, np, params)` configuration
+/// at the given scale. Every entry has checkpoints enabled so it can
+/// survive fault injection, and its `np`/`valid_np` contract is
+/// asserted here once for all consumers.
+pub fn registry(scale: RegistryScale) -> Vec<Arc<dyn Workload>> {
+    let mut v: Vec<Arc<dyn Workload>> = Vec::new();
+    match scale {
+        RegistryScale::Smoke => {
+            v.push(Arc::new(NasConfig::new(NasBench::CG, Class::S, 4)));
+            v.push(Arc::new(NasConfig::new(NasBench::FT, Class::S, 4)));
+            v.push(Arc::new(
+                NetpipeConfig::new(4 << 10, 0.05).with_checkpoints(),
+            ));
+            v.push(Arc::new(BurstyConfig::new(4, 6, 11)));
+            v.push(Arc::new(HaloConfig::new(4, 6, 12)));
+            v.push(Arc::new(FftPipeConfig::new(4, 3, 4)));
+        }
+        RegistryScale::Default => {
+            for bench in [NasBench::CG, NasBench::MG, NasBench::FT, NasBench::LU] {
+                v.push(Arc::new(NasConfig::new(bench, Class::S, 4)));
+            }
+            v.push(Arc::new(NasConfig::new(NasBench::BT, Class::S, 4)));
+            v.push(Arc::new(NasConfig::new(NasBench::SP, Class::S, 4)));
+            v.push(Arc::new(
+                NetpipeConfig::new(64 << 10, 0.05).with_checkpoints(),
+            ));
+            v.push(Arc::new(BurstyConfig::new(4, 12, 11)));
+            v.push(Arc::new(BurstyConfig::new(8, 8, 11)));
+            v.push(Arc::new(HaloConfig::new(8, 8, 12)));
+            v.push(Arc::new(HaloConfig::new(16, 4, 12)));
+            // Tile sweep: monolithic FT-style vs deep pipelining.
+            v.push(Arc::new(FftPipeConfig::new(8, 3, 1)));
+            v.push(Arc::new(FftPipeConfig::new(8, 3, 8)));
+        }
+    }
+    for w in &v {
+        assert!(
+            w.valid_np(w.np()),
+            "registry entry {} mis-sized: np={} rejected by its own valid_np",
+            w.label(),
+            w.np()
+        );
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_family_is_registered_at_every_scale() {
+        for scale in [RegistryScale::Smoke, RegistryScale::Default] {
+            let fams: BTreeSet<&str> = registry(scale).iter().map(|w| w.family()).collect();
+            for f in FAMILIES {
+                assert!(fams.contains(f), "family {f} missing at {scale:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_scale() {
+        for scale in [RegistryScale::Smoke, RegistryScale::Default] {
+            let entries = registry(scale);
+            let labels: BTreeSet<String> = entries.iter().map(|w| w.label()).collect();
+            assert_eq!(labels.len(), entries.len(), "duplicate label at {scale:?}");
+        }
+    }
+
+    #[test]
+    fn registered_workloads_have_sane_metadata() {
+        for w in registry(RegistryScale::Default) {
+            assert!(w.np() >= 2, "{}", w.label());
+            assert!(w.state_bytes() > 0, "{}", w.label());
+            assert!(!w.label().is_empty());
+            assert!(FAMILIES.contains(&w.family()));
+        }
+    }
+}

@@ -1,39 +1,11 @@
-//! Convenience runners tying workloads to protocol suites.
-
-use std::sync::Arc;
+//! Fault-plan helpers shared by the workload harnesses.
+//!
+//! The workload runner itself is generic now — see
+//! [`crate::workload::run_workload`]; this module keeps only the fault
+//! schedule conveniences the figure harnesses share.
 
 use vlog_sim::SimDuration;
-use vlog_vmpi::{run_cluster, ClusterConfig, FaultPlan, RunReport, Suite};
-
-use crate::nas::NasConfig;
-
-/// Result of one NAS run: the cluster report plus flop accounting.
-pub struct NasRun {
-    pub report: RunReport,
-    pub total_flops: f64,
-}
-
-impl NasRun {
-    /// Total Mflop/s (Megaflops) of the run — the Figure 9 metric.
-    pub fn mflops(&self) -> f64 {
-        self.total_flops / self.report.makespan.as_secs_f64() / 1e6
-    }
-}
-
-/// Runs a NAS benchmark under a protocol suite.
-pub fn run_nas(
-    nas: &NasConfig,
-    cluster: &ClusterConfig,
-    suite: Arc<dyn Suite>,
-    faults: &FaultPlan,
-) -> NasRun {
-    assert_eq!(cluster.ranks, nas.np, "rank count mismatch");
-    let report = run_cluster(cluster, suite, nas.program(), faults);
-    NasRun {
-        report,
-        total_flops: nas.total_flops(),
-    }
-}
+use vlog_vmpi::FaultPlan;
 
 /// Fault plan helpers on top of [`FaultPlan`].
 pub mod faults {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{run_vdummy, ClusterConfig, FaultPlan, VdummySuite};
-use vlog_workloads::{netpipe, run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{netpipe, run_workload, Class, NasBench, NasConfig};
 
 fn cluster(np: usize) -> ClusterConfig {
     let mut c = ClusterConfig::new(np);
@@ -26,7 +26,7 @@ fn every_benchmark_completes_class_s() {
         (NasBench::SP, 4),
     ] {
         let nas = NasConfig::new(bench, Class::S, np);
-        let run = run_nas(
+        let run = run_workload(
             &nas,
             &cluster(np),
             Arc::new(VdummySuite),
@@ -42,7 +42,7 @@ fn benchmarks_complete_on_all_paper_rank_counts() {
     for bench in [NasBench::CG, NasBench::LU, NasBench::FT, NasBench::MG] {
         for np in [2usize, 4, 8, 16] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(
+            let run = run_workload(
                 &nas,
                 &cluster(np),
                 Arc::new(VdummySuite),
@@ -54,7 +54,7 @@ fn benchmarks_complete_on_all_paper_rank_counts() {
     for np in [4usize, 9, 16, 25] {
         for bench in [NasBench::BT, NasBench::SP] {
             let nas = NasConfig::new(bench, Class::S, np);
-            let run = run_nas(
+            let run = run_workload(
                 &nas,
                 &cluster(np),
                 Arc::new(VdummySuite),
@@ -72,7 +72,7 @@ fn communication_characters_match_the_paper() {
     // driven. Compare per-benchmark message statistics on class A / 16.
     let stats = |bench: NasBench| {
         let nas = NasConfig::new(bench, Class::A, 16).fraction(0.02);
-        let run = run_nas(
+        let run = run_workload(
             &nas,
             &cluster(16),
             Arc::new(VdummySuite),
@@ -102,7 +102,7 @@ fn communication_characters_match_the_paper() {
 fn cg_a_runs_under_causal_protocols() {
     for technique in [Technique::Vcausal, Technique::Manetho, Technique::LogOn] {
         let nas = NasConfig::new(NasBench::CG, Class::A, 4).fraction(0.2);
-        let run = run_nas(
+        let run = run_workload(
             &nas,
             &cluster(4),
             Arc::new(CausalSuite::new(technique, true)),
@@ -121,7 +121,7 @@ fn lu_survives_a_fault_under_causal_logging() {
     let suite = Arc::new(
         CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(50)),
     );
-    let run = run_nas(
+    let run = run_workload(
         &nas,
         &c,
         suite,
@@ -144,8 +144,7 @@ fn netpipe_latency_matches_paper_table() {
         let (prog, results) = netpipe::program(1, 1.0);
         let report = run_vdummy(&cfg, prog);
         assert!(report.completed);
-        let r = results.lock().unwrap();
-        r[0].latency_us
+        results.sorted()[0].latency_us
     };
     let vd = run_lat(cluster(2));
     let p4 = run_lat(cluster(2).p4());
@@ -166,7 +165,7 @@ fn netpipe_bandwidth_approaches_line_rate() {
     let (prog, results) = netpipe::program(8 << 20, 0.05);
     let report = run_vdummy(&cluster(2).raw(), prog);
     assert!(report.completed);
-    let r = results.lock().unwrap();
+    let r = results.sorted();
     let peak = r.iter().map(|p| p.mbps).fold(0.0, f64::max);
     assert!(
         peak > 80.0 && peak < 100.0,

@@ -1,5 +1,7 @@
-//! Compare every fault-tolerance protocol on one workload: fault-free
-//! overhead, piggyback volume and behaviour under a crash.
+//! Compare every fault-tolerance protocol on one workload (fault-free
+//! overhead, piggyback volume and behaviour under a crash), then sweep
+//! the whole workload registry under causal logging to show how the
+//! piggyback burden depends on the traffic shape.
 //!
 //! ```sh
 //! cargo run --release -p vlog-bench --example protocol_comparison
@@ -10,7 +12,7 @@ use std::sync::Arc;
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{ClusterConfig, FaultPlan, Suite, VdummySuite};
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{registry, run_workload, Class, NasBench, NasConfig, RegistryScale};
 
 fn main() {
     let np = 4;
@@ -49,11 +51,11 @@ fn main() {
     for (suite, fault_tolerant) in suites {
         let mut cfg = ClusterConfig::new(np);
         cfg.detect_delay = SimDuration::from_millis(20);
-        let clean = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::none());
+        let clean = run_workload(&nas, &cfg, suite.clone(), &FaultPlan::none());
         assert!(clean.report.completed);
         let (faulted_time, recoveries) = if fault_tolerant {
             let kill = clean.report.makespan.mul_f64(0.5);
-            let run = run_nas(&nas, &cfg, suite.clone(), &FaultPlan::kill_at(kill, 0));
+            let run = run_workload(&nas, &cfg, suite.clone(), &FaultPlan::kill_at(kill, 0));
             assert!(
                 run.report.completed,
                 "{}: faulted run failed",
@@ -76,6 +78,32 @@ fn main() {
             clean.report.piggyback_percent(),
             faulted_time,
             recoveries,
+        );
+    }
+
+    // Second view: one protocol, every registered workload — the
+    // piggyback burden is a property of the traffic shape.
+    println!(
+        "\n{:<16} {:<12} {:>12} {:>10} {:>10} {:>12}",
+        "family", "workload", "makespan", "pb %", "msgs", "max msg"
+    );
+    for w in registry(RegistryScale::Smoke) {
+        let mut cfg = ClusterConfig::new(w.np());
+        cfg.detect_delay = SimDuration::from_millis(20);
+        let suite = Arc::new(
+            CausalSuite::new(Technique::Vcausal, true)
+                .with_checkpoints(SimDuration::from_millis(50)),
+        );
+        let run = run_workload(w.as_ref(), &cfg, suite, &FaultPlan::none());
+        assert!(run.report.completed, "{} did not complete", run.label);
+        println!(
+            "{:<16} {:<12} {:>12} {:>9.2}% {:>10} {:>11}B",
+            run.family,
+            run.label,
+            format!("{}", run.report.makespan),
+            run.piggyback_percent(),
+            run.report.stats.messages,
+            run.msg_histogram().max_bucket_bytes(),
         );
     }
 }

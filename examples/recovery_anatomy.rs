@@ -12,7 +12,7 @@ use std::sync::Arc;
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{ClusterConfig, FaultPlan};
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 fn main() {
     let np = 8;
@@ -25,7 +25,7 @@ fn main() {
         // period and kill time relative to it.
         let mut probe_nas = nas.clone();
         probe_nas.checkpoints = false;
-        let probe = run_nas(
+        let probe = run_workload(
             &probe_nas,
             &cfg,
             Arc::new(CausalSuite::new(Technique::Vcausal, el)),
@@ -35,7 +35,7 @@ fn main() {
         let t_app = probe.report.makespan;
         let suite =
             Arc::new(CausalSuite::new(Technique::Vcausal, el).with_checkpoints(t_app.mul_f64(0.3)));
-        let run = run_nas(
+        let run = run_workload(
             &nas,
             &cfg,
             suite,

@@ -26,6 +26,15 @@ grep -q "event_calendar/heap_schedule_drain" BENCH_micro.json || {
     echo "BENCH_micro.json is missing the heap baseline" >&2; exit 1; }
 echo "    BENCH_micro.json: ok (event_calendar group present)"
 
+echo "==> workloads sweep bench (quick registry) -> BENCH_workloads.json"
+VLOG_SCALE=quick cargo bench -q --offline --bench workloads >/dev/null
+test -s BENCH_workloads.json || { echo "BENCH_workloads.json was not produced" >&2; exit 1; }
+for fam in nas netpipe bursty halo fft; do
+    grep -q "\"name\": \"$fam/" BENCH_workloads.json || {
+        echo "BENCH_workloads.json is missing the $fam workload group" >&2; exit 1; }
+done
+echo "    BENCH_workloads.json: ok (one group per registered workload family)"
+
 echo "==> sweep driver smoke (--threads 2: parallel path must match sequential)"
 cargo run -q --release --offline --example sweep_smoke -- --threads 2
 

@@ -8,12 +8,13 @@
 
 use std::sync::Arc;
 
-use vlog_bench::run_many;
+use vlog_bench::{run_many, SuiteKind};
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
 };
+use vlog_workloads::{registry, run_workload, RegistryScale, Workload};
 
 const N: usize = 3;
 const ITERS: u64 = 15;
@@ -144,17 +145,10 @@ fn coordinated_suite_is_deterministic() {
 }
 
 /// One suite configuration of the cross-thread sweep, by index (jobs
-/// must be `Send`, so they carry an index instead of a suite handle).
+/// must be `Send`, so they carry an index and build the suite in-job
+/// via the shared [`SuiteKind`] enumeration).
 fn suite_for(idx: usize) -> Arc<dyn Suite> {
-    let ckpt = SimDuration::from_millis(6);
-    if idx < 6 {
-        let (technique, el) = causal_suites()[idx];
-        Arc::new(CausalSuite::new(technique, el).with_checkpoints(ckpt))
-    } else if idx == 6 {
-        Arc::new(PessimisticSuite::new().with_checkpoints(ckpt))
-    } else {
-        Arc::new(CoordinatedSuite::new(ckpt))
-    }
+    SuiteKind::all_eight()[idx].build(SimDuration::from_millis(6))
 }
 
 /// Cross-thread determinism: the same seed set swept through `run_many`
@@ -173,6 +167,70 @@ fn sweep_reports_are_identical_across_thread_counts() {
         assert_eq!(
             sequential, sharded,
             "sweep on {threads} threads diverged from the 1-thread sweep"
+        );
+    }
+}
+
+/// Registry conformance: every registered workload, under every one of
+/// the eight suite configurations, with a rank killed mid-run, must
+/// (a) run to completion (the protocols recover it), (b) move piggyback
+/// bytes under the causal suites, and (c) produce byte-identical
+/// reports whether the sweep ran on 1, 2 or 4 `run_many` threads.
+///
+/// This is the contract that lets every harness iterate the registry
+/// blindly: any workload someone registers is proven fault-tolerant
+/// and determinism-safe here before a figure ever sweeps it.
+#[test]
+fn registered_workloads_survive_faults_on_every_suite_deterministically() {
+    let workloads = registry(RegistryScale::Smoke);
+    let jobs: Vec<(Arc<dyn Workload>, usize)> = workloads
+        .iter()
+        .flat_map(|w| (0..8usize).map(move |idx| (w.clone(), idx)))
+        .collect();
+    let runner = |(w, idx): (Arc<dyn Workload>, usize)| {
+        let kind = SuiteKind::all_eight()[idx];
+        let mut cfg = ClusterConfig::new(w.np());
+        cfg.detect_delay = SimDuration::from_millis(8);
+        cfg.event_limit = Some(50_000_000);
+        let fault = FaultPlan::kill_at(SimDuration::from_millis(5), 1);
+        let run = run_workload(
+            w.as_ref(),
+            &cfg,
+            kind.build(SimDuration::from_millis(6)),
+            &fault,
+        );
+        assert!(
+            run.report.completed,
+            "{} under {} did not complete through the fault",
+            run.label,
+            kind.label()
+        );
+        assert!(
+            run.mflops().is_finite(),
+            "{} reported a non-finite Mflop/s",
+            run.label
+        );
+        if kind.is_causal() {
+            assert!(
+                run.report.stats.bytes.piggyback > 0,
+                "{} under {} moved no piggyback bytes",
+                run.label,
+                kind.label()
+            );
+        }
+        format!(
+            "workload={} extra={:?} {}",
+            run.label,
+            run.extra,
+            fingerprint(&run.report)
+        )
+    };
+    let sequential = run_many(jobs.clone(), 1, runner);
+    for threads in [2usize, 4] {
+        let sharded = run_many(jobs.clone(), threads, runner);
+        assert_eq!(
+            sequential, sharded,
+            "registry sweep on {threads} threads diverged from the 1-thread sweep"
         );
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use vlog_core::{CausalSuite, Technique};
 use vlog_sim::SimDuration;
 use vlog_vmpi::{app, run_cluster, ClusterConfig, FaultPlan, Payload, RecvSelector};
-use vlog_workloads::{run_nas, Class, NasBench, NasConfig};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
 
 fn ring(iters: u64) -> vlog_vmpi::AppSpec {
     app(move |mpi| async move {
@@ -104,7 +104,7 @@ fn sharding_relieves_the_lu_event_logger_bottleneck() {
         let nas = NasConfig::new(NasBench::LU, Class::A, 16).fraction(0.012);
         let mut cfg = ClusterConfig::new(16);
         cfg.event_limit = Some(200_000_000);
-        let run = run_nas(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
+        let run = run_workload(&nas, &cfg, Arc::new(suite), &FaultPlan::none());
         assert!(run.report.completed);
         run.report.stats.bytes.piggyback
     };

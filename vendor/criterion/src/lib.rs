@@ -341,7 +341,11 @@ fn target_name() -> String {
 /// nearest ancestor of the working directory containing a `Cargo.lock`
 /// (the workspace root — cargo runs benches from the crate directory),
 /// else the working directory itself.
-fn out_dir() -> std::path::PathBuf {
+///
+/// Shim extra (not part of the real criterion API): public so
+/// non-Criterion bench binaries that write their own `BENCH_*.json`
+/// (the `workloads` sweep) resolve the output directory identically.
+pub fn out_dir() -> std::path::PathBuf {
     if let Ok(dir) = std::env::var("VLOG_BENCH_OUT") {
         return std::path::PathBuf::from(dir);
     }
@@ -357,7 +361,9 @@ fn out_dir() -> std::path::PathBuf {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Shim extra (see [`out_dir`]): shared JSON string escaping for
+/// `BENCH_*.json` writers.
+pub fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
