@@ -1,0 +1,158 @@
+//! Scaled-regime sweep: the `Large` workload registry (multi-server
+//! bursty, large seeded halo graphs, the deep-tiling FFT ladder, NAS
+//! and NetPIPE at the paper's upper rank counts) under every protocol
+//! suite, each cell run twice — fault-free and with a *hub failure*
+//! (the workload's most load-bearing rank killed mid-run).
+//!
+//! Emits the two committed artifacts: `BENCH_regimes.json` (the full
+//! grid) and `REPORT.md` (the figure-style cross-regime comparison).
+//! Unlike the other benches this target ignores `VLOG_SCALE`: the
+//! artifacts are committed, `scripts/verify.sh` regenerates them and
+//! requires a byte-identical result, so there is exactly one scale.
+
+use std::sync::Arc;
+
+use criterion::out_dir;
+use vlog_bench::{
+    banner, default_threads, fmt3, render_markdown, run_many, write_json, RegimeRow, SuiteKind,
+    Table,
+};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{ClusterConfig, FaultPlan};
+use vlog_workloads::runner::faults;
+use vlog_workloads::{registry, run_workload, RegistryScale, Workload, WorkloadRun, FAMILIES};
+
+/// When the hub dies. Every Large entry runs well past this point under
+/// every suite, so the fault always lands mid-run.
+const HUB_FAULT_AT: SimDuration = SimDuration::from_millis(5);
+
+/// Crash-detection delay: short enough that recovery, not detection,
+/// dominates the faulted makespan (the conformance suite uses the same
+/// value).
+const DETECT_DELAY: SimDuration = SimDuration::from_millis(8);
+
+/// Checkpoint cadence offered to every suite.
+const CKPT_EVERY: SimDuration = SimDuration::from_millis(6);
+
+fn cluster_for(w: &dyn Workload) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(w.np());
+    cfg.detect_delay = DETECT_DELAY;
+    cfg.event_limit = Some(2_000_000_000);
+    cfg
+}
+
+fn run_cell(w: &Arc<dyn Workload>, kind: SuiteKind) -> RegimeRow {
+    let cfg = cluster_for(w.as_ref());
+    let free = run_workload(w.as_ref(), &cfg, kind.build(CKPT_EVERY), &FaultPlan::none());
+    assert!(
+        free.report.completed,
+        "{} under {} did not complete fault-free",
+        free.label,
+        kind.label()
+    );
+    let plan = faults::hub_failure(w.as_ref(), HUB_FAULT_AT);
+    let faulted = run_workload(w.as_ref(), &cfg, kind.build(CKPT_EVERY), &plan);
+    assert!(
+        faulted.report.completed,
+        "{} under {} did not recover from the hub failure",
+        faulted.label,
+        kind.label()
+    );
+    row_from_runs(w.as_ref(), kind, &free, &faulted)
+}
+
+fn row_from_runs(
+    w: &dyn Workload,
+    kind: SuiteKind,
+    free: &WorkloadRun,
+    faulted: &WorkloadRun,
+) -> RegimeRow {
+    let (pb_send, pb_recv) = free.pb_times();
+    let el = match kind {
+        SuiteKind::Causal { el, .. } => el,
+        SuiteKind::Pessimistic => true,
+        SuiteKind::Coordinated => false,
+    };
+    RegimeRow {
+        family: free.family.to_string(),
+        label: free.label.clone(),
+        suite: kind.label(),
+        np: w.np() as u64,
+        causal: kind.is_causal(),
+        el,
+        completed: free.report.completed && faulted.report.completed,
+        makespan_s: free.report.makespan.as_secs_f64(),
+        faulted_makespan_s: faulted.report.makespan.as_secs_f64(),
+        hub_rank: w.hub_rank() as u64,
+        pb_percent: free.piggyback_percent(),
+        pb_send_us: pb_send.as_micros_f64(),
+        pb_recv_us: pb_recv.as_micros_f64(),
+        messages: free.report.stats.messages,
+        total_bytes: free.report.stats.total_bytes(),
+        max_msg_bucket: free.msg_histogram().max_bucket_bytes(),
+        el_peak_queue: free.report.el_peak_queue_depth(),
+        el_peak_queue_faulted: faulted.report.el_peak_queue_depth(),
+        el_peak_outstanding: free.report.el_peak_outstanding(),
+        el_ack_mean_us: free.report.el_ack_latency_mean().as_micros_f64(),
+        el_records: free.report.el_acked_records(),
+    }
+}
+
+fn main() {
+    let workloads = registry(RegistryScale::Large);
+    let suites = SuiteKind::all_eight();
+    banner(
+        "Scaled-regime sweep — Large registry x every suite x {free, hub failure}",
+        &format!(
+            "{} workloads x {} suites x 2 fault modes; hub dies at {HUB_FAULT_AT}",
+            workloads.len(),
+            suites.len()
+        ),
+    );
+
+    let jobs: Vec<(Arc<dyn Workload>, SuiteKind)> = workloads
+        .iter()
+        .flat_map(|w| suites.iter().map(move |&k| (w.clone(), k)))
+        .collect();
+    let rows = run_many(jobs, default_threads(), |(w, kind)| run_cell(&w, kind));
+
+    // Stdout summary: one table per family mirroring REPORT.md's core
+    // columns.
+    for family in FAMILIES {
+        let fam_rows: Vec<&RegimeRow> = rows.iter().filter(|r| r.family == family).collect();
+        if fam_rows.is_empty() {
+            continue;
+        }
+        banner(&format!("family: {family}"), "");
+        let mut table = Table::new(&[
+            "workload", "suite", "free", "faulted", "pb %", "EL q", "EL out", "ack µs",
+        ]);
+        for r in fam_rows {
+            table.row(vec![
+                r.label.clone(),
+                r.suite.clone(),
+                format!("{:.2}ms", r.makespan_s * 1e3),
+                format!("{:.2}ms", r.faulted_makespan_s * 1e3),
+                format!("{:.2}", r.pb_percent),
+                r.el_peak_queue.to_string(),
+                r.el_peak_outstanding.to_string(),
+                fmt3(r.el_ack_mean_us),
+            ]);
+        }
+        table.print();
+    }
+
+    let json = write_json(&rows);
+    let json_path = out_dir().join("BENCH_regimes.json");
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nbench report: {}", json_path.display()),
+        Err(e) => eprintln!("bench report: failed to write {}: {e}", json_path.display()),
+    }
+
+    let md = render_markdown(&rows);
+    let md_path = out_dir().join("REPORT.md");
+    match std::fs::write(&md_path, &md) {
+        Ok(()) => println!("regime report: {}", md_path.display()),
+        Err(e) => eprintln!("regime report: failed to write {}: {e}", md_path.display()),
+    }
+}

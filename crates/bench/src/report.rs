@@ -1,0 +1,832 @@
+//! The scaled-regime report: `BENCH_regimes.json` and `REPORT.md`.
+//!
+//! The `regimes` bench target sweeps the
+//! [`Large` registry](vlog_workloads::RegistryScale) — multi-server
+//! bursty, large seeded halo graphs, the deep-tiling FFT ladder, NAS and
+//! NetPIPE at the paper's upper rank counts — across every protocol
+//! suite, twice per cell: fault-free and under a *hub failure* (the
+//! workload's most load-bearing rank killed mid-run). Each cell becomes
+//! one [`RegimeRow`]; this module turns the rows into the two committed
+//! artifacts:
+//!
+//! * [`write_json`] — the machine-readable grid (`BENCH_regimes.json`),
+//!   parseable back with [`parse_json`] (golden-tested round trip);
+//! * [`render_markdown`] — the figure-style cross-regime comparison
+//!   (`REPORT.md`): piggyback share, piggyback management time, Event
+//!   Logger saturation and hub-failure recovery, one table per metric,
+//!   with prose tying each to what the paper predicts.
+//!
+//! Everything here is deterministic: rows arrive in sweep-job order, the
+//! renderer derives its orderings from first occurrence, and neither
+//! artifact embeds a timestamp — so `scripts/verify.sh` can regenerate
+//! both and require them byte-identical to the committed copies.
+
+use std::fmt::Write as _;
+
+use criterion::json_escape;
+
+/// One `(workload, suite)` cell of the scaled-regime sweep: the shared
+/// workload metrics of the fault-free run plus the makespan of the
+/// hub-failure rerun of the same configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeRow {
+    /// Workload family slug (`"nas"`, `"netpipe"`, `"bursty"`, `"halo"`,
+    /// `"fft"`).
+    pub family: String,
+    /// Workload label including its distinguishing parameters.
+    pub label: String,
+    /// Protocol-suite label ([`crate::SuiteKind::label`]).
+    pub suite: String,
+    /// Rank count of the configuration.
+    pub np: u64,
+    /// True for the causal-logging suites (the ones moving piggyback).
+    pub causal: bool,
+    /// True when the suite runs an Event Logger (causal EL-on and
+    /// pessimistic).
+    pub el: bool,
+    /// True when both runs of the cell completed. The `regimes` bench
+    /// asserts completion before emitting a row, so in a committed
+    /// `BENCH_regimes.json` this is invariantly `true` — the field
+    /// exists so partial grids from other producers stay representable.
+    pub completed: bool,
+    /// Fault-free virtual makespan, seconds.
+    pub makespan_s: f64,
+    /// Virtual makespan of the hub-failure rerun, seconds.
+    pub faulted_makespan_s: f64,
+    /// The rank the hub-failure plan killed ([`vlog_workloads::Workload::hub_rank`]).
+    pub hub_rank: u64,
+    /// Piggybacked bytes as % of all exchanged bytes (fault-free run).
+    pub pb_percent: f64,
+    /// Summed piggyback send-side management time, µs (fault-free run).
+    pub pb_send_us: f64,
+    /// Summed piggyback receive-side management time, µs (fault-free
+    /// run).
+    pub pb_recv_us: f64,
+    /// Network messages delivered in the fault-free run.
+    pub messages: u64,
+    /// Total bytes exchanged in the fault-free run.
+    pub total_bytes: u64,
+    /// Upper bound (bytes) of the largest non-empty message-size bucket.
+    pub max_msg_bucket: u64,
+    /// Peak CPU-queue depth any record saw at an EL shard (fault-free
+    /// run; 0 without an EL).
+    pub el_peak_queue: u64,
+    /// Peak EL CPU-queue depth of the hub-failure rerun — recovery
+    /// queries (response cost grows with the determinant count) collide
+    /// with live records, so this is where the select-loop server
+    /// actually queues.
+    pub el_peak_queue_faulted: u64,
+    /// Peak shipped-but-unacknowledged event window of any rank
+    /// (fault-free run; 0 without an EL).
+    pub el_peak_outstanding: u64,
+    /// Mean arrival-to-ack-send latency at the EL, µs (fault-free run).
+    pub el_ack_mean_us: f64,
+    /// Event records the EL processed in the fault-free run.
+    pub el_records: u64,
+}
+
+impl RegimeRow {
+    /// The `family/label/suite` name identifying this cell in the JSON
+    /// grid.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.family, self.label, self.suite)
+    }
+
+    /// Recovery overhead of the hub failure: extra makespan relative to
+    /// the fault-free run, in percent (0 when the fault-free makespan is
+    /// degenerate).
+    pub fn recovery_overhead_percent(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.faulted_makespan_s - self.makespan_s) / self.makespan_s
+        }
+    }
+}
+
+/// Serializes the rows to the `BENCH_regimes.json` document (the same
+/// `{"target": ..., "results": [...]}` shape every other bench report
+/// uses).
+pub fn write_json(rows: &[RegimeRow]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"target\": \"regimes\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"family\": \"{}\", \"label\": \"{}\", \
+             \"suite\": \"{}\", \"np\": {}, \"causal\": {}, \"el\": {}, \
+             \"completed\": {}, \"makespan_s\": {:.6}, \
+             \"faulted_makespan_s\": {:.6}, \"hub_rank\": {}, \
+             \"pb_percent\": {:.4}, \"pb_send_us\": {:.1}, \
+             \"pb_recv_us\": {:.1}, \"messages\": {}, \"total_bytes\": {}, \
+             \"max_msg_bucket\": {}, \"el_peak_queue\": {}, \
+             \"el_peak_queue_faulted\": {}, \
+             \"el_peak_outstanding\": {}, \"el_ack_mean_us\": {:.3}, \
+             \"el_records\": {}}}{}\n",
+            json_escape(&r.name()),
+            json_escape(&r.family),
+            json_escape(&r.label),
+            json_escape(&r.suite),
+            r.np,
+            r.causal,
+            r.el,
+            r.completed,
+            r.makespan_s,
+            r.faulted_makespan_s,
+            r.hub_rank,
+            r.pb_percent,
+            r.pb_send_us,
+            r.pb_recv_us,
+            r.messages,
+            r.total_bytes,
+            r.max_msg_bucket,
+            r.el_peak_queue,
+            r.el_peak_queue_faulted,
+            r.el_peak_outstanding,
+            r.el_ack_mean_us,
+            r.el_records,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the document `write_json` emits.
+// ---------------------------------------------------------------------
+
+/// One scalar field value of a flat results object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl JsonValue {
+    fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!("field {key:?} is not a string: {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Num(x) => Ok(*x),
+            other => Err(format!("field {key:?} is not a number: {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, String> {
+        let x = self.as_f64(key)?;
+        Ok(x as u64)
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("field {key:?} is not a bool: {other:?}")),
+        }
+    }
+}
+
+/// Character-level cursor over the JSON text.
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Scanner {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                other.map(|c| c as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self
+                        .src
+                        .get(self.pos + 1)
+                        .ok_or("unterminated escape sequence")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 2..self.pos + 6)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape \\{}", *other as char)),
+                    }
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let rest =
+                        std::str::from_utf8(&self.src[self.pos..]).map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.src[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') if self.src[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.src.get(self.pos).is_some_and(|&b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                raw.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number {raw:?}: {e}"))
+            }
+            other => Err(format!(
+                "unsupported JSON value starting with {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    /// One flat `{"key": scalar, ...}` object.
+    fn flat_object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Parses a `BENCH_regimes.json` document (the exact flat shape
+/// [`write_json`] emits) back into rows. Unknown fields are ignored so
+/// the format can grow; missing fields are an error.
+pub fn parse_json(src: &str) -> Result<Vec<RegimeRow>, String> {
+    let start = src
+        .find("\"results\"")
+        .ok_or("document has no \"results\" field")?;
+    let mut sc = Scanner::new(src);
+    sc.pos = start + "\"results\"".len();
+    sc.expect(b':')?;
+    sc.expect(b'[')?;
+    let mut rows = Vec::new();
+    if sc.peek() == Some(b']') {
+        return Ok(rows);
+    }
+    loop {
+        let fields = sc.flat_object()?;
+        rows.push(row_from_fields(&fields)?);
+        match sc.peek() {
+            Some(b',') => sc.pos += 1,
+            Some(b']') => return Ok(rows),
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' after result object, found {:?}",
+                    other.map(|c| c as char)
+                ))
+            }
+        }
+    }
+}
+
+fn row_from_fields(fields: &[(String, JsonValue)]) -> Result<RegimeRow, String> {
+    let get = |key: &str| -> Result<&JsonValue, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("result object is missing field {key:?}"))
+    };
+    Ok(RegimeRow {
+        family: get("family")?.as_str("family")?.to_string(),
+        label: get("label")?.as_str("label")?.to_string(),
+        suite: get("suite")?.as_str("suite")?.to_string(),
+        np: get("np")?.as_u64("np")?,
+        causal: get("causal")?.as_bool("causal")?,
+        el: get("el")?.as_bool("el")?,
+        completed: get("completed")?.as_bool("completed")?,
+        makespan_s: get("makespan_s")?.as_f64("makespan_s")?,
+        faulted_makespan_s: get("faulted_makespan_s")?.as_f64("faulted_makespan_s")?,
+        hub_rank: get("hub_rank")?.as_u64("hub_rank")?,
+        pb_percent: get("pb_percent")?.as_f64("pb_percent")?,
+        pb_send_us: get("pb_send_us")?.as_f64("pb_send_us")?,
+        pb_recv_us: get("pb_recv_us")?.as_f64("pb_recv_us")?,
+        messages: get("messages")?.as_u64("messages")?,
+        total_bytes: get("total_bytes")?.as_u64("total_bytes")?,
+        max_msg_bucket: get("max_msg_bucket")?.as_u64("max_msg_bucket")?,
+        el_peak_queue: get("el_peak_queue")?.as_u64("el_peak_queue")?,
+        el_peak_queue_faulted: get("el_peak_queue_faulted")?.as_u64("el_peak_queue_faulted")?,
+        el_peak_outstanding: get("el_peak_outstanding")?.as_u64("el_peak_outstanding")?,
+        el_ack_mean_us: get("el_ack_mean_us")?.as_f64("el_ack_mean_us")?,
+        el_records: get("el_records")?.as_u64("el_records")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Markdown rendering
+// ---------------------------------------------------------------------
+
+/// A GitHub-markdown table: first column left-aligned, the rest
+/// right-aligned.
+fn md_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let seps: Vec<&str> = (0..headers.len())
+        .map(|i| if i == 0 { ":--" } else { "--:" })
+        .collect();
+    let _ = writeln!(out, "| {} |", seps.join(" | "));
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len());
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// First-occurrence order of `key` over the rows (the sweep emits rows
+/// in registry x suite order, so this reconstructs both orderings
+/// without the renderer knowing either enumeration).
+fn distinct<F: Fn(&RegimeRow) -> String>(rows: &[RegimeRow], key: F) -> Vec<String> {
+    let mut seen = Vec::new();
+    for r in rows {
+        let k = key(r);
+        if !seen.contains(&k) {
+            seen.push(k);
+        }
+    }
+    seen
+}
+
+fn workload_name(r: &RegimeRow) -> String {
+    format!("{}/{}", r.family, r.label)
+}
+
+fn find<'a>(rows: &'a [RegimeRow], workload: &str, suite: &str) -> Option<&'a RegimeRow> {
+    rows.iter()
+        .find(|r| workload_name(r) == workload && r.suite == suite)
+}
+
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+/// Renders `REPORT.md` from the rows of one scaled-regime sweep: one
+/// figure-style table per metric, each followed by the prose comparing
+/// what the paper predicts with what the simulation shows.
+pub fn render_markdown(rows: &[RegimeRow]) -> String {
+    let workloads = distinct(rows, workload_name);
+    let suites = distinct(rows, |r| r.suite.clone());
+    let causal_suites: Vec<String> = suites
+        .iter()
+        .filter(|s| rows.iter().any(|r| &r.suite == *s && r.causal))
+        .cloned()
+        .collect();
+    let mut out = String::new();
+
+    let _ = writeln!(
+        out,
+        "# Scaled-regime report\n\n\
+         *Generated by `cargo bench --bench regimes` from the same sweep\n\
+         that writes `BENCH_regimes.json` — regenerate with\n\
+         `scripts/verify.sh` (which also asserts this file is current).\n\
+         Do not edit by hand.*\n\n\
+         Every workload of the `Large` registry (multi-server bursty,\n\
+         large seeded halo graphs, the deep-tiling FFT ladder, NAS and\n\
+         NetPIPE at the paper's upper rank counts) runs under every\n\
+         protocol suite twice: fault-free, and with a **hub failure** —\n\
+         the workload's most load-bearing rank (highest-degree halo\n\
+         rank, busiest bursty server) killed mid-run. All times are\n\
+         virtual (simulated) time.\n"
+    );
+
+    // ---- Table 1: piggyback share --------------------------------------
+    let _ = writeln!(out, "## 1. Piggyback share across traffic shapes\n");
+    let _ = writeln!(
+        out,
+        "Piggybacked causality bytes as a percentage of all exchanged\n\
+         bytes (the paper's Figure 7 metric), fault-free runs, causal\n\
+         suites only — the other suites move no piggyback.\n"
+    );
+    let mut headers = vec!["workload (np)".to_string()];
+    headers.extend(causal_suites.iter().cloned());
+    let mut body = Vec::new();
+    for w in &workloads {
+        let mut row = Vec::new();
+        let np = rows
+            .iter()
+            .find(|r| workload_name(r) == *w)
+            .map(|r| r.np)
+            .unwrap_or(0);
+        row.push(format!("{w} ({np})"));
+        for s in &causal_suites {
+            row.push(match find(rows, w, s) {
+                Some(r) => format!("{:.2}", r.pb_percent),
+                None => "-".into(),
+            });
+        }
+        body.push(row);
+    }
+    out.push_str(&md_table(&headers, &body));
+    let _ = writeln!(
+        out,
+        "\nThe paper predicts piggyback share is a property of the\n\
+         *traffic shape*, not of the application: many small messages\n\
+         mean proportionally more causality per wire byte. The sweep\n\
+         reproduces that spread — the FFT ladder shows it within one\n\
+         application: the monolithic transpose (`.t1`) amortizes its\n\
+         piggyback to almost nothing, while the same grid at 32 tiles\n\
+         multiplies the message count and pushes the share up by an\n\
+         order of magnitude. The Event Logger columns sit below their\n\
+         no-EL twins on every row: acknowledgements let senders trim\n\
+         determinants that are safely logged, exactly the effect the\n\
+         paper attributes to the EL.\n"
+    );
+
+    // ---- Table 2: piggyback management time ----------------------------
+    let _ = writeln!(out, "## 2. Piggyback management time (send / receive)\n");
+    let _ = writeln!(
+        out,
+        "Summed per-rank time spent building and integrating piggyback\n\
+         (the Figure 8 metric), in µs as `send/recv`, fault-free runs.\n"
+    );
+    let mut body = Vec::new();
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for s in &causal_suites {
+            row.push(match find(rows, w, s) {
+                Some(r) => format!("{:.0}/{:.0}", r.pb_send_us, r.pb_recv_us),
+                None => "-".into(),
+            });
+        }
+        body.push(row);
+    }
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(causal_suites.iter().cloned());
+    out.push_str(&md_table(&headers, &body));
+    let _ = writeln!(
+        out,
+        "\nManagement time tracks determinant *count*, not byte volume:\n\
+         the message-storm regimes (CG, deep FFT tiling, the bursty\n\
+         service) pay the most, and the EL cuts the bill wherever its\n\
+         acks arrive fast enough to keep the causality store small. The\n\
+         paper's observation that the reduction technique matters more\n\
+         than the raw message rate shows up as the spread between the\n\
+         three techniques within one row.\n"
+    );
+
+    // ---- Table 3: EL saturation ----------------------------------------
+    let _ = writeln!(out, "## 3. Event Logger saturation\n");
+    let _ = writeln!(
+        out,
+        "Gauges from the EL-carrying suites, fault-free runs: peak CPU\n\
+         queue depth at any EL shard, peak shipped-but-unacked event\n\
+         window of any rank, mean arrival-to-ack latency, and records\n\
+         processed. The FFT tiling ladder (`16r.t1` → `16r.t32`) is the\n\
+         saturation probe: same grid, same flops, ever more (ever\n\
+         smaller) messages.\n"
+    );
+    let headers: Vec<String> = [
+        "workload / EL suite",
+        "peak queue",
+        "peak queue (hub fault)",
+        "peak outstanding",
+        "mean ack µs",
+        "records",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut body = Vec::new();
+    for w in &workloads {
+        for s in &suites {
+            if let Some(r) = find(rows, w, s) {
+                if r.el && r.el_records > 0 {
+                    body.push(vec![
+                        format!("{w} — {s}"),
+                        r.el_peak_queue.to_string(),
+                        r.el_peak_queue_faulted.to_string(),
+                        r.el_peak_outstanding.to_string(),
+                        format!("{:.1}", r.el_ack_mean_us),
+                        r.el_records.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    out.push_str(&md_table(&headers, &body));
+    let _ = writeln!(
+        out,
+        "\nThe paper's conclusion warns that one Event Logger becomes a\n\
+         bottleneck as the process count grows. The gauges make the\n\
+         mechanism visible: down the FFT ladder the record count\n\
+         multiplies while payloads shrink, so the single-threaded\n\
+         select-loop server falls behind — the un-acked window (peak\n\
+         outstanding) widens, and with it the piggyback that can no\n\
+         longer be trimmed before sends. Where the mean ack latency\n\
+         stays flat but outstanding grows, the bottleneck is the\n\
+         *round-trip*, not the server CPU — the regime the paper's\n\
+         distributed-EL future work (implemented in `el_multi`)\n\
+         addresses. Fault-free, the CPU queue stays near zero by\n\
+         construction: the EL's 100 Mb/s receive link paces records\n\
+         further apart than the per-record service time. The *hub\n\
+         fault* column is where real queueing appears — a recovery\n\
+         query's response cost grows with the stored determinant\n\
+         count, and records arriving while it is being served wait\n\
+         behind it.\n"
+    );
+
+    // ---- Table 4: hub-failure recovery ---------------------------------
+    let _ = writeln!(out, "## 4. Recovery from a hub failure\n");
+    let _ = writeln!(
+        out,
+        "Virtual makespan in ms: fault-free vs the same run with the\n\
+         workload's hub killed mid-run (`faulted`, with the overhead in\n\
+         percent). The hub is the highest-degree rank of a halo graph,\n\
+         the busiest server of a bursty service, rank 0 elsewhere.\n"
+    );
+    let headers: Vec<String> = [
+        "workload (hub)",
+        "suite",
+        "free ms",
+        "faulted ms",
+        "overhead",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut body = Vec::new();
+    for w in &workloads {
+        for s in &suites {
+            if let Some(r) = find(rows, w, s) {
+                body.push(vec![
+                    format!("{w} (r{})", r.hub_rank),
+                    s.clone(),
+                    fmt_ms(r.makespan_s),
+                    fmt_ms(r.faulted_makespan_s),
+                    format!("{:+.0}%", r.recovery_overhead_percent()),
+                ]);
+            }
+        }
+    }
+    out.push_str(&md_table(&headers, &body));
+    let _ = writeln!(
+        out,
+        "\nKilling the hub is the worst single fault these topologies\n\
+         admit: every partner of the victim holds causal state about it,\n\
+         so recovery gathers determinants and replayed payloads from the\n\
+         widest possible survivor set. The causal suites restart only\n\
+         the victim (the paper's Figure 10 scenario) and their overhead\n\
+         tracks how much causality the EL had already made stable;\n\
+         coordinated checkpointing pays its global-rollback cost\n\
+         everywhere, which is why its faulted column grows with rank\n\
+         count rather than with hub degree.\n"
+    );
+
+    // ---- Table 5: traffic shapes ---------------------------------------
+    let _ = writeln!(out, "## 5. Traffic shapes at a glance\n");
+    let _ = writeln!(
+        out,
+        "Fault-free message counts under the first causal EL suite, as\n\
+         a shape fingerprint of each regime. Message-size buckets are\n\
+         power-of-two ranges: a `max bucket` of `65536` means the\n\
+         largest messages fell in `32769..=65536` bytes (the same\n\
+         ranges `MsgHistogram`'s debug output prints).\n"
+    );
+    let headers: Vec<String> = ["workload", "np", "messages", "total MB", "max bucket B"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let reference_suite = causal_suites.first().cloned().unwrap_or_default();
+    let mut body = Vec::new();
+    for w in &workloads {
+        if let Some(r) = find(rows, w, &reference_suite) {
+            body.push(vec![
+                w.clone(),
+                r.np.to_string(),
+                r.messages.to_string(),
+                format!("{:.1}", r.total_bytes as f64 / 1e6),
+                r.max_msg_bucket.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&md_table(&headers, &body));
+    let _ = writeln!(
+        out,
+        "\nFive families, five shapes: NAS kernels alternate compute and\n\
+         structured exchanges, NetPIPE is a two-rank ping-pong ladder,\n\
+         the bursty service is client-server fan-in with wildcard\n\
+         receives, the halo exchange concentrates edges on hub ranks,\n\
+         and the FFT ladder converts one shape into another as tiling\n\
+         deepens. The protocols never see the application — only this\n\
+         traffic — which is why the regime, not the benchmark name,\n\
+         predicts every number above.\n"
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<RegimeRow> {
+        vec![
+            RegimeRow {
+                family: "halo".into(),
+                label: "24r.x5".into(),
+                suite: "Vcausal (EL)".into(),
+                np: 24,
+                causal: true,
+                el: true,
+                completed: true,
+                makespan_s: 0.012345,
+                faulted_makespan_s: 0.023456,
+                hub_rank: 1,
+                pb_percent: 4.56,
+                pb_send_us: 120.0,
+                pb_recv_us: 80.0,
+                messages: 1234,
+                total_bytes: 5_000_000,
+                max_msg_bucket: 32768,
+                el_peak_queue: 3,
+                el_peak_queue_faulted: 9,
+                el_peak_outstanding: 17,
+                el_ack_mean_us: 95.5,
+                el_records: 900,
+            },
+            RegimeRow {
+                family: "halo".into(),
+                label: "24r.x5".into(),
+                suite: "Vcausal (no EL)".into(),
+                np: 24,
+                causal: true,
+                el: false,
+                completed: true,
+                makespan_s: 0.013,
+                faulted_makespan_s: 0.025,
+                hub_rank: 1,
+                pb_percent: 9.87,
+                pb_send_us: 200.0,
+                pb_recv_us: 150.0,
+                messages: 1200,
+                total_bytes: 5_100_000,
+                max_msg_bucket: 32768,
+                el_peak_queue: 0,
+                el_peak_queue_faulted: 0,
+                el_peak_outstanding: 0,
+                el_ack_mean_us: 0.0,
+                el_records: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = sample_rows();
+        let json = write_json(&rows);
+        let back = parse_json(&json).expect("parse back");
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn parser_rejects_missing_fields() {
+        let json = r#"{"target": "regimes", "results": [{"name": "x"}]}"#;
+        let err = parse_json(json).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_empty_results() {
+        let json = "{\n  \"target\": \"regimes\",\n  \"results\": [\n  ]\n}\n";
+        assert_eq!(parse_json(json).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parser_unescapes_strings() {
+        let mut rows = sample_rows();
+        rows[0].label = "odd \"label\"\\n".into();
+        let back = parse_json(&write_json(&rows)).unwrap();
+        assert_eq!(back[0].label, rows[0].label);
+    }
+
+    #[test]
+    fn recovery_overhead_guards_degenerate_makespans() {
+        let mut r = sample_rows().remove(0);
+        assert!((r.recovery_overhead_percent() - 90.0).abs() < 1.0);
+        r.makespan_s = 0.0;
+        assert_eq!(r.recovery_overhead_percent(), 0.0);
+    }
+
+    /// Golden render: the exact markdown emitted for a fixed
+    /// `BENCH_regimes.json` fixture. Guards both the pivot logic and
+    /// the determinism contract (`verify.sh` diffs the committed
+    /// REPORT.md against a regeneration, so any nondeterminism here
+    /// would break CI).
+    #[test]
+    fn renders_the_golden_markdown_tables() {
+        let rows = parse_json(&write_json(&sample_rows())).unwrap();
+        let md = render_markdown(&rows);
+        let expected_t1 = "\
+| workload (np) | Vcausal (EL) | Vcausal (no EL) |
+| :-- | --: | --: |
+| halo/24r.x5 (24) | 4.56 | 9.87 |
+";
+        assert!(md.contains(expected_t1), "piggyback table drifted:\n{md}");
+        let expected_el = "\
+| workload / EL suite | peak queue | peak queue (hub fault) | peak outstanding | mean ack µs | records |
+| :-- | --: | --: | --: | --: | --: |
+| halo/24r.x5 — Vcausal (EL) | 3 | 9 | 17 | 95.5 | 900 |
+";
+        assert!(md.contains(expected_el), "EL table drifted:\n{md}");
+        let expected_rec = "\
+| halo/24r.x5 (r1) | Vcausal (EL) | 12.35 | 23.46 | +90% |
+| halo/24r.x5 (r1) | Vcausal (no EL) | 13.00 | 25.00 | +92% |
+";
+        assert!(md.contains(expected_rec), "recovery table drifted:\n{md}");
+        // Rendering twice is byte-identical (no hidden state, no time).
+        assert_eq!(md, render_markdown(&rows));
+    }
+}

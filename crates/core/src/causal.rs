@@ -172,6 +172,7 @@ impl CausalProtocol {
 
     fn ship_to_el(&mut self, ctx: &mut Ctx<'_>, det: Determinant) {
         if let Some(el) = self.el_actor(ctx) {
+            crate::el::record_el_outstanding(ctx.sim, det.clock, self.stable[self.rank]);
             let me = ctx.core.actor();
             ctx.core.control_to_actor(
                 ctx.sim,

@@ -76,6 +76,16 @@ pub struct CoordinatedProtocol {
     /// Markers that arrived before our snapshot: (id, src, upto).
     early_markers: Vec<(u64, Rank, Ssn)>,
     phase: Option<Phase>,
+    /// Snapshot ids this rank has already closed its channels for
+    /// after finishing its program. A finished rank must answer each
+    /// snapshot id exactly once — replying to every incoming marker
+    /// made two finished ranks bounce ever-growing marker storms at
+    /// each other (each reply triggered 15 more replies) until the
+    /// event queue ate all memory — but it must still answer *every*
+    /// distinct id, including ones older than the newest it has seen
+    /// (a slow peer can be mid-phase on an earlier id and needs this
+    /// rank's marker to close its channel).
+    closed_after_finish: std::collections::BTreeSet<u64>,
 }
 
 impl CoordinatedProtocol {
@@ -86,6 +96,15 @@ impl CoordinatedProtocol {
             pending: None,
             early_markers: Vec::new(),
             phase: None,
+            closed_after_finish: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Closes this finished rank's channels for snapshot `id` (markers
+    /// to every peer) — exactly once per distinct id.
+    fn close_finished(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        if self.closed_after_finish.insert(id) {
+            self.send_markers(ctx, id);
         }
     }
 
@@ -140,8 +159,8 @@ impl CoordinatedProtocol {
         if self.pending.is_none() && self.phase.is_none() {
             if ctx.core.app_finished() {
                 // We will never reach another checkpoint point; close our
-                // channels so peers can ship their images.
-                self.send_markers(ctx, m.id);
+                // channels (once per id) so peers can ship their images.
+                self.close_finished(ctx, m.id);
                 return;
             }
             self.pending = Some(m.id);
@@ -187,7 +206,7 @@ impl VProtocol for CoordinatedProtocol {
                 }
                 if ctx.core.app_finished() {
                     // No more safe points: close channels, skip the image.
-                    self.send_markers(ctx, id);
+                    self.close_finished(ctx, id);
                 } else {
                     self.pending = Some(id);
                 }
@@ -267,8 +286,10 @@ impl VProtocol for CoordinatedProtocol {
     fn on_app_finished(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(id) = self.pending.take() {
             // The program ended before the next checkpoint point: close
-            // our channels so peers can complete their snapshot.
-            self.send_markers(ctx, id);
+            // our channels so peers can complete their snapshot — and
+            // record the id, so markers for it that are still in flight
+            // cannot trigger a second broadcast.
+            self.close_finished(ctx, id);
         }
     }
 }

@@ -60,10 +60,60 @@ pub enum ElReply {
     },
 }
 
-/// Per-record service cost of the single-threaded select-loop server.
-const EL_SERVICE_NS: u64 = 2_300;
+/// Per-record service cost of the single-threaded select-loop server
+/// (shared with the distributed shards in [`el_multi`](crate::el_multi)
+/// so the queue-depth gauge in [`record_el_saturation`] always divides
+/// by the same cost the servers charge).
+pub(crate) const EL_SERVICE_NS: u64 = 2_300;
 /// Per-determinant cost of building a recovery response.
 const EL_RESP_NS_PER_DET: u64 = 120;
+
+/// Per-shard peak-queue-depth counter keys; shards beyond the table fold
+/// into the last slot (`el_count` in practice stays small). The single
+/// Event Logger is shard 0.
+const SHARD_QUEUE_KEYS: [&str; 8] = [
+    "el_peak_queue_s0",
+    "el_peak_queue_s1",
+    "el_peak_queue_s2",
+    "el_peak_queue_s3",
+    "el_peak_queue_s4",
+    "el_peak_queue_s5",
+    "el_peak_queue_s6",
+    "el_peak_queue_s7",
+];
+
+/// The per-shard peak-queue-depth counter key of shard `index`.
+pub fn shard_queue_key(index: usize) -> &'static str {
+    SHARD_QUEUE_KEYS[index.min(SHARD_QUEUE_KEYS.len() - 1)]
+}
+
+/// Records the server-side saturation gauges for one stored (or
+/// duplicate) event record on EL shard `index`: the CPU queue depth the
+/// record saw at arrival and its arrival-to-ack-send latency. Shared by
+/// the single [`EventLogger`] and the distributed shards in
+/// [`el_multi`](crate::el_multi). The complementary *creator*-side
+/// gauge — the un-acked event window that decides whether acks arrive
+/// in time to trim piggybacks — is recorded by the protocols at ship
+/// time (see [`record_el_outstanding`]).
+pub(crate) fn record_el_saturation(sim: &mut Sim, index: usize, ack_latency: SimDuration) {
+    let depth = (ack_latency.as_nanos() / EL_SERVICE_NS).saturating_sub(1);
+    let stats = sim.stats_mut();
+    stats.set_max("el_peak_queue", depth);
+    stats.set_max(shard_queue_key(index), depth);
+    stats.add_time("el_ack_latency", ack_latency);
+    stats.set_max("el_ack_latency_peak_ns", ack_latency.as_nanos());
+}
+
+/// Records the creator-side saturation gauge when a protocol ships the
+/// event with clock `shipped` while its last EL-acknowledged own clock
+/// is `acked`: the gap is the number of its events still outstanding at
+/// the Event Logger (shipped but not yet acknowledged). Under EL
+/// saturation this window grows — the paper's "acknowledgements arrive
+/// too late to trim piggybacks" behaviour, made measurable.
+pub fn record_el_outstanding(sim: &mut Sim, shipped: RClock, acked: RClock) {
+    sim.stats_mut()
+        .set_max("el_peak_outstanding", shipped.saturating_sub(acked));
+}
 
 /// The Event Logger server actor.
 pub struct EventLogger {
@@ -114,7 +164,9 @@ impl Actor for EventLogger {
                 } else {
                     sim.stats_mut().bump("el_duplicate_records");
                 }
+                let arrived = sim.now();
                 let end = sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
+                record_el_saturation(sim, 0, end.saturating_since(arrived));
                 let stable = self.stable.clone();
                 let node = self.node;
                 let n = self.n;
@@ -302,6 +354,66 @@ mod tests {
         assert_eq!(resps.len(), 1);
         assert_eq!(resps[0].0, 3); // clocks 3, 4, 5
         assert_eq!(resps[0].1, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn saturation_gauges_track_a_busy_server() {
+        let mut sim = Sim::new(9);
+        let el_node = sim.add_node();
+        let client_node = sim.add_node();
+        let el = EventLogger::install(&mut sim, el_node, 3);
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let probe = sim.add_actor(
+            client_node,
+            Box::new(Probe {
+                acks: acks.clone(),
+                resps: Arc::new(Mutex::new(Vec::new())),
+            }),
+        );
+        // Occupy the EL's CPU the way a long recovery query does; the
+        // record arriving meanwhile must wait behind the backlog, and
+        // the gauges must see both the queue and the inflated latency.
+        sim.charge_cpu(el_node, SimDuration::from_micros(200));
+        sim.net_send(
+            client_node,
+            el,
+            WireSize::control(EL_RECORD_BYTES),
+            Box::new(ElMsg::Record {
+                from: 1,
+                det: det(1, 1),
+                reply_to: probe,
+            }),
+        );
+        sim.run();
+        assert_eq!(acks.lock().unwrap().len(), 1);
+        let stats = sim.stats();
+        // >100 µs of backlog at 2.3 µs per record is a deep queue.
+        assert!(
+            stats.get("el_peak_queue") >= 10,
+            "record never queued: peak depth {}",
+            stats.get("el_peak_queue")
+        );
+        assert_eq!(stats.get("el_peak_queue"), stats.get(shard_queue_key(0)));
+        assert!(stats.get_time("el_ack_latency") > SimDuration::from_micros(100));
+        assert!(stats.get("el_ack_latency_peak_ns") >= 100_000);
+    }
+
+    #[test]
+    fn outstanding_gauge_tracks_the_unacked_window() {
+        let mut sim = Sim::new(5);
+        record_el_outstanding(&mut sim, 10, 7);
+        record_el_outstanding(&mut sim, 12, 11);
+        assert_eq!(sim.stats().get("el_peak_outstanding"), 3);
+        // A creator that is fully acknowledged contributes zero.
+        record_el_outstanding(&mut sim, 4, 4);
+        assert_eq!(sim.stats().get("el_peak_outstanding"), 3);
+    }
+
+    #[test]
+    fn shard_queue_keys_are_stable_and_fold() {
+        assert_eq!(shard_queue_key(0), "el_peak_queue_s0");
+        assert_eq!(shard_queue_key(7), "el_peak_queue_s7");
+        assert_eq!(shard_queue_key(99), "el_peak_queue_s7");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use vlog_sim::{Actor, ActorId, Delivery, NodeId, Sim, SimDuration, TimerHandle, WireSize};
 use vlog_vmpi::{DaemonMsg, RClock, Rank, Topology};
 
-use crate::el::{el_ack_bytes, el_resp_bytes, ElMsg, ElReply};
+use crate::el::{el_ack_bytes, el_resp_bytes, record_el_saturation, ElMsg, ElReply, EL_SERVICE_NS};
 use crate::event::Determinant;
 
 /// Gossip between Event Logger instances: a stable-clock vector.
@@ -31,8 +31,7 @@ pub struct ElGossip {
     pub stable: Vec<RClock>,
 }
 
-/// Per-record service cost (same single-threaded server as the single EL).
-const EL_SERVICE_NS: u64 = 2_300;
+/// Per-determinant cost of building a recovery response.
 const EL_RESP_NS_PER_DET: u64 = 120;
 
 /// One instance of a distributed Event Logger.
@@ -110,7 +109,9 @@ impl Actor for ElShard {
                         } else {
                             sim.stats_mut().bump("el_duplicate_records");
                         }
+                        let arrived = sim.now();
                         let end = sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
+                        record_el_saturation(sim, self.index, end.saturating_since(arrived));
                         let stable = self.merged_stable.clone();
                         let node = self.node;
                         let bytes = el_ack_bytes(self.n);

@@ -50,7 +50,7 @@ pub mod vcausal;
 pub use causal::{CausalCtl, CausalProtocol};
 pub use coordinated::CoordinatedProtocol;
 pub use costs::CausalCosts;
-pub use el::{ElMsg, ElReply, EventLogger, EL_RECORD_BYTES};
+pub use el::{shard_queue_key, ElMsg, ElReply, EventLogger, EL_RECORD_BYTES};
 pub use el_multi::{install_distributed_el, ElShard};
 pub use event::{Determinant, EventId};
 pub use graph::AGraph;

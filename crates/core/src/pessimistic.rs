@@ -101,6 +101,7 @@ impl PessimisticProtocol {
 
     fn ship_to_el(&mut self, ctx: &mut Ctx<'_>, det: Determinant) {
         let el = self.el_actor(ctx);
+        crate::el::record_el_outstanding(ctx.sim, det.clock, self.stable_own);
         let me = ctx.core.actor();
         ctx.core.control_to_actor(
             ctx.sim,

@@ -6,7 +6,7 @@
 //! piggyback format: a list of `{rid, nb, sequence_of_events}` [...]
 //! LogOn uses a partial order [...] it is not possible to factor events.
 //! As a consequence, each event of the piggyback sequence contains the
-//! receiver rank [so] for the same number of events to piggyback, the
+//! receiver rank \[so\] for the same number of events to piggyback, the
 //! actual size in bytes of data added to the message is higher for
 //! LogOn."*
 //!

@@ -24,7 +24,7 @@
 //! Tasks and actors live in arena slots owned by the kernel and are
 //! addressed by index+generation handles ([`TaskId`],
 //! [`ActorId`](crate::kernel::ActorId)). The only genuinely shared state
-//! is [`ExecShared`] (kernel ↔ task futures) and the one-shot [`OpCell`]s
+//! is `ExecShared` (kernel ↔ task futures) and the one-shot [`OpCell`]s
 //! (kernel ↔ one waiting task); both are `Arc<Mutex<…>>` so a whole
 //! simulation — futures included — is `Send` and independent cluster runs
 //! can be sharded across worker threads. Each run stays single-threaded,

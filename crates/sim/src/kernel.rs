@@ -26,9 +26,9 @@
 //!
 //! # The calendar
 //!
-//! Events live in the arena-backed [`EventCalendar`](crate::calendar):
+//! Events live in the arena-backed [`EventCalendar`]:
 //! a slab with free-list reuse addressed by stable
-//! [`EventKey`](crate::calendar::EventKey) handles, a hierarchical timer
+//! [`EventKey`] handles, a hierarchical timer
 //! wheel for near-future events, and a binary heap kept only as
 //! far-future overflow. Dispatch order is exact `(time, seq)` — see the
 //! [`calendar`](crate::calendar) module docs for the determinism

@@ -67,6 +67,17 @@ impl MsgHistogram {
             .map(|(i, &c)| (1u64 << i.min(63), c))
     }
 
+    /// Inclusive byte range `[lo, hi]` of bucket `i`: bucket 0 holds 0-
+    /// and 1-byte messages, bucket `i > 0` holds `2^(i-1)+1 ..= 2^i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        let i = i.min(HIST_BUCKETS - 1).min(63);
+        if i == 0 {
+            (0, 1)
+        } else {
+            ((1u64 << (i - 1)) + 1, 1u64 << i)
+        }
+    }
+
     /// Upper bound (bytes) of the largest non-empty bucket, 0 when empty.
     pub fn max_bucket_bytes(&self) -> u64 {
         self.nonzero().map(|(b, _)| b).max().unwrap_or(0)
@@ -74,12 +85,16 @@ impl MsgHistogram {
 }
 
 impl std::fmt::Debug for MsgHistogram {
-    /// Compact sparse form so report fingerprints stay readable:
-    /// `{<=64: 12, <=4096: 3}`.
+    /// Compact sparse form so report fingerprints stay readable, with
+    /// each bucket labelled by its full power-of-two byte range:
+    /// `{0..=1: 2, 33..=64: 12, 2049..=4096: 3}` — bucket `i > 0` spans
+    /// `2^(i-1)+1 ..= 2^i` bytes, bucket 0 holds empty and 1-byte
+    /// messages.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut map = f.debug_map();
-        for (bound, count) in self.nonzero() {
-            map.entry(&format_args!("<={bound}"), &count);
+        for (i, &count) in self.buckets.iter().enumerate().filter(|(_, &c)| c > 0) {
+            let (lo, hi) = Self::bucket_range(i);
+            map.entry(&format_args!("{lo}..={hi}"), &count);
         }
         map.finish()
     }
@@ -123,6 +138,13 @@ impl Stats {
     /// Increments the named counter by one.
     pub fn bump(&mut self, key: &'static str) {
         self.add(key, 1);
+    }
+
+    /// Raises the named counter to `v` if `v` exceeds its current value
+    /// (peak-gauge semantics: queue depths, outstanding-event highs).
+    pub fn set_max(&mut self, key: &'static str, v: u64) {
+        let slot = self.counters.entry(key).or_insert(0);
+        *slot = (*slot).max(v);
     }
 
     /// Current value of a named counter (zero if never written).
@@ -254,7 +276,34 @@ mod tests {
             control: 0,
         });
         assert_eq!(s.msg_sizes.count(), 1);
-        assert_eq!(s.msg_sizes.bucket(7), 1); // 100 bytes <= 128
-        assert_eq!(format!("{:?}", s.msg_sizes), "{<=128: 1}");
+        assert_eq!(s.msg_sizes.bucket(7), 1); // 100 bytes in 65..=128
+        assert_eq!(format!("{:?}", s.msg_sizes), "{65..=128: 1}");
+    }
+
+    #[test]
+    fn debug_output_names_the_bucket_ranges() {
+        let mut h = MsgHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(50);
+        assert_eq!(format!("{h:?}"), "{0..=1: 2, 33..=64: 1}");
+        assert_eq!(MsgHistogram::bucket_range(0), (0, 1));
+        assert_eq!(MsgHistogram::bucket_range(1), (2, 2));
+        assert_eq!(MsgHistogram::bucket_range(6), (33, 64));
+        // The overflow bucket clamps at the largest representable range.
+        let (lo, hi) = MsgHistogram::bucket_range(HIST_BUCKETS - 1);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn set_max_keeps_the_peak() {
+        let mut s = Stats::new();
+        s.set_max("peak", 3);
+        s.set_max("peak", 9);
+        s.set_max("peak", 5);
+        assert_eq!(s.get("peak"), 9);
+        // set_max on a counter that was never written creates it.
+        s.set_max("fresh", 0);
+        assert_eq!(s.get("fresh"), 0);
     }
 }

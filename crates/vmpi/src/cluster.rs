@@ -95,6 +95,19 @@ impl FaultPlan {
         }
     }
 
+    /// Adds one more crash of `rank` at `t` to the schedule (builder
+    /// form, so targeted plans — hub failures, double faults — compose
+    /// from `kill_at`).
+    pub fn then_kill(mut self, t: SimDuration, rank: Rank) -> Self {
+        self.faults.push((t, rank));
+        self
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
     /// Periodic crashes: one fault every `period` starting at `start`,
     /// cycling over ranks `0..n`, until `until`.
     pub fn periodic(start: SimDuration, period: SimDuration, n: usize, until: SimDuration) -> Self {
@@ -144,6 +157,48 @@ impl RunReport {
     /// traffic shape workload harnesses report alongside the scalars.
     pub fn msg_histogram(&self) -> &vlog_sim::MsgHistogram {
         &self.stats.msg_sizes
+    }
+
+    // ---- Event Logger saturation gauges --------------------------------
+    //
+    // Recorded by the EL server actors and the logging protocols (see
+    // `vlog-core::el`); zero whenever the suite ran without an EL.
+
+    /// Peak CPU-queue depth any event record saw at an Event Logger
+    /// shard on arrival (how far behind the single-threaded select-loop
+    /// server fell).
+    pub fn el_peak_queue_depth(&self) -> u64 {
+        self.stats.get("el_peak_queue")
+    }
+
+    /// Peak number of one rank's events shipped to the Event Logger but
+    /// not yet acknowledged back to it — the window that decides whether
+    /// acks arrive in time to trim piggybacks.
+    pub fn el_peak_outstanding(&self) -> u64 {
+        self.stats.get("el_peak_outstanding")
+    }
+
+    /// Number of event records the Event Logger processed (stored plus
+    /// detected duplicates) — the denominator of the mean ack latency.
+    pub fn el_acked_records(&self) -> u64 {
+        self.stats.get("el_records") + self.stats.get("el_duplicate_records")
+    }
+
+    /// Mean arrival-to-ack-send latency over every event record an
+    /// Event Logger shard processed (zero without an EL).
+    pub fn el_ack_latency_mean(&self) -> SimDuration {
+        let n = self.el_acked_records();
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.stats.get_time("el_ack_latency").as_nanos() / n)
+        }
+    }
+
+    /// Worst single arrival-to-ack-send latency at any Event Logger
+    /// shard.
+    pub fn el_ack_latency_peak(&self) -> SimDuration {
+        SimDuration::from_nanos(self.stats.get("el_ack_latency_peak_ns"))
     }
 }
 
@@ -365,3 +420,62 @@ pub fn run_vdummy(cfg: &ClusterConfig, program: AppSpec) -> RunReport {
 
 /// Re-export of [`crate::daemon::app`] for harness ergonomics.
 pub use crate::daemon::app as program;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_builders_compose() {
+        let plan = FaultPlan::kill_at(SimDuration::from_millis(5), 2)
+            .then_kill(SimDuration::from_millis(9), 0);
+        assert_eq!(
+            plan.faults,
+            vec![
+                (SimDuration::from_millis(5), 2),
+                (SimDuration::from_millis(9), 0)
+            ]
+        );
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn el_gauge_accessors_read_the_counters() {
+        let mut stats = Stats::new();
+        stats.set_max("el_peak_queue", 7);
+        stats.set_max("el_peak_outstanding", 3);
+        stats.add("el_records", 4);
+        stats.add("el_duplicate_records", 1);
+        stats.add_time("el_ack_latency", SimDuration::from_micros(50));
+        stats.set_max("el_ack_latency_peak_ns", 20_000);
+        let report = RunReport {
+            suite: "test".into(),
+            makespan: SimDuration::ZERO,
+            completed: true,
+            stats,
+            rank_stats: Vec::new(),
+            events: 0,
+        };
+        assert_eq!(report.el_peak_queue_depth(), 7);
+        assert_eq!(report.el_peak_outstanding(), 3);
+        assert_eq!(report.el_acked_records(), 5);
+        assert_eq!(report.el_ack_latency_mean(), SimDuration::from_micros(10));
+        assert_eq!(report.el_ack_latency_peak(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn el_gauges_are_zero_without_an_event_logger() {
+        let report = RunReport {
+            suite: "test".into(),
+            makespan: SimDuration::ZERO,
+            completed: true,
+            stats: Stats::new(),
+            rank_stats: Vec::new(),
+            events: 0,
+        };
+        assert_eq!(report.el_peak_queue_depth(), 0);
+        assert_eq!(report.el_peak_outstanding(), 0);
+        assert_eq!(report.el_ack_latency_mean(), SimDuration::ZERO);
+    }
+}

@@ -466,6 +466,15 @@ pub struct Vdaemon {
     core: DaemonCore,
     proto: Box<dyn VProtocol>,
     boot: BootMode,
+    /// Application messages that arrived in the *restart window*: after
+    /// this replacement daemon came alive but before its checkpoint
+    /// image was fetched and `finish_restart` ran. Accepting them
+    /// immediately would thread them through a not-yet-recovering
+    /// protocol — advancing channel watermarks and consuming deliveries
+    /// the replay is about to wait for (a permanent recovery stall).
+    /// They are re-fed through the normal acceptance path, in arrival
+    /// order, as soon as the restored state is in place.
+    pre_restart: VecDeque<AppMsg>,
 }
 
 impl Vdaemon {
@@ -512,6 +521,7 @@ impl Vdaemon {
             },
             proto,
             boot,
+            pre_restart: VecDeque::new(),
         }
     }
 
@@ -570,6 +580,14 @@ impl Vdaemon {
             self.proto.on_restart(&mut ctx, blob);
         }
         self.core.spawn_app(sim, restored);
+        // Re-feed everything that arrived during the restart window, in
+        // arrival order, now that the restored watermarks and the
+        // protocol's recovery state exist: replay supplies land in the
+        // recovery buffer, stale duplicates are dropped by the ssn
+        // filter.
+        while let Some(m) = self.pre_restart.pop_front() {
+            self.handle_app_msg(sim, m);
+        }
         self.pump(sim);
     }
 
@@ -752,6 +770,15 @@ impl Vdaemon {
     }
 
     fn handle_checkpoint_point(&mut self, sim: &mut Sim, state: Payload, done: OpCell<bool>) {
+        if self.core.recovering {
+            // No checkpoints mid-recovery: an image captured between the
+            // restore and the end of replay would mix restored channel
+            // state with a half-replayed protocol state; a later restart
+            // from it could stall forever. The application offers again
+            // at its next checkpoint point.
+            done.complete(false);
+            return;
+        }
         let due = {
             let mut ctx = Ctx {
                 sim,
@@ -888,7 +915,17 @@ impl Vdaemon {
 
     fn handle_daemon_msg(&mut self, sim: &mut Sim, msg: DaemonMsg) {
         match msg {
-            DaemonMsg::App(m) => self.handle_app_msg(sim, m),
+            DaemonMsg::App(m) => {
+                if self.core.recovering && self.core.app_task.is_none() {
+                    // Restart window: the checkpoint image is still being
+                    // fetched, so the restored channel watermarks do not
+                    // exist yet. Park the message; `finish_restart`
+                    // re-feeds it through the full acceptance path.
+                    self.pre_restart.push_back(m);
+                } else {
+                    self.handle_app_msg(sim, m)
+                }
+            }
             DaemonMsg::Rts { src, ssn, tag, len } => {
                 let _ = (tag, len);
                 // Clear-to-send immediately (receiver-side buffering).

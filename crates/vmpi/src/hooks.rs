@@ -150,7 +150,7 @@ pub enum RecvGate {
     /// Silently drop (duplicate of an already-received message).
     Drop,
     /// The protocol keeps the message (replay buffering, markers); it can
-    /// re-inject it later through [`DaemonCore::inject_app_msg`].
+    /// re-inject it later through [`DaemonCore::reaccept`].
     Consume,
 }
 

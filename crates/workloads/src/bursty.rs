@@ -1,15 +1,22 @@
 //! Bursty request/reply service — the "millions of users" traffic shape.
 //!
-//! Rank 0 is a server; every other rank is a client firing *bursts* of
-//! requests with deterministic-RNG arrivals (exponential think times,
-//! heavy-tailed burst sizes), then waiting for the replies. The server
-//! drains requests with a **wildcard receive**, so the delivery order is
-//! a race decided by the network — exactly the nondeterminism causal
-//! message logging exists to capture. Compared to the NAS skeletons
-//! (static partners, deterministic schedules) this regime stresses the
-//! determinant path: every served request is a genuinely nondeterministic
-//! event the protocols must log, piggyback or ack before the reply's
-//! causal effects escape.
+//! Ranks `0..servers` are servers; every other rank is a client firing
+//! *bursts* of requests with deterministic-RNG arrivals (exponential
+//! think times, heavy-tailed burst sizes), then waiting for the replies.
+//! Each server drains its requests with a **wildcard receive**, so the
+//! delivery order is a race decided by the network — exactly the
+//! nondeterminism causal message logging exists to capture. Compared to
+//! the NAS skeletons (static partners, deterministic schedules) this
+//! regime stresses the determinant path: every served request is a
+//! genuinely nondeterministic event the protocols must log, piggyback or
+//! ack before the reply's causal effects escape.
+//!
+//! The default configuration runs one server (the paper-scale shape);
+//! [`BurstyConfig::with_servers`] shards the service across `k` server
+//! ranks with every client *hashed* to one server — a pure function of
+//! `(seed, client rank)`, so the assignment survives restarts and scales
+//! the regime to larger rank counts without serializing all traffic
+//! through one wildcard queue.
 //!
 //! The RNG draws are keyed by `(seed, rank, round)`, never by elapsed
 //! state, so an incarnation restarted from a round checkpoint regenerates
@@ -26,11 +33,17 @@ use crate::workload::{ckpt_payload, mix_seed, restored_u64, Workload, WorkloadPr
 const TAG_REQ: u32 = 70;
 const TAG_REP: u32 = 71;
 
+/// Salt separating the client-to-server hash from the arrival draws.
+const SERVER_HASH_SALT: u64 = 0x5e4e;
+
 /// One bursty service configuration.
 #[derive(Debug, Clone)]
 pub struct BurstyConfig {
-    /// Total ranks: rank 0 serves, ranks `1..np` are clients.
+    /// Total ranks: ranks `0..servers` serve, ranks `servers..np` are
+    /// clients.
     pub np: usize,
+    /// Number of server ranks (1 = the classic single-server shape).
+    pub servers: usize,
     /// Bursts each client fires.
     pub rounds: u64,
     /// Mean requests per burst (tail is exponential, capped at 16x).
@@ -55,11 +68,14 @@ pub struct BurstyConfig {
 }
 
 impl BurstyConfig {
+    /// A single-server service on `np` ranks firing `rounds` bursts per
+    /// client, with arrival traffic keyed off `seed`.
     pub fn new(np: usize, rounds: u64, seed: u64) -> Self {
         assert!(np >= 2, "bursty service needs a server and >=1 client");
         assert!(rounds >= 1, "bursty service needs >=1 round");
         BurstyConfig {
             np,
+            servers: 1,
             rounds,
             mean_burst: 4.0,
             mean_think: SimDuration::from_micros(300),
@@ -71,6 +87,32 @@ impl BurstyConfig {
             seed,
             checkpoints: true,
         }
+    }
+
+    /// Shards the service across `servers` server ranks; every client is
+    /// hashed to one of them (see [`BurstyConfig::server_of`]).
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        assert!(servers >= 1, "bursty service needs >=1 server");
+        assert!(
+            self.np > servers,
+            "bursty service with {servers} servers needs at least {} ranks",
+            servers + 1
+        );
+        self.servers = servers;
+        self
+    }
+
+    /// The client ranks of this configuration (`servers..np`).
+    pub fn clients(&self) -> std::ops::Range<usize> {
+        self.servers..self.np
+    }
+
+    /// The server rank client `rank` sends every request to: a pure
+    /// `(seed, rank)` hash, so the assignment is deterministic across
+    /// restarts and incarnations but uncorrelated with rank order.
+    pub fn server_of(&self, rank: usize) -> usize {
+        debug_assert!(self.clients().contains(&rank), "rank {rank} is a server");
+        (mix_seed(self.seed, rank as u64, SERVER_HASH_SALT) % self.servers as u64) as usize
     }
 
     /// Burst size and think time of client `rank`'s round `round` —
@@ -87,12 +129,30 @@ impl BurstyConfig {
         (burst.max(1), think)
     }
 
-    /// Total requests the whole run serves (the server derives its
-    /// termination condition from the same pure arrival process).
+    /// Total requests the whole run serves (the servers derive their
+    /// termination conditions from the same pure arrival process).
     pub fn total_requests(&self) -> u64 {
-        (1..self.np)
+        self.clients()
             .flat_map(|c| (0..self.rounds).map(move |r| self.draw(c, r).0))
             .sum()
+    }
+
+    /// Requests routed to `server` over the whole run — its termination
+    /// condition, derived from the same pure arrival process and hash
+    /// every client uses.
+    pub fn total_requests_for(&self, server: usize) -> u64 {
+        self.clients()
+            .filter(|&c| self.server_of(c) == server)
+            .flat_map(|c| (0..self.rounds).map(move |r| self.draw(c, r).0))
+            .sum()
+    }
+
+    /// The busiest server rank (most routed requests; lowest rank wins
+    /// ties) — the hub whose failure stresses recovery hardest.
+    pub fn busiest_server(&self) -> usize {
+        (0..self.servers)
+            .max_by_key(|&s| (self.total_requests_for(s), std::cmp::Reverse(s)))
+            .unwrap_or(0)
     }
 }
 
@@ -102,7 +162,16 @@ impl Workload for BurstyConfig {
     }
 
     fn label(&self) -> String {
-        format!("{}c.x{}", self.np - 1, self.rounds)
+        if self.servers == 1 {
+            format!("{}c.x{}", self.np - self.servers, self.rounds)
+        } else {
+            format!(
+                "{}c.{}s.x{}",
+                self.np - self.servers,
+                self.servers,
+                self.rounds
+            )
+        }
     }
 
     fn np(&self) -> usize {
@@ -110,7 +179,7 @@ impl Workload for BurstyConfig {
     }
 
     fn valid_np(&self, np: usize) -> bool {
-        np >= 2
+        np > self.servers
     }
 
     fn state_bytes(&self) -> u64 {
@@ -121,16 +190,21 @@ impl Workload for BurstyConfig {
         self.total_requests() as f64 * self.flops_per_req
     }
 
+    fn hub_rank(&self) -> usize {
+        self.busiest_server()
+    }
+
     fn program(&self) -> WorkloadProgram {
         let cfg = self.clone();
-        let total = cfg.total_requests();
         let spec = app(move |mpi| {
             let cfg = cfg.clone();
             async move {
                 let me = mpi.rank();
-                if me == 0 {
-                    // Server: drain `total` requests in whatever order
-                    // the network delivers them; reply to the source.
+                if me < cfg.servers {
+                    // Server: drain this shard's share of the requests in
+                    // whatever order the network delivers them; reply to
+                    // the source.
+                    let total = cfg.total_requests_for(me);
                     let mut served = restored_u64(&mpi);
                     while served < total {
                         if cfg.checkpoints && served % cfg.ckpt_every == 0 {
@@ -149,7 +223,9 @@ impl Workload for BurstyConfig {
                         served += 1;
                     }
                 } else {
-                    // Client: think, fire a burst, collect the replies.
+                    // Client: think, fire a burst at the hashed server,
+                    // collect the replies.
+                    let server = cfg.server_of(me);
                     let start = restored_u64(&mpi);
                     for round in start..cfg.rounds {
                         if cfg.checkpoints {
@@ -159,24 +235,31 @@ impl Workload for BurstyConfig {
                         let (burst, think) = cfg.draw(me, round);
                         mpi.elapse(think).await;
                         for _ in 0..burst {
-                            mpi.send(0, TAG_REQ, Payload::synthetic(cfg.req_bytes))
+                            mpi.send(server, TAG_REQ, Payload::synthetic(cfg.req_bytes))
                                 .await;
                         }
                         for _ in 0..burst {
-                            mpi.recv_from(0, TAG_REP).await;
+                            mpi.recv_from(server, TAG_REP).await;
                         }
                     }
                 }
             }
         });
-        let (clients, total_f) = (self.np as u64 - 1, total as f64);
+        let total_f = self.total_requests() as f64;
+        let clients = (self.np - self.servers) as u64;
         let rounds = self.rounds;
+        let hot_share = if total_f > 0.0 {
+            self.total_requests_for(self.busiest_server()) as f64 / total_f
+        } else {
+            0.0
+        };
         WorkloadProgram::with_probe(
             spec,
             Box::new(move |_| {
                 vec![
                     ("requests", total_f),
                     ("mean_burst", total_f / (clients * rounds).max(1) as f64),
+                    ("hot_server_share", hot_share),
                 ]
             }),
         )
@@ -209,5 +292,55 @@ mod tests {
     #[should_panic(expected = "needs a server")]
     fn single_rank_service_is_rejected() {
         let _ = BurstyConfig::new(1, 4, 1);
+    }
+
+    #[test]
+    fn client_to_server_assignment_is_deterministic() {
+        let cfg = BurstyConfig::new(16, 4, 11).with_servers(4);
+        let again = BurstyConfig::new(16, 4, 11).with_servers(4);
+        let map: Vec<usize> = cfg.clients().map(|c| cfg.server_of(c)).collect();
+        let map2: Vec<usize> = again.clients().map(|c| again.server_of(c)).collect();
+        assert_eq!(map, map2, "assignment must be a pure (seed, rank) hash");
+        // Every assignment lands on a real server.
+        assert!(map.iter().all(|&s| s < 4));
+        // The hash spreads clients over more than one server.
+        let used: std::collections::BTreeSet<usize> = map.iter().copied().collect();
+        assert!(used.len() > 1, "all clients hashed to one server: {map:?}");
+        // A different seed reshuffles at least one client.
+        let other = BurstyConfig::new(16, 4, 7).with_servers(4);
+        let map3: Vec<usize> = other.clients().map(|c| other.server_of(c)).collect();
+        assert_ne!(map, map3, "assignment must depend on the seed");
+    }
+
+    #[test]
+    fn per_server_totals_partition_the_request_count() {
+        let cfg = BurstyConfig::new(12, 6, 11).with_servers(3);
+        let per: u64 = (0..3).map(|s| cfg.total_requests_for(s)).sum();
+        assert_eq!(per, cfg.total_requests());
+        // The busiest server really is the argmax of the partition.
+        let hub = cfg.busiest_server();
+        assert!(hub < 3);
+        assert!((0..3).all(|s| cfg.total_requests_for(s) <= cfg.total_requests_for(hub)));
+        assert_eq!(Workload::hub_rank(&cfg), hub);
+        // Single-server configurations keep the classic shape: rank 0
+        // serves everything.
+        let single = BurstyConfig::new(4, 6, 11);
+        assert_eq!(single.total_requests_for(0), single.total_requests());
+        assert_eq!(Workload::hub_rank(&single), 0);
+    }
+
+    #[test]
+    fn multi_server_labels_and_geometry() {
+        let cfg = BurstyConfig::new(16, 4, 11).with_servers(4);
+        assert_eq!(cfg.label(), "12c.4s.x4");
+        assert_eq!(BurstyConfig::new(4, 6, 11).label(), "3c.x6");
+        assert!(cfg.valid_np(16));
+        assert!(!cfg.valid_np(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 ranks")]
+    fn too_many_servers_are_rejected() {
+        let _ = BurstyConfig::new(4, 4, 1).with_servers(4);
     }
 }

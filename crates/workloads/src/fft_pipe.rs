@@ -19,6 +19,7 @@ use crate::workload::{ckpt_payload, restored_u64, Workload, WorkloadProgram};
 /// One pipelined-transpose configuration.
 #[derive(Debug, Clone)]
 pub struct FftPipeConfig {
+    /// Rank count of the transpose.
     pub np: usize,
     /// Outer iterations (one full transpose each).
     pub iters: u64,
@@ -37,6 +38,8 @@ pub struct FftPipeConfig {
 }
 
 impl FftPipeConfig {
+    /// A pipelined transpose on `np` ranks, `iters` iterations, the
+    /// global exchange split into `tiles` tiles.
     pub fn new(np: usize, iters: u64, tiles: u32) -> Self {
         assert!(np >= 2, "transpose needs >=2 ranks");
         assert!(iters >= 1, "transpose needs >=1 iteration");

@@ -25,6 +25,7 @@ const TAG_HALO: u32 = 80;
 /// One irregular halo-exchange configuration.
 #[derive(Debug, Clone)]
 pub struct HaloConfig {
+    /// Rank count (graph vertices).
     pub np: usize,
     /// Outer iterations (one halo exchange each).
     pub iters: u64,
@@ -46,6 +47,8 @@ pub struct HaloConfig {
 }
 
 impl HaloConfig {
+    /// A halo exchange over the `(np, seed)` graph running `iters`
+    /// iterations.
     pub fn new(np: usize, iters: u64, seed: u64) -> Self {
         assert!(np >= 2, "halo exchange needs >=2 ranks");
         assert!(iters >= 1, "halo exchange needs >=1 iteration");
@@ -95,6 +98,16 @@ impl HaloConfig {
         adj
     }
 
+    /// The hub: the rank with the highest degree (lowest rank wins
+    /// ties). Killing it mid-run is the worst-case single fault for this
+    /// topology — its many partners all hold causal state about it.
+    pub fn hub(&self) -> usize {
+        let g = self.graph();
+        (0..self.np)
+            .max_by_key(|&r| (g[r].len(), std::cmp::Reverse(r)))
+            .unwrap_or(0)
+    }
+
     /// `(edge count, max degree, min degree)` of the generated graph.
     pub fn degree_stats(&self) -> (usize, usize, usize) {
         let g = self.graph();
@@ -131,6 +144,10 @@ impl Workload for HaloConfig {
 
     fn total_flops(&self) -> f64 {
         self.np as f64 * self.iters as f64 * self.flops_per_iter
+    }
+
+    fn hub_rank(&self) -> usize {
+        self.hub()
     }
 
     fn program(&self) -> WorkloadProgram {
@@ -211,6 +228,20 @@ mod tests {
             max_deg >= min_deg + 2,
             "hub construction should spread degrees: max={max_deg} min={min_deg}"
         );
+    }
+
+    #[test]
+    fn hub_is_the_highest_degree_rank() {
+        let cfg = HaloConfig::new(16, 4, 3);
+        let g = cfg.graph();
+        let hub = cfg.hub();
+        assert!((0..16).all(|r| g[r].len() <= g[hub].len()));
+        // Ties break toward the lowest rank.
+        let first_max = (0..16).find(|&r| g[r].len() == g[hub].len()).unwrap();
+        assert_eq!(hub, first_max);
+        assert_eq!(Workload::hub_rank(&cfg), hub);
+        // Preferential attachment pulls the hub toward the low ranks.
+        assert!(hub < 8, "hub {hub} landed in the low-weight half");
     }
 
     #[test]

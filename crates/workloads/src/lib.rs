@@ -2,7 +2,7 @@
 //!
 //! Every benchmark is an instance of one abstraction: the
 //! [`Workload`] trait (label, geometry rules, flop/state accounting,
-//! program construction) plus the [`registry`] enumerating all
+//! program construction) plus the [`registry()`] enumerating all
 //! registered configurations. The generic [`run_workload`] runner
 //! executes any workload under any protocol suite and extracts the
 //! shared metrics as a [`WorkloadRun`].
@@ -20,6 +20,8 @@
 //! * [`fft_pipe`] — a pipelined transpose/all-to-all FFT variant with
 //!   configurable tile sizes,
 //! * [`runner`] — fault-plan helpers shared by the figure harnesses.
+
+#![deny(missing_docs)]
 
 pub mod bursty;
 pub mod fft_pipe;

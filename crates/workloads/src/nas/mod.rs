@@ -12,7 +12,7 @@
 //! reference: *"CG presents heavy point-to-point latency driven
 //! communications; BT presents large point-to-point messages, and
 //! communications overlapped by computation; LU tests large number of
-//! large [sic] messages communications, FT presents all-to-all
+//! large \[sic\] messages communications, FT presents all-to-all
 //! communication pattern."*
 //!
 //! Every skeleton:
@@ -39,22 +39,31 @@ use crate::workload::{Workload, WorkloadProgram};
 pub enum Class {
     /// Tiny (sanity tests only).
     S,
+    /// The paper's measured class (Figures 7-9).
     A,
+    /// The largest class the paper cites.
     B,
 }
 
 /// The benchmarks the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NasBench {
+    /// Conjugate gradient: irregular sparse sendrecv pairs.
     CG,
+    /// Multigrid: nearest-neighbor V-cycles over a 3D grid.
     MG,
+    /// 3D FFT: global transposes (all-to-all).
     FT,
+    /// LU factorization: fine-grained pipelined wavefronts.
     LU,
+    /// Block tridiagonal solver on a square process grid.
     BT,
+    /// Scalar pentadiagonal solver on a square process grid.
     SP,
 }
 
 impl NasBench {
+    /// The kernel's canonical two-letter name.
     pub fn label(&self) -> &'static str {
         match self {
             NasBench::CG => "CG",
@@ -82,8 +91,11 @@ impl NasBench {
 /// One benchmark instance.
 #[derive(Debug, Clone)]
 pub struct NasConfig {
+    /// Which NPB kernel to run.
     pub bench: NasBench,
+    /// Problem class (grid size, iteration count, flop count).
     pub class: Class,
+    /// Rank count (must satisfy the kernel's geometry rules).
     pub np: usize,
     /// Fraction of the full iteration count to execute (documented
     /// scaling; flops scale along). 1.0 = the published iteration count.
@@ -93,6 +105,8 @@ pub struct NasConfig {
 }
 
 impl NasConfig {
+    /// A kernel instance at its default iteration fraction.
+    /// Panics when `np` violates the kernel's geometry rules.
     pub fn new(bench: NasBench, class: Class, np: usize) -> Self {
         assert!(bench.valid_np(np), "{bench:?} cannot run on {np} ranks");
         NasConfig {
@@ -104,6 +118,7 @@ impl NasConfig {
         }
     }
 
+    /// Runs the full published iteration count.
     pub fn full(mut self) -> Self {
         self.iter_fraction = 1.0;
         self

@@ -22,6 +22,7 @@ const TAG: u32 = 7;
 /// One measured point of the sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct NetpipePoint {
+    /// Message size of this sweep step, bytes.
     pub bytes: u64,
     /// Half round-trip time, microseconds (NetPIPE's "latency").
     pub latency_us: f64,
@@ -148,7 +149,9 @@ fn build(
 /// The NetPIPE sweep as a registered workload.
 #[derive(Debug, Clone)]
 pub struct NetpipeConfig {
+    /// Largest message size of the sweep (sizes ladder up to here).
     pub max_bytes: u64,
+    /// Repetition multiplier applied to every sweep size.
     pub rep_scale: f64,
     /// Offer a checkpoint before each size of the sweep (off for the
     /// Figure 6 measurements, on when run under fault injection).
@@ -172,6 +175,8 @@ impl NetpipeConfig {
         }
     }
 
+    /// Offers a checkpoint before each sweep size (required to
+    /// survive fault injection).
     pub fn with_checkpoints(mut self) -> Self {
         self.checkpoints = true;
         self

@@ -6,7 +6,7 @@
 //! and the determinism conformance suite proves each entry completes,
 //! survives an injected fault and reports byte-identically across sweep
 //! thread counts. Adding a workload family is: implement
-//! [`Workload`](crate::Workload), list configurations here, and every
+//! [`Workload`], list configurations here, and every
 //! downstream harness picks it up.
 
 use std::sync::Arc;
@@ -29,6 +29,13 @@ pub enum RegistryScale {
     Smoke,
     /// The spread the `workloads` bench sweeps by default.
     Default,
+    /// The scaled-regime spread of the `regimes` bench and `REPORT.md`:
+    /// higher rank counts everywhere, the multi-server bursty service,
+    /// larger seeded halo graphs, and the deep-tiling FFT ladder that
+    /// saturates the Event Logger. Every entry also backs a hub-failure
+    /// fault plan (see
+    /// [`faults::hub_failure`](crate::runner::faults::hub_failure)).
+    Large,
 }
 
 /// Enumerates every registered `(workload, np, params)` configuration
@@ -65,12 +72,39 @@ pub fn registry(scale: RegistryScale) -> Vec<Arc<dyn Workload>> {
             v.push(Arc::new(FftPipeConfig::new(8, 3, 1)));
             v.push(Arc::new(FftPipeConfig::new(8, 3, 8)));
         }
+        RegistryScale::Large => {
+            // NAS at 16 ranks: the paper's upper rank count.
+            v.push(Arc::new(NasConfig::new(NasBench::CG, Class::S, 16)));
+            v.push(Arc::new(NasConfig::new(NasBench::FT, Class::S, 16)));
+            v.push(Arc::new(
+                NetpipeConfig::new(64 << 10, 0.05).with_checkpoints(),
+            ));
+            // Multi-server bursty: clients hashed over server shards.
+            v.push(Arc::new(BurstyConfig::new(16, 5, 11).with_servers(4)));
+            v.push(Arc::new(BurstyConfig::new(24, 3, 11).with_servers(3)));
+            // Larger seeded irregular graphs with pronounced hubs.
+            v.push(Arc::new(HaloConfig::new(24, 5, 12)));
+            v.push(Arc::new(HaloConfig::new(32, 4, 12)));
+            // EL-saturation ladder: the same transpose at ever deeper
+            // tiling — message count multiplies, payloads shrink, the
+            // per-message determinant rate climbs.
+            v.push(Arc::new(FftPipeConfig::new(16, 2, 1)));
+            v.push(Arc::new(FftPipeConfig::new(16, 2, 8)));
+            v.push(Arc::new(FftPipeConfig::new(16, 2, 32)));
+        }
     }
     for w in &v {
         assert!(
             w.valid_np(w.np()),
             "registry entry {} mis-sized: np={} rejected by its own valid_np",
             w.label(),
+            w.np()
+        );
+        assert!(
+            w.hub_rank() < w.np(),
+            "registry entry {} names hub rank {} outside its {} ranks",
+            w.label(),
+            w.hub_rank(),
             w.np()
         );
     }
@@ -84,7 +118,11 @@ mod tests {
 
     #[test]
     fn every_family_is_registered_at_every_scale() {
-        for scale in [RegistryScale::Smoke, RegistryScale::Default] {
+        for scale in [
+            RegistryScale::Smoke,
+            RegistryScale::Default,
+            RegistryScale::Large,
+        ] {
             let fams: BTreeSet<&str> = registry(scale).iter().map(|w| w.family()).collect();
             for f in FAMILIES {
                 assert!(fams.contains(f), "family {f} missing at {scale:?}");
@@ -94,7 +132,11 @@ mod tests {
 
     #[test]
     fn labels_are_unique_within_a_scale() {
-        for scale in [RegistryScale::Smoke, RegistryScale::Default] {
+        for scale in [
+            RegistryScale::Smoke,
+            RegistryScale::Default,
+            RegistryScale::Large,
+        ] {
             let entries = registry(scale);
             let labels: BTreeSet<String> = entries.iter().map(|w| w.label()).collect();
             assert_eq!(labels.len(), entries.len(), "duplicate label at {scale:?}");
@@ -103,11 +145,35 @@ mod tests {
 
     #[test]
     fn registered_workloads_have_sane_metadata() {
-        for w in registry(RegistryScale::Default) {
-            assert!(w.np() >= 2, "{}", w.label());
-            assert!(w.state_bytes() > 0, "{}", w.label());
-            assert!(!w.label().is_empty());
-            assert!(FAMILIES.contains(&w.family()));
+        for scale in [RegistryScale::Default, RegistryScale::Large] {
+            for w in registry(scale) {
+                assert!(w.np() >= 2, "{}", w.label());
+                assert!(w.state_bytes() > 0, "{}", w.label());
+                assert!(!w.label().is_empty());
+                assert!(FAMILIES.contains(&w.family()));
+                assert!(w.hub_rank() < w.np(), "{}", w.label());
+            }
         }
+    }
+
+    #[test]
+    fn large_scale_raises_the_rank_counts() {
+        let large = registry(RegistryScale::Large);
+        let max_np = large.iter().map(|w| w.np()).max().unwrap();
+        assert!(max_np >= 32, "large registry tops out at {max_np} ranks");
+        // The multi-server bursty shape and the deep-tiling ladder are
+        // the whole point of the scale; make sure they stay registered.
+        assert!(large
+            .iter()
+            .any(|w| w.label().contains('s') && w.family() == "bursty" && w.hub_rank() < w.np()));
+        let fft_labels: Vec<String> = large
+            .iter()
+            .filter(|w| w.family() == "fft")
+            .map(|w| w.label())
+            .collect();
+        assert!(
+            fft_labels.iter().any(|l| l.ends_with(".t32")),
+            "deep-tiling entry missing: {fft_labels:?}"
+        );
     }
 }

@@ -10,10 +10,22 @@ use vlog_vmpi::FaultPlan;
 /// Fault plan helpers on top of [`FaultPlan`].
 pub mod faults {
     use super::*;
+    use crate::workload::Workload;
 
     /// Kill rank 0 halfway through an estimated makespan.
     pub fn kill_rank0_at(half_of: SimDuration) -> FaultPlan {
         FaultPlan::kill_at(half_of.mul_f64(0.5), 0)
+    }
+
+    /// Hub failure: kills the workload's most load-bearing rank
+    /// ([`Workload::hub_rank`]) at `t` — the highest-degree rank of a
+    /// halo graph, the busiest server of a bursty service, rank 0
+    /// elsewhere. The worst-case single fault for the topology: the
+    /// victim's many partners all hold causal state about it, so
+    /// recovery pulls determinants and replayed payloads from the widest
+    /// possible set of survivors.
+    pub fn hub_failure(workload: &dyn Workload, t: SimDuration) -> FaultPlan {
+        FaultPlan::kill_at(t, workload.hub_rank())
     }
 
     /// Periodic faults at `per_minute` faults per virtual minute, cycling
@@ -30,6 +42,17 @@ pub mod faults {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hub_failure_targets_the_workload_hub() {
+        let halo = crate::HaloConfig::new(16, 4, 3);
+        let plan = faults::hub_failure(&halo, SimDuration::from_millis(5));
+        assert_eq!(plan.faults, vec![(SimDuration::from_millis(5), halo.hub())]);
+        let bursty = crate::BurstyConfig::new(16, 4, 11).with_servers(4);
+        let plan = faults::hub_failure(&bursty, SimDuration::from_millis(5));
+        assert_eq!(plan.faults[0].1, bursty.busiest_server());
+        assert!(plan.faults[0].1 < 4, "hub must be a server rank");
+    }
 
     #[test]
     fn periodic_fault_plan_spacing() {

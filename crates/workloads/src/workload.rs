@@ -11,7 +11,7 @@
 //! The point of the indirection is that nothing downstream — figure
 //! harnesses, the determinism suite, the `workloads` sweep bench —
 //! names a concrete benchmark: they iterate the
-//! [registry](crate::registry) and treat NAS, NetPIPE, the bursty
+//! [registry](crate::registry()) and treat NAS, NetPIPE, the bursty
 //! request/reply service, the irregular halo exchange and the pipelined
 //! FFT transpose identically.
 
@@ -50,6 +50,17 @@ pub trait Workload: Send + Sync {
     /// Mflop/s is not a meaningful metric (NetPIPE measures latency).
     fn total_flops(&self) -> f64;
 
+    /// The rank whose failure stresses recovery hardest — the target of
+    /// hub-failure fault plans (see
+    /// [`faults::hub_failure`](crate::runner::faults::hub_failure)).
+    ///
+    /// Defaults to rank 0; families with a structurally load-bearing
+    /// rank override it (the halo exchange returns its highest-degree
+    /// rank, the bursty service its busiest server).
+    fn hub_rank(&self) -> usize {
+        0
+    }
+
     /// Builds the runnable program (and, optionally, a post-run metric
     /// probe). Called once per cluster run, so any harness-side
     /// collector the program writes into is private to that run —
@@ -63,6 +74,7 @@ pub type MetricProbe = Box<dyn FnOnce(&RunReport) -> Vec<(&'static str, f64)> + 
 /// A built program plus an optional metric probe reading the collectors
 /// the program's ranks write into (e.g. NetPIPE's measured points).
 pub struct WorkloadProgram {
+    /// The runnable per-rank program.
     pub spec: AppSpec,
     probe: Option<MetricProbe>,
 }

@@ -14,6 +14,7 @@ use vlog_sim::SimDuration;
 use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
 };
+use vlog_workloads::runner::faults;
 use vlog_workloads::{registry, run_workload, RegistryScale, Workload};
 
 const N: usize = 3;
@@ -231,6 +232,72 @@ fn registered_workloads_survive_faults_on_every_suite_deterministically() {
         assert_eq!(
             sequential, sharded,
             "registry sweep on {threads} threads diverged from the 1-thread sweep"
+        );
+    }
+}
+
+/// Scaled-regime conformance: every `Scale::Large` registry entry —
+/// multi-server bursty, the large seeded halo graphs, the deep-tiling
+/// FFT ladder, NAS and NetPIPE at 16 ranks — under every one of the
+/// eight suite configurations, with a **hub-failure** fault plan (the
+/// workload's most load-bearing rank killed mid-run: the highest-degree
+/// halo rank, the busiest bursty server). Every cell must complete
+/// through the fault and the whole sweep must report byte-identically
+/// on 1, 2 and 4 `run_many` threads — the contract the `regimes` bench
+/// and the committed `REPORT.md` rely on.
+#[test]
+fn large_registry_survives_hub_failures_on_every_suite_deterministically() {
+    let workloads = registry(RegistryScale::Large);
+    let jobs: Vec<(Arc<dyn Workload>, usize)> = workloads
+        .iter()
+        .flat_map(|w| (0..8usize).map(move |idx| (w.clone(), idx)))
+        .collect();
+    let runner = |(w, idx): (Arc<dyn Workload>, usize)| {
+        let kind = SuiteKind::all_eight()[idx];
+        let mut cfg = ClusterConfig::new(w.np());
+        cfg.detect_delay = SimDuration::from_millis(8);
+        cfg.event_limit = Some(50_000_000);
+        let plan = faults::hub_failure(w.as_ref(), SimDuration::from_millis(5));
+        assert_eq!(
+            plan.faults,
+            vec![(SimDuration::from_millis(5), w.hub_rank())]
+        );
+        let run = run_workload(
+            w.as_ref(),
+            &cfg,
+            kind.build(SimDuration::from_millis(6)),
+            &plan,
+        );
+        assert!(
+            run.report.completed,
+            "{} under {} did not recover from its hub failure (rank {})",
+            run.label,
+            kind.label(),
+            w.hub_rank()
+        );
+        if kind.is_causal() {
+            assert!(
+                run.report.stats.bytes.piggyback > 0,
+                "{} under {} moved no piggyback bytes",
+                run.label,
+                kind.label()
+            );
+        }
+        format!(
+            "workload={} hub={} extra={:?} {}",
+            run.label,
+            w.hub_rank(),
+            run.extra,
+            fingerprint(&run.report)
+        )
+    };
+    let sequential = run_many(jobs.clone(), 1, runner);
+    for threads in [2usize, 4] {
+        let sharded = run_many(jobs.clone(), threads, runner);
+        assert_eq!(
+            sequential, sharded,
+            "large-registry hub-failure sweep on {threads} threads diverged \
+             from the 1-thread sweep"
         );
     }
 }

@@ -1,0 +1,63 @@
+//! Regression: messages arriving in the *restart window* — after a
+//! crashed rank's replacement daemon comes alive but before its
+//! checkpoint image has been fetched — must not thread through the
+//! not-yet-recovering protocol.
+//!
+//! Before the fix, such messages were accepted normally: they advanced
+//! the channel watermarks the victim was about to send as its payload
+//! reclaims, and consumed deliveries its replay was about to wait for.
+//! Survivors then re-sent nothing (the corrupted watermarks said the
+//! victim already had everything) and the replay waited forever for a
+//! supply that could no longer arrive — a permanent recovery stall.
+//!
+//! FT's all-to-all at 8+ ranks reproduces this deterministically: at
+//! the kill time several transposes are mid-flight, so the replacement
+//! daemon always sees traffic before its image fetch returns.
+
+use std::sync::Arc;
+
+use vlog_core::{CausalSuite, PessimisticSuite, Technique};
+use vlog_sim::SimDuration;
+use vlog_vmpi::{ClusterConfig, FaultPlan, Suite};
+use vlog_workloads::{run_workload, Class, NasBench, NasConfig};
+
+fn run_ft8(suite: Arc<dyn Suite>, victim: usize) {
+    let ft8 = NasConfig::new(NasBench::FT, Class::S, 8);
+    let mut cfg = ClusterConfig::new(8);
+    cfg.detect_delay = SimDuration::from_millis(8);
+    cfg.event_limit = Some(50_000_000);
+    let plan = FaultPlan::kill_at(SimDuration::from_millis(5), victim);
+    let run = run_workload(&ft8, &cfg, suite, &plan);
+    assert!(
+        run.report.completed,
+        "FT.S/8 did not recover from killing rank {victim} under {}",
+        run.report.suite
+    );
+    let rs = &run.report.rank_stats[victim];
+    assert_eq!(
+        rs.recovery_total.len(),
+        1,
+        "rank {victim} never finished its replay: {rs:?}"
+    );
+}
+
+#[test]
+fn ft8_recovers_through_the_restart_window_causal_el() {
+    for victim in [0, 1] {
+        run_ft8(
+            Arc::new(
+                CausalSuite::new(Technique::Vcausal, true)
+                    .with_checkpoints(SimDuration::from_millis(6)),
+            ),
+            victim,
+        );
+    }
+}
+
+#[test]
+fn ft8_recovers_through_the_restart_window_pessimistic() {
+    run_ft8(
+        Arc::new(PessimisticSuite::new().with_checkpoints(SimDuration::from_millis(6))),
+        1,
+    );
+}
