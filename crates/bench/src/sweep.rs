@@ -16,38 +16,17 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Why a `VLOG_THREADS` override was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ThreadsOverrideError {
-    /// `VLOG_THREADS=0` would spawn no workers and hang every sweep.
-    Zero,
-    /// The value did not parse as an unsigned integer.
-    NotANumber(String),
-}
-
-impl std::fmt::Display for ThreadsOverrideError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ThreadsOverrideError::Zero => {
-                write!(f, "0 threads would run no jobs")
-            }
-            ThreadsOverrideError::NotANumber(raw) => {
-                write!(f, "{raw:?} is not an unsigned integer")
-            }
-        }
-    }
-}
+/// Why a `VLOG_THREADS` override was rejected. An alias of the shared
+/// [`vlog_sim::env_knob::KnobError`]: every `VLOG_*` knob in the
+/// workspace rejects (and warns about) the same two failure modes.
+pub use vlog_sim::env_knob::KnobError as ThreadsOverrideError;
 
 /// Parses a `VLOG_THREADS` override. Pure so both failure modes are unit
 /// testable without touching the (process-global, race-prone)
-/// environment.
+/// environment. `0` is rejected because a zero-worker pool would leave
+/// every job unclaimed forever.
 pub fn parse_threads_override(raw: &str) -> Result<usize, ThreadsOverrideError> {
-    let trimmed = raw.trim();
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(ThreadsOverrideError::Zero),
-        Ok(n) => Ok(n),
-        Err(_) => Err(ThreadsOverrideError::NotANumber(raw.to_string())),
-    }
+    vlog_sim::env_knob::parse_positive(raw).map(|n| n as usize)
 }
 
 fn hardware_threads() -> usize {
@@ -59,23 +38,11 @@ fn hardware_threads() -> usize {
 /// Number of worker threads to use for a sweep: `VLOG_THREADS` if set to
 /// a positive integer, otherwise the machine's available parallelism (at
 /// least 1). A malformed or zero override is *not* silently absorbed: it
-/// falls back with a warning on stderr, so a typo'd CI variable shows up
-/// in the logs instead of as a mysteriously sequential (or hung) sweep.
+/// falls back with a warning on stderr (the shared
+/// [`vlog_sim::env_knob`] contract), so a typo'd CI variable shows up in
+/// the logs instead of as a mysteriously sequential (or hung) sweep.
 pub fn default_threads() -> usize {
-    match std::env::var("VLOG_THREADS") {
-        Err(_) => hardware_threads(),
-        Ok(raw) => match parse_threads_override(&raw) {
-            Ok(n) => n,
-            Err(e) => {
-                let fallback = hardware_threads();
-                eprintln!(
-                    "warning: ignoring VLOG_THREADS={raw:?} ({e}); \
-                     falling back to {fallback} worker thread(s)"
-                );
-                fallback
-            }
-        },
-    }
+    vlog_sim::env_knob::positive_usize_or_else("VLOG_THREADS", hardware_threads)
 }
 
 /// Runs `f` over every job on `threads` worker threads and returns the

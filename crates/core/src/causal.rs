@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd, SendGate,
-    SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RecvGate,
+    SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::costs::CausalCosts;
@@ -184,6 +184,7 @@ impl CausalProtocol {
                     reply_to: me,
                 }),
             );
+            ctx.phase_boundary(ProtoPhase::DeterminantShipped);
         }
     }
 
@@ -428,6 +429,7 @@ impl CausalProtocol {
                     SimDuration::from_nanos(self.costs.el_ack_ns),
                 );
                 self.apply_stable_vec(&stable);
+                ctx.phase_boundary(ProtoPhase::AckReceived);
             }
             ElReply::QueryResp { dets, stable } => {
                 self.apply_stable_vec(&stable);

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, RClock, Rank, RecvGate, SchedulerCmd, SendGate,
-    SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RecvGate,
+    SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::causal::CausalCtl;
@@ -113,6 +113,7 @@ impl PessimisticProtocol {
                 reply_to: me,
             }),
         );
+        ctx.phase_boundary(ProtoPhase::DeterminantShipped);
     }
 
     fn send_recovery_requests(&mut self, ctx: &mut Ctx<'_>) {
@@ -316,6 +317,7 @@ impl VProtocol for PessimisticProtocol {
                         if self.stable_own > prev && self.stable_own >= self.rclock {
                             ctx.core.release_held();
                         }
+                        ctx.phase_boundary(ProtoPhase::AckReceived);
                     }
                     ElReply::QueryResp { dets, stable } => {
                         self.stable_own = self.stable_own.max(stable[self.rank]);

@@ -166,11 +166,25 @@ impl Suite for PessimisticSuite {
 pub struct CoordinatedSuite {
     /// Global snapshot period.
     pub period: SimDuration,
+    /// Test hook: build protocols with the marker-storm bug re-introduced
+    /// (see [`CoordinatedProtocol::with_storm_bug`]).
+    pub storm_bug: bool,
 }
 
 impl CoordinatedSuite {
     pub fn new(period: SimDuration) -> Self {
-        CoordinatedSuite { period }
+        CoordinatedSuite {
+            period,
+            storm_bug: false,
+        }
+    }
+
+    /// Re-introduces the marker-storm bug in every rank's protocol, so
+    /// the schedule explorer's self-test can prove its message-ceiling
+    /// invariant catches the storm. Never use outside tests.
+    pub fn with_storm_bug(mut self) -> Self {
+        self.storm_bug = true;
+        self
     }
 }
 
@@ -196,7 +210,13 @@ impl Suite for CoordinatedSuite {
         topo: &Topology,
         _stats: SharedRankStats,
     ) -> Box<dyn VProtocol> {
-        Box::new(CoordinatedProtocol::new(rank, topo.n_ranks()))
+        let proto = CoordinatedProtocol::new(rank, topo.n_ranks());
+        let proto = if self.storm_bug {
+            proto.with_storm_bug()
+        } else {
+            proto
+        };
+        Box::new(proto)
     }
 
     fn recovery_style(&self) -> RecoveryStyle {

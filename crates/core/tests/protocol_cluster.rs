@@ -199,6 +199,7 @@ fn two_sequential_faults_are_survived() {
             (SimDuration::from_millis(6), 0),
             (SimDuration::from_millis(25), 2),
         ],
+        ..FaultPlan::default()
     };
     let report = run_cluster(&c, suite, ring_program(250), &faults);
     assert!(report.completed, "second fault broke the run");

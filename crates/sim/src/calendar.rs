@@ -225,6 +225,16 @@ impl<T> EventCalendar<T> {
         EventKey { idx, gen }
     }
 
+    /// The `(time, seq)` dispatch position of a pending live entry, or
+    /// `None` for a stale key (popped, cancelled, or detached). The
+    /// schedule-policy seam uses this to hand a policy the authoritative
+    /// dispatch position of an event it just deferred.
+    pub fn position_of(&self, key: EventKey) -> Option<(SimTime, u64)> {
+        let slot = self.slots.get(key.idx as usize)?;
+        (slot.gen == key.gen && slot.payload.is_some() && !slot.tombstone)
+            .then(|| (slot.time, slot.seq))
+    }
+
     /// Cancels a pending event: the payload is freed immediately and the
     /// event will never be observed by `pop` (the arena slot is recycled
     /// once its container releases the tombstone). Returns the payload,

@@ -1,0 +1,176 @@
+//! Structural first-divergence diff for determinism fingerprints.
+//!
+//! The determinism suites and the schedule explorer compare *large*
+//! one-line report fingerprints (kernel counters, per-rank protocol
+//! stats). A plain `assert_eq!` on mismatch dumps both multi-kilobyte
+//! strings, burying the one field that differs. [`first_divergence`]
+//! instead locates the first differing position and renders a short
+//! context window around it from both sides, so a CI log shows *what*
+//! diverged at a glance.
+
+/// Largest number of characters shown on each side of the divergence
+/// point.
+const CONTEXT: usize = 64;
+
+/// Clamps `i` down to a UTF-8 character boundary of `s`.
+fn floor_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Clamps `i` up to a UTF-8 character boundary of `s`.
+fn ceil_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+/// A `±CONTEXT`-character window of `s` around byte offset `at`, with
+/// ellipses marking elided prefix/suffix.
+fn window(s: &str, at: usize) -> String {
+    let start = floor_boundary(s, at.saturating_sub(CONTEXT));
+    let end = ceil_boundary(s, at.saturating_add(CONTEXT));
+    format!(
+        "{}{}{}",
+        if start > 0 { "…" } else { "" },
+        &s[start..end],
+        if end < s.len() { "…" } else { "" },
+    )
+}
+
+/// Describes the first position at which `a` and `b` differ — line,
+/// column and a context window from each side — or `None` when they are
+/// identical. Works for one-line fingerprints (column-addressed) and
+/// multi-line reports (line-addressed) alike.
+pub fn first_divergence(a: &str, b: &str) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    // First differing byte, clamped to a char boundary for slicing.
+    let i = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    let at = floor_boundary(a, floor_boundary(b, i));
+    let line = a[..at].matches('\n').count() + 1;
+    let col = at - a[..at].rfind('\n').map_or(0, |p| p + 1) + 1;
+    Some(format!(
+        "first divergence at line {line}, col {col} (byte {at}; \
+         left {} bytes, right {} bytes):\n  left:  {}\n  right: {}",
+        a.len(),
+        b.len(),
+        window(a, at),
+        window(b, at),
+    ))
+}
+
+/// First divergence across two report *sequences* (e.g. the job-ordered
+/// fingerprint vectors two sweeps produced): names the first differing
+/// element, then drills into it with [`first_divergence`]. `None` when
+/// the sequences are identical.
+pub fn first_report_divergence(a: &[String], b: &[String]) -> Option<String> {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if let Some(d) = first_divergence(x, y) {
+            return Some(format!(
+                "report {i} of {} differs; {d}",
+                a.len().min(b.len())
+            ));
+        }
+    }
+    if a.len() != b.len() {
+        return Some(format!(
+            "report counts differ: left has {}, right has {} \
+             (first {} reports are identical)",
+            a.len(),
+            b.len(),
+            a.len().min(b.len()),
+        ));
+    }
+    None
+}
+
+/// Panics with a focused [`first_report_divergence`] message when the
+/// two report sequences differ; the determinism suites call this in
+/// place of a raw `assert_eq!` dump.
+#[track_caller]
+pub fn assert_reports_identical(label: &str, a: &[String], b: &[String]) {
+    if let Some(d) = first_report_divergence(a, b) {
+        panic!("{label}: {d}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_no_divergence() {
+        assert_eq!(first_divergence("abc", "abc"), None);
+        assert_eq!(first_report_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn divergence_points_at_the_first_differing_field() {
+        let a = "suite=causal completed=true events=100 stats=ok";
+        let b = "suite=causal completed=true events=101 stats=ok";
+        let d = first_divergence(a, b).unwrap();
+        assert!(d.contains("col 38"), "{d}");
+        assert!(d.contains("events=100"), "{d}");
+        assert!(d.contains("events=101"), "{d}");
+    }
+
+    #[test]
+    fn long_fingerprints_are_windowed_not_dumped() {
+        let a = format!("{}X{}", "a".repeat(500), "b".repeat(500));
+        let b = format!("{}Y{}", "a".repeat(500), "b".repeat(500));
+        let d = first_divergence(&a, &b).unwrap();
+        assert!(d.len() < 500, "context must stay short: {} bytes", d.len());
+        assert!(d.contains('…'), "{d}");
+        assert!(d.contains("byte 500"), "{d}");
+    }
+
+    #[test]
+    fn prefix_relationship_is_reported() {
+        let d = first_divergence("abc", "abcdef").unwrap();
+        assert!(d.contains("left 3 bytes, right 6 bytes"), "{d}");
+    }
+
+    #[test]
+    fn multiline_divergence_is_line_addressed() {
+        let a = "one\ntwo\nthree";
+        let b = "one\ntwVo\nthree";
+        let d = first_divergence(a, b).unwrap();
+        assert!(d.contains("line 2, col 3"), "{d}");
+    }
+
+    #[test]
+    fn report_vectors_name_the_differing_element() {
+        let a = vec!["same".to_string(), "left".to_string()];
+        let b = vec!["same".to_string(), "right".to_string()];
+        let d = first_report_divergence(&a, &b).unwrap();
+        assert!(d.starts_with("report 1 of 2"), "{d}");
+        let short = vec!["same".to_string()];
+        let d = first_report_divergence(&a, &short).unwrap();
+        assert!(d.contains("report counts differ"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism: report 0")]
+    fn assert_helper_panics_with_context() {
+        assert_reports_identical("determinism", &["a".to_string()], &["b".to_string()]);
+    }
+
+    #[test]
+    fn utf8_divergence_stays_on_char_boundaries() {
+        let a = "makespan=4.096µs events=10";
+        let b = "makespan=4.096µs events=11";
+        let d = first_divergence(a, b).unwrap();
+        assert!(d.contains("events=10"), "{d}");
+    }
+}

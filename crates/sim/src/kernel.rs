@@ -42,6 +42,7 @@ use rand::SeedableRng;
 use crate::calendar::{EventCalendar, EventKey};
 use crate::exec::{noop_waker, ExecHandle, ExecShared, SharedExec, TaskId, TaskSlot};
 use crate::net::{EthernetParams, Network, WireSize};
+use crate::schedule::{EventInfo, EventKind, PopDecision, SchedulePolicy};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 
@@ -167,6 +168,9 @@ pub struct Sim {
     stop: bool,
     events_processed: u64,
     event_limit: Option<u64>,
+    /// Optional schedule-exploration seam; `None` is the untouched fast
+    /// path (see [`crate::schedule`]).
+    policy: Option<Box<dyn SchedulePolicy>>,
 }
 
 impl Sim {
@@ -192,7 +196,15 @@ impl Sim {
             stop: false,
             events_processed: 0,
             event_limit: cfg.event_limit,
+            policy: None,
         }
+    }
+
+    /// Installs a [`SchedulePolicy`] consulted for every payload-carrying
+    /// event before dispatch. With no policy (the default) the pop path
+    /// is untouched; [`crate::schedule::Fifo`] is byte-identical to it.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = Some(policy);
     }
 
     // ------------------------------------------------------------------
@@ -598,8 +610,49 @@ impl Sim {
                 self.exec.lock().unwrap().now = deadline;
                 return false;
             }
-            let (time, _seq, key, event) = self.calendar.pop().unwrap();
+            let (time, seq, key, event) = self.calendar.pop().unwrap();
             debug_assert!(time >= self.now);
+            // The schedule-policy seam: a policy may defer a live event,
+            // which re-inserts it at `time + delta` with a fresh (highest)
+            // sequence number — behind its same-time peers for delta 0 —
+            // without advancing the clock or the event counter. Detached
+            // (None-payload) slots are never offered to the policy.
+            let event = match event {
+                Some(ev) if self.policy.is_some() => {
+                    let info = EventInfo {
+                        time,
+                        seq,
+                        kind: EventKind::of(&ev),
+                    };
+                    match self.policy.as_mut().unwrap().on_pop(&info) {
+                        PopDecision::Dispatch => Some(ev),
+                        PopDecision::Defer { delta } => {
+                            let timer_actor = match &ev {
+                                Event::Timer { actor, .. } => Some(*actor),
+                                _ => None,
+                            };
+                            let new_key = self.schedule_at(time + delta, ev);
+                            // Keep cancellable-timer bookkeeping pointing
+                            // at the live calendar entry.
+                            if let Some(actor) = timer_actor {
+                                let timers = &mut self.actors[actor].timers;
+                                if let Some(pos) = timers.iter().position(|k| *k == key) {
+                                    timers[pos] = new_key;
+                                }
+                            }
+                            // Hand the policy the authoritative dispatch
+                            // position of the deferred instance, so it can
+                            // recognize the re-offer exactly (FIFO
+                            // bookkeeping in ScriptPolicy).
+                            let (new_time, new_seq) =
+                                self.calendar.position_of(new_key).expect("just scheduled");
+                            self.policy.as_mut().unwrap().on_deferred(new_time, new_seq);
+                            continue;
+                        }
+                    }
+                }
+                other => other,
+            };
             self.now = time;
             self.exec.lock().unwrap().now = time;
             // A detached event (None payload) still advances the clock

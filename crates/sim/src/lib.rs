@@ -18,7 +18,12 @@
 //! * a **switched-Ethernet network model** with full-duplex per-NIC
 //!   contention and cut-through frame pipelining ([`net`]),
 //! * **fault injection** (node crash / restart events),
-//! * byte/time **statistics** used by the benchmark harnesses ([`stats`]).
+//! * a pluggable **schedule policy** seam at the calendar pop site for
+//!   schedule exploration — same-time reorders, bounded latency
+//!   injection, replayable decision traces ([`schedule`]),
+//! * byte/time **statistics** used by the benchmark harnesses ([`stats`]),
+//! * shared harness utilities: centralized `VLOG_*` env-knob parsing
+//!   ([`env_knob`]) and first-divergence report diffing ([`diff`]).
 //!
 //! Everything is deterministic: the queue is ordered by `(time, sequence)`,
 //! randomness comes from one seeded RNG, and there is exactly one OS thread.
@@ -45,9 +50,12 @@
 //! ```
 
 pub mod calendar;
+pub mod diff;
+pub mod env_knob;
 pub mod exec;
 pub mod kernel;
 pub mod net;
+pub mod schedule;
 pub mod stats;
 pub mod time;
 
@@ -55,5 +63,8 @@ pub use calendar::{EventCalendar, EventKey};
 pub use exec::{ExecHandle, OpCell, TaskId};
 pub use kernel::{Actor, ActorId, Delivery, Event, NodeId, Sim, SimConfig, TimerHandle};
 pub use net::{EthernetParams, Network, WireSize};
+pub use schedule::{
+    AppliedTrace, Decision, EventInfo, EventKind, Fifo, PopDecision, SchedulePolicy, ScriptPolicy,
+};
 pub use stats::{MsgHistogram, Stats};
 pub use time::{SimDuration, SimTime};

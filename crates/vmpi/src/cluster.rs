@@ -17,14 +17,22 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use vlog_sim::{EthernetParams, Event, Sim, SimConfig, SimDuration, SimTime, Stats};
+use vlog_sim::{
+    EthernetParams, Event, SchedulePolicy, Sim, SimConfig, SimDuration, SimTime, Stats,
+};
 
 use crate::ckpt::CkptServer;
 use crate::cost::StackProfile;
 use crate::daemon::{AppSpec, BootMode, Vdaemon, TOKEN_BOOT};
 use crate::dispatcher::{Dispatcher, DispatcherMsg, RelaunchFn};
 use crate::hooks::{RankStats, SharedRankStats, Suite, Topology};
+use crate::phase::{PhaseFault, PhaseFaultArmature, ProtoPhase};
 use crate::types::Rank;
+
+/// Factory for the kernel [`SchedulePolicy`] a run installs. A factory
+/// rather than a policy because [`ClusterConfig`] is `Clone` and a
+/// policy is stateful per run.
+pub type SchedulePolicyFactory = Arc<dyn Fn() -> Box<dyn SchedulePolicy> + Send + Sync>;
 
 /// Static description of one run.
 #[derive(Clone)]
@@ -46,6 +54,17 @@ pub struct ClusterConfig {
     pub time_limit: Option<SimDuration>,
     /// Delay between a crash and the dispatcher learning about it.
     pub detect_delay: SimDuration,
+    /// Kernel schedule policy installed on the run's simulation (schedule
+    /// exploration); `None` — the default — is exact FIFO dispatch.
+    pub schedule_policy: Option<SchedulePolicyFactory>,
+    /// Test hook (a runtime `buggy` flag, never set outside tests):
+    /// re-introduces the restart-window bug — application messages
+    /// arriving after a replacement daemon boots but before its
+    /// checkpoint image is fetched thread straight through the
+    /// not-yet-restored channel watermarks, which can stall recovery
+    /// forever. Exists so the schedule explorer's self-test can prove
+    /// the harness *finds* the bug.
+    pub buggy_restart_window: bool,
 }
 
 impl ClusterConfig {
@@ -59,6 +78,8 @@ impl ClusterConfig {
             event_limit: None,
             time_limit: None,
             detect_delay: SimDuration::from_millis(100),
+            schedule_policy: None,
+            buggy_restart_window: false,
         }
     }
 
@@ -76,11 +97,14 @@ impl ClusterConfig {
     }
 }
 
-/// A schedule of fail-stop faults.
+/// A schedule of fail-stop faults: timed crashes and/or crashes armed on
+/// protocol-phase boundaries (see [`crate::phase`]).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// `(virtual time, rank)` crash events.
     pub faults: Vec<(SimDuration, Rank)>,
+    /// Crashes armed on protocol-phase boundaries.
+    pub phase_faults: Vec<PhaseFault>,
 }
 
 impl FaultPlan {
@@ -92,6 +116,15 @@ impl FaultPlan {
     pub fn kill_at(t: SimDuration, rank: Rank) -> Self {
         FaultPlan {
             faults: vec![(t, rank)],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// One crash of `rank` the `nth` time (1-based) it crosses `phase`.
+    pub fn kill_at_phase(phase: ProtoPhase, rank: Rank, nth: u64) -> Self {
+        FaultPlan {
+            phase_faults: vec![PhaseFault { phase, rank, nth }],
+            ..FaultPlan::default()
         }
     }
 
@@ -103,9 +136,15 @@ impl FaultPlan {
         self
     }
 
+    /// Adds one more phase-armed crash to the schedule (builder form).
+    pub fn then_kill_at_phase(mut self, phase: ProtoPhase, rank: Rank, nth: u64) -> Self {
+        self.phase_faults.push(PhaseFault { phase, rank, nth });
+        self
+    }
+
     /// True when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.phase_faults.is_empty()
     }
 
     /// Periodic crashes: one fault every `period` starting at `start`,
@@ -119,7 +158,10 @@ impl FaultPlan {
             r = (r + 1) % n;
             t += period;
         }
-        FaultPlan { faults }
+        FaultPlan {
+            faults,
+            ..FaultPlan::default()
+        }
     }
 }
 
@@ -237,7 +279,11 @@ impl ClusterRun {
             net: cfg.net.clone(),
             event_limit: cfg.event_limit,
         });
+        if let Some(factory) = &cfg.schedule_policy {
+            sim.set_schedule_policy(factory());
+        }
         let topo = Topology::new();
+        topo.set_buggy_restart_window(cfg.buggy_restart_window);
         let n = cfg.ranks;
         let profile = Arc::new(cfg.profile.clone());
 
@@ -339,6 +385,15 @@ impl ClusterRun {
         );
         let disp_id = sim.add_actor(stable_a, Box::new(dispatcher));
         topo.set_dispatcher(disp_id, stable_a);
+
+        // Phase-armed faults: the armature is shared with every daemon
+        // through the topology; it needs the dispatcher's address (which
+        // now exists) to route the crash notification.
+        if !faults.phase_faults.is_empty() {
+            let arm = PhaseFaultArmature::new(faults.phase_faults.clone());
+            arm.wire(disp_id, stable_a, cfg.detect_delay, rank_nodes.clone());
+            topo.set_phase_faults(arm);
+        }
 
         // Fault plan: crash now, notify the dispatcher after the detection
         // delay.

@@ -36,6 +36,7 @@ use crate::api::Mpi;
 use crate::ckpt::{CkptReply, CkptRequest, Image, ImageProto, StoredMsg};
 use crate::cost::StackProfile;
 use crate::hooks::{Ctx, ProtoBlob, RecvGate, SendGate, SharedRankStats, Topology, VProtocol};
+use crate::phase::ProtoPhase;
 use crate::pipe::{AppRequest, PipeBox, SharedPipe};
 use crate::types::{
     AppMsg, DaemonMsg, Payload, PiggybackBlob, Rank, RecvMsg, RecvSelector, Ssn, Tag,
@@ -357,6 +358,15 @@ impl DaemonCore {
         sim.cancel_timer(handle)
     }
 
+    /// Reports that this rank crossed a protocol-phase boundary; a
+    /// matching armed [`crate::PhaseFault`] crashes the rank here. No-op
+    /// (beyond one mutex lock) when no armature is armed.
+    pub fn phase_boundary(&self, sim: &mut Sim, phase: ProtoPhase) {
+        if let Some(arm) = self.topo.phase_faults() {
+            arm.crossed(sim, self.rank, phase);
+        }
+    }
+
     // ---- internal helpers -------------------------------------------
 
     fn spawn_app(&mut self, sim: &mut Sim, restored: Option<Bytes>) {
@@ -580,6 +590,10 @@ impl Vdaemon {
             self.proto.on_restart(&mut ctx, blob);
         }
         self.core.spawn_app(sim, restored);
+        // The restored image (or scratch state) is in place: the
+        // ImageFetched boundary. Faults armed here model a crash during
+        // recovery (a double fault from the protocol's point of view).
+        self.core.phase_boundary(sim, ProtoPhase::ImageFetched);
         // Re-feed everything that arrived during the restart window, in
         // arrival order, now that the restored watermarks and the
         // protocol's recovery state exist: replay supplies land in the
@@ -916,11 +930,16 @@ impl Vdaemon {
     fn handle_daemon_msg(&mut self, sim: &mut Sim, msg: DaemonMsg) {
         match msg {
             DaemonMsg::App(m) => {
-                if self.core.recovering && self.core.app_task.is_none() {
+                if self.core.recovering
+                    && self.core.app_task.is_none()
+                    && !self.core.topo.buggy_restart_window()
+                {
                     // Restart window: the checkpoint image is still being
                     // fetched, so the restored channel watermarks do not
                     // exist yet. Park the message; `finish_restart`
                     // re-feeds it through the full acceptance path.
+                    // (`buggy_restart_window` re-opens the pre-fix stall
+                    // for the schedule explorer's self-test.)
                     self.pre_restart.push_back(m);
                 } else {
                     self.handle_app_msg(sim, m)

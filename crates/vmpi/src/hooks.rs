@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use vlog_sim::{ActorId, NodeId, Sim, SimDuration, SimTime};
 
 use crate::daemon::DaemonCore;
+use crate::phase::{PhaseFaultArmature, ProtoPhase};
 use crate::types::{AppMsg, Payload, PiggybackBlob, Rank, Ssn};
 
 /// Where everything lives. Filled by the cluster builder before the
@@ -41,6 +42,13 @@ struct TopoInner {
     els: Vec<(ActorId, NodeId)>,
     ckpt_server: Option<(ActorId, NodeId)>,
     dispatcher: Option<(ActorId, NodeId)>,
+    /// Phase-triggered fault injection, armed by the cluster builder when
+    /// the fault plan carries [`crate::PhaseFault`]s (`None` otherwise —
+    /// the common case, so boundary reports stay a cheap no-op).
+    phase_faults: Option<Arc<PhaseFaultArmature>>,
+    /// Test hook: re-introduces the PR-5 restart-window bug (see
+    /// [`crate::ClusterConfig::buggy_restart_window`]).
+    buggy_restart_window: bool,
 }
 
 impl Topology {
@@ -110,6 +118,26 @@ impl Topology {
     pub fn dispatcher(&self) -> Option<(ActorId, NodeId)> {
         self.inner.lock().unwrap().dispatcher
     }
+
+    /// Arms phase-triggered fault injection (cluster builder only).
+    pub fn set_phase_faults(&self, arm: Arc<PhaseFaultArmature>) {
+        self.inner.lock().unwrap().phase_faults = Some(arm);
+    }
+
+    /// The armed phase-fault armature, if any.
+    pub fn phase_faults(&self) -> Option<Arc<PhaseFaultArmature>> {
+        self.inner.lock().unwrap().phase_faults.clone()
+    }
+
+    /// Enables the restart-window test bug (cluster builder only).
+    pub fn set_buggy_restart_window(&self, on: bool) {
+        self.inner.lock().unwrap().buggy_restart_window = on;
+    }
+
+    /// Whether the restart-window test bug is enabled.
+    pub fn buggy_restart_window(&self) -> bool {
+        self.inner.lock().unwrap().buggy_restart_window
+    }
 }
 
 /// Context handed to every hook: the simulation kernel plus the generic
@@ -130,6 +158,14 @@ impl Ctx<'_> {
 
     pub fn n_ranks(&self) -> usize {
         self.core.n_ranks()
+    }
+
+    /// Reports that this rank just crossed `phase`. Protocols call this
+    /// at their enumerated boundaries (marker broadcast, determinant
+    /// shipment, EL ack); an armed [`crate::PhaseFault`] matching the
+    /// crossing schedules the crash. No-op when no armature is armed.
+    pub fn phase_boundary(&mut self, phase: ProtoPhase) {
+        self.core.phase_boundary(self.sim, phase);
     }
 }
 

@@ -37,13 +37,16 @@ pub mod cost;
 pub mod daemon;
 pub mod dispatcher;
 pub mod hooks;
+pub mod phase;
 pub mod pipe;
 pub mod scheduler;
 pub mod types;
 pub mod vdummy;
 
 pub use api::{decode_f64s, encode_f64s, Mpi};
-pub use cluster::{run_cluster, run_vdummy, ClusterConfig, ClusterRun, FaultPlan, RunReport};
+pub use cluster::{
+    run_cluster, run_vdummy, ClusterConfig, ClusterRun, FaultPlan, RunReport, SchedulePolicyFactory,
+};
 pub use collectives::{ReduceOp, RESERVED_TAG_BASE};
 pub use cost::StackProfile;
 pub use daemon::{app, AppSpec, BootMode, DaemonCore, Vdaemon};
@@ -51,6 +54,7 @@ pub use hooks::{
     Ctx, ProtoBlob, RankStats, RecoveryStyle, RecvGate, SchedulerCmd, SendGate, SharedRankStats,
     Suite, Topology, VProtocol,
 };
+pub use phase::{PhaseFault, PhaseFaultArmature, ProtoPhase};
 pub use scheduler::{CkptScheduler, SchedulerPolicy};
 pub use types::{
     AppMsg, DaemonMsg, Payload, PiggybackBlob, RClock, Rank, RecvMsg, RecvSelector, Ssn, Tag,

@@ -5,12 +5,17 @@
 //! replay/determinant-stability claim in its strongest testable form:
 //! if any protocol consulted unseeded state (hash order, wall clock,
 //! address-dependent ordering), the fingerprints would diverge.
+//!
+//! Divergence is reported structurally through [`vlog_sim::diff`]: the
+//! failure message pinpoints the first differing report and the first
+//! differing character inside it, instead of dumping two full report
+//! vectors to eyeball.
 
 use std::sync::Arc;
 
 use vlog_bench::{run_many, SuiteKind};
 use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
-use vlog_sim::SimDuration;
+use vlog_sim::{diff, SimDuration};
 use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
 };
@@ -80,9 +85,10 @@ fn assert_deterministic(mk: impl Fn() -> Arc<dyn Suite> + Send + Sync, with_faul
     // threads: determinism must hold per run, and the sweep must return
     // results in job order regardless of which worker finished first.
     let both = run_many(vec![(), ()], 2, |_| run_once(mk(), with_fault));
-    assert_eq!(
-        both[0], both[1],
-        "two runs of the same seed produced different reports (fault: {with_fault})"
+    diff::assert_reports_identical(
+        &format!("same-seed-twice(fault={with_fault})"),
+        &both[..1],
+        &both[1..],
     );
 }
 
@@ -165,9 +171,10 @@ fn sweep_reports_are_identical_across_thread_counts() {
     let sequential = run_many(jobs.clone(), 1, runner);
     for threads in [2usize, 4] {
         let sharded = run_many(jobs.clone(), threads, runner);
-        assert_eq!(
-            sequential, sharded,
-            "sweep on {threads} threads diverged from the 1-thread sweep"
+        diff::assert_reports_identical(
+            &format!("sweep-{threads}-threads-vs-1"),
+            &sequential,
+            &sharded,
         );
     }
 }
@@ -229,9 +236,10 @@ fn registered_workloads_survive_faults_on_every_suite_deterministically() {
     let sequential = run_many(jobs.clone(), 1, runner);
     for threads in [2usize, 4] {
         let sharded = run_many(jobs.clone(), threads, runner);
-        assert_eq!(
-            sequential, sharded,
-            "registry sweep on {threads} threads diverged from the 1-thread sweep"
+        diff::assert_reports_identical(
+            &format!("registry-sweep-{threads}-threads-vs-1"),
+            &sequential,
+            &sharded,
         );
     }
 }
@@ -294,10 +302,10 @@ fn large_registry_survives_hub_failures_on_every_suite_deterministically() {
     let sequential = run_many(jobs.clone(), 1, runner);
     for threads in [2usize, 4] {
         let sharded = run_many(jobs.clone(), threads, runner);
-        assert_eq!(
-            sequential, sharded,
-            "large-registry hub-failure sweep on {threads} threads diverged \
-             from the 1-thread sweep"
+        diff::assert_reports_identical(
+            &format!("large-registry-hub-failure-sweep-{threads}-threads-vs-1"),
+            &sequential,
+            &sharded,
         );
     }
 }

@@ -3,12 +3,16 @@
 //! every application **exactly the same message trace** as the fault-free
 //! execution — piecewise-deterministic replay, verified through the full
 //! stack (daemons, Event Logger, checkpoint server, dispatcher).
+//!
+//! A divergence is reported structurally ([`vlog_sim::diff`]): the
+//! failure names the first differing trace entry, not two thousand-line
+//! vector dumps.
 
 use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use vlog_core::{CausalSuite, PessimisticSuite, Technique};
-use vlog_sim::SimDuration;
+use vlog_sim::{diff, SimDuration};
 use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, Suite,
 };
@@ -101,10 +105,28 @@ fn check_equivalence(
 ) {
     let clean = run_once(mk(), iters, seed, None);
     let faulted = run_once(mk(), iters, seed, Some((at, victim)));
-    assert_eq!(
-        clean, faulted,
-        "trace diverged after recovery (seed {seed}, fault at {at}ms on rank {victim})"
+    assert_traces_identical(
+        &format!("after recovery (seed {seed}, fault at {at}ms on rank {victim})"),
+        &clean,
+        &faulted,
     );
+}
+
+/// Compares two delivery traces entry-wise and, on mismatch, points at
+/// the first divergent entry instead of dumping both vectors.
+fn assert_traces_identical(
+    label: &str,
+    clean: &[(usize, u64, usize, u8)],
+    other: &[(usize, u64, usize, u8)],
+) {
+    let fmt = |t: &[(usize, u64, usize, u8)]| -> Vec<String> {
+        t.iter()
+            .map(|(rank, it, src, byte)| format!("rank={rank} it={it} src={src} byte={byte}"))
+            .collect()
+    };
+    if let Some(d) = diff::first_report_divergence(&fmt(clean), &fmt(other)) {
+        panic!("trace diverged {label}: {d}");
+    }
 }
 
 proptest! {
@@ -168,11 +190,12 @@ fn double_fault_on_different_ranks_is_trace_equivalent() {
             (SimDuration::from_millis(6), 0),
             (SimDuration::from_millis(30), 2),
         ],
+        ..FaultPlan::default()
     };
     let report = run_cluster(&cfg, mk(), prog, &faults);
     assert!(report.completed);
     let mut t = trace.lock().unwrap().clone();
     t.sort_unstable();
     t.dedup();
-    assert_eq!(clean, t, "double-fault trace diverged");
+    assert_traces_identical("after double-fault recovery", &clean, &t);
 }

@@ -395,7 +395,11 @@ pub mod test_runner {
     /// first shrink candidate that still fails, until no candidate fails
     /// or the probe budget is exhausted. Returns the minimal value plus
     /// (accepted steps, probes spent).
-    pub(crate) fn minimize<S: Strategy>(
+    ///
+    /// Public beyond the [`proptest!`] macro: the schedule explorer
+    /// (`vlog-explore`) reuses it to shrink failing decision traces
+    /// outside a property-test body.
+    pub fn minimize<S: Strategy>(
         strat: &S,
         mut failing: S::Value,
         case: &mut impl FnMut(S::Value),
