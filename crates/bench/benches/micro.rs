@@ -4,15 +4,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use vlog_core::{
     decode_factored, decode_flat, encode_factored, encode_flat, make_reduction, AGraph,
-    Determinant, SenderLog, Technique,
+    Determinant, PbEncoder, SenderLog, Technique,
 };
-use vlog_sim::{EventCalendar, SimDuration, SimTime};
-use vlog_vmpi::Payload;
+use vlog_sim::{profiler, EventCalendar, SimDuration, SimTime};
+use vlog_vmpi::{Payload, PayloadArena, RankStatCell, RankStats};
 
 fn dets(n: usize, receivers: usize) -> Vec<Determinant> {
     (0..n)
@@ -37,6 +38,17 @@ fn bench_codecs(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("encode_flat", n), &input, |b, d| {
             b.iter(|| encode_flat(d).unwrap())
         });
+        let mut enc = PbEncoder::new();
+        g.bench_with_input(
+            BenchmarkId::new("encode_factored_batched", n),
+            &input,
+            |b, d| b.iter(|| enc.encode_factored(d).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("encode_flat_batched", n),
+            &input,
+            |b, d| b.iter(|| enc.encode_flat(d).unwrap()),
+        );
         let enc_f = encode_factored(&input).unwrap();
         let enc_l = encode_flat(&input).unwrap();
         g.bench_with_input(BenchmarkId::new("decode_factored", n), &enc_f, |b, d| {
@@ -251,12 +263,90 @@ fn bench_calendar(c: &mut Criterion) {
     g.finish();
 }
 
+/// The statistics paths of the raw-speed pass: the old per-update
+/// `Arc<Mutex<RankStats>>` locking vs the sharded `RankStatCell` (local
+/// lock-free bumps, one lock per flush). The cell variant includes its
+/// end-of-run flush, so the comparison is end-to-end fair.
+fn bench_sharded_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_stats");
+    g.bench_function("locked_bump_1k", |b| {
+        let shared = Arc::new(Mutex::new(RankStats::default()));
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                let mut st = shared.lock().unwrap();
+                st.pb_events_sent += 1;
+                st.pb_bytes_sent += i;
+            }
+        })
+    });
+    g.bench_function("cell_bump_1k_plus_flush", |b| {
+        let shared = Arc::new(Mutex::new(RankStats::default()));
+        b.iter(|| {
+            let mut cell = RankStatCell::new(shared.clone());
+            for i in 0..1_000u64 {
+                let st = cell.local();
+                st.pb_events_sent += 1;
+                st.pb_bytes_sent += i;
+            }
+            cell.flush();
+        })
+    });
+    g.finish();
+}
+
+/// Payload construction: a fresh `Vec` + `Arc` per message body vs the
+/// interning `PayloadArena` (the cursor bodies workloads actually
+/// build: 8 distinct values cycling across 64 sends).
+fn bench_payload_arena(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload_arena");
+    g.bench_function("fresh_alloc_64", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..64u64 {
+                total += Payload::new((i % 8).to_le_bytes().to_vec()).len();
+            }
+            total
+        })
+    });
+    g.bench_function("arena_interned_64", |b| {
+        let mut arena = PayloadArena::new();
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..64u64 {
+                total += arena.payload(&(i % 8).to_le_bytes(), 0).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+/// Cost of the kernel's self-profiling scopes: the disabled guard (one
+/// relaxed atomic load, what every production run pays per phase) and
+/// the enabled guard (two `Instant` reads plus a thread-local bump).
+fn bench_profiler_scope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler_scope");
+    g.bench_function("disabled", |b| {
+        profiler::set_enabled(false);
+        b.iter(|| profiler::scope(profiler::Phase::Dispatch))
+    });
+    g.bench_function("enabled", |b| {
+        profiler::set_enabled(true);
+        b.iter(|| profiler::scope(profiler::Phase::Dispatch));
+        profiler::set_enabled(false);
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codecs,
     bench_graph,
     bench_reductions,
     bench_sender_log,
-    bench_calendar
+    bench_calendar,
+    bench_sharded_stats,
+    bench_payload_arena,
+    bench_profiler_scope
 );
 criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Throughput-regression gate: compares a current `BENCH_*.json`
+//! against a committed baseline and fails on an ops/sec regression
+//! beyond the tolerance.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json>
+//! ```
+//!
+//! Always prints the one-line geomean ops/sec delta. Exits 1 when the
+//! geomean regresses more than `VLOG_GATE_TOLERANCE` percent (default
+//! 40 — `scripts/verify.sh` runs the micro benches with a 5 ms
+//! measurement window, which is fast but noisy; nightly-quality runs
+//! can tighten the gate by exporting a smaller tolerance).
+
+use std::process::ExitCode;
+
+use vlog_bench::gate;
+
+/// Reads `VLOG_GATE_TOLERANCE` (percent), warning-and-defaulting on
+/// malformed values the same way the simulator's env knobs do.
+fn tolerance_percent() -> f64 {
+    const DEFAULT: f64 = 40.0;
+    match std::env::var("VLOG_GATE_TOLERANCE") {
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => v,
+            _ => {
+                eprintln!(
+                    "bench_gate: ignoring malformed VLOG_GATE_TOLERANCE={raw:?} \
+                     (want a non-negative percent), using {DEFAULT}"
+                );
+                DEFAULT
+            }
+        },
+        Err(_) => DEFAULT,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let load = |path: &str| -> Result<Vec<gate::BenchEntry>, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        gate::parse_bench_json(&src).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = tolerance_percent();
+    let report = gate::compare(&baseline, &current);
+    println!(
+        "bench gate: ops/sec geomean {:+.1}% vs baseline ({} common, {} added, {} removed; \
+         tolerance -{}%)",
+        report.delta_percent(),
+        report.common,
+        report.current_only,
+        report.baseline_only,
+        tolerance,
+    );
+    if report.passes(tolerance) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — throughput regressed {:.1}% (beyond the {tolerance}% tolerance)",
+            -report.delta_percent(),
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -158,21 +158,21 @@ pub fn write_json(rows: &[RegimeRow]) -> String {
 
 /// One scalar field value of a flat results object.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub(crate) enum JsonValue {
     Str(String),
     Num(f64),
     Bool(bool),
 }
 
 impl JsonValue {
-    fn as_str(&self, key: &str) -> Result<&str, String> {
+    pub(crate) fn as_str(&self, key: &str) -> Result<&str, String> {
         match self {
             JsonValue::Str(s) => Ok(s),
             other => Err(format!("field {key:?} is not a string: {other:?}")),
         }
     }
 
-    fn as_f64(&self, key: &str) -> Result<f64, String> {
+    pub(crate) fn as_f64(&self, key: &str) -> Result<f64, String> {
         match self {
             JsonValue::Num(x) => Ok(*x),
             other => Err(format!("field {key:?} is not a number: {other:?}")),
@@ -193,13 +193,13 @@ impl JsonValue {
 }
 
 /// Character-level cursor over the JSON text.
-struct Scanner<'a> {
-    src: &'a [u8],
-    pos: usize,
+pub(crate) struct Scanner<'a> {
+    pub(crate) src: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Scanner<'a> {
-    fn new(src: &'a str) -> Self {
+    pub(crate) fn new(src: &'a str) -> Self {
         Scanner {
             src: src.as_bytes(),
             pos: 0,
@@ -216,12 +216,12 @@ impl<'a> Scanner<'a> {
         }
     }
 
-    fn peek(&mut self) -> Option<u8> {
+    pub(crate) fn peek(&mut self) -> Option<u8> {
         self.skip_ws();
         self.src.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
         match self.peek() {
             Some(c) if c == b => {
                 self.pos += 1;
@@ -314,7 +314,7 @@ impl<'a> Scanner<'a> {
     }
 
     /// One flat `{"key": scalar, ...}` object.
-    fn flat_object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+    pub(crate) fn flat_object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {

@@ -22,10 +22,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use vlog_sim::{SimDuration, SimTime};
+use vlog_sim::{profiler, SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RecvGate,
-    SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RankStatCell,
+    RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::costs::CausalCosts;
@@ -109,7 +109,9 @@ pub struct CausalProtocol {
     rank: Rank,
     n: usize,
     costs: CausalCosts,
-    stats: SharedRankStats,
+    /// Lock-free stats delta; flushed into the shared handle when the
+    /// incarnation drops (crash or end-of-run).
+    stats: RankStatCell,
 
     red: Box<dyn Reduction>,
     slog: SenderLog,
@@ -148,7 +150,7 @@ impl CausalProtocol {
             rank,
             n,
             costs,
-            stats,
+            stats: RankStatCell::new(stats),
             red: make_reduction(technique, n),
             slog: SenderLog::new(n),
             rclock: 0,
@@ -163,8 +165,10 @@ impl CausalProtocol {
     fn el_actor(&self, ctx: &Ctx<'_>) -> Option<vlog_sim::ActorId> {
         if self.el {
             // With distributed Event Loggers, each rank logs to its
-            // assigned shard (round-robin; see `el_multi`).
-            ctx.core.topo().el_for(self.rank).map(|(a, _)| a)
+            // assigned shard (round-robin; see `el_multi`). Routed
+            // through the epoch-cached topology view: zero locks on the
+            // per-reception ship path.
+            ctx.core.topo_view().el_for(self.rank).map(|(a, _)| a)
         } else {
             None
         }
@@ -227,7 +231,9 @@ impl CausalProtocol {
             self.stable[c] = self.stable[c].max(stable[c]);
         }
         self.red.apply_stable(&self.stable);
-        self.stats.lock().unwrap().el_acked_events = self.stable[self.rank];
+        // Monotone watermark assignment; the merge law is `max`, so the
+        // end-of-run flush reproduces the last (highest) value exactly.
+        self.stats.local().el_acked_events = self.stable[self.rank];
     }
 
     // ---- recovery ----------------------------------------------------
@@ -292,7 +298,7 @@ impl CausalProtocol {
             rec.collecting = false;
             rec.max_clock = rec.collected.keys().next_back().copied().unwrap_or(rec.wm);
             let dt = now.saturating_since(rec.started);
-            self.stats.lock().unwrap().recovery_collect.push(dt);
+            self.stats.local().recovery_collect.push(dt);
         }
         self.try_replay(ctx);
     }
@@ -480,10 +486,11 @@ impl VProtocol for CausalProtocol {
         dst: Rank,
         _ssn: Ssn,
     ) -> (PiggybackBlob, SimDuration) {
+        let _codec = profiler::scope(profiler::Phase::Codec);
         let (dets, work) = self.red.build(dst, self.rclock);
         let bytes = self.technique.wire_len(&dets);
         let cost = self.build_cost(dets.len(), work.visits);
-        self.stats.lock().unwrap().pb_events_sent += dets.len() as u64;
+        self.stats.local().pb_events_sent += dets.len() as u64;
         let body = PbBody {
             sender_clock: self.rclock,
             dets,
@@ -538,7 +545,7 @@ impl VProtocol for CausalProtocol {
         // only: integrating the piggybacked determinants into the store.
         let pb_part = SimDuration::from_nanos(self.mem_penalty_ns())
             + self.integrate_cost(dets.len(), w_int.inserts + w_add.inserts, w_int.visits);
-        self.stats.lock().unwrap().pb_recv_time += pb_part;
+        self.stats.local().pb_recv_time += pb_part;
         let mut cost = SimDuration::from_nanos(self.costs.event_create_ns) + pb_part;
         if self.el {
             cost += SimDuration::from_nanos(self.costs.el_ship_ns);
@@ -654,11 +661,7 @@ impl VProtocol for CausalProtocol {
             // Nothing to collect.
             let rec = self.rec.as_mut().unwrap();
             rec.collecting = false;
-            self.stats
-                .lock()
-                .unwrap()
-                .recovery_collect
-                .push(SimDuration::ZERO);
+            self.stats.local().recovery_collect.push(SimDuration::ZERO);
             self.finish_replay(ctx);
             return;
         }

@@ -57,7 +57,7 @@ pub use graph::AGraph;
 pub use pessimistic::PessimisticProtocol;
 pub use piggyback::{
     decode_factored, decode_flat, encode_factored, encode_flat, factored_len, flat_len, PbBody,
-    PbCodecError,
+    PbCodecError, PbEncoder,
 };
 pub use reduction::{make_reduction, Reduction, Technique, Work};
 pub use sender_log::SenderLog;

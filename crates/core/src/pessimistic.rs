@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RecvGate,
-    SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RankStatCell,
+    RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::causal::CausalCtl;
@@ -59,7 +59,9 @@ pub struct PessimisticProtocol {
     rank: Rank,
     n: usize,
     costs: CausalCosts,
-    stats: SharedRankStats,
+    /// Lock-free stats delta; flushed into the shared handle when the
+    /// incarnation drops (crash or end-of-run).
+    stats: RankStatCell,
     slog: SenderLog,
     rclock: RClock,
     /// Highest own event acknowledged stable by the EL.
@@ -80,7 +82,7 @@ impl PessimisticProtocol {
             rank,
             n,
             costs,
-            stats,
+            stats: RankStatCell::new(stats),
             slog: SenderLog::new(n),
             rclock: 0,
             stable_own: 0,
@@ -93,7 +95,7 @@ impl PessimisticProtocol {
 
     fn el_actor(&self, ctx: &Ctx<'_>) -> vlog_sim::ActorId {
         ctx.core
-            .topo()
+            .topo_view()
             .el()
             .expect("pessimistic logging requires an Event Logger")
             .0
@@ -174,7 +176,7 @@ impl PessimisticProtocol {
                 rec.collecting = false;
                 rec.max_clock = rec.collected.keys().next_back().copied().unwrap_or(rec.wm);
                 let dt = now.saturating_since(rec.started);
-                self.stats.lock().unwrap().recovery_collect.push(dt);
+                self.stats.local().recovery_collect.push(dt);
             }
         }
         self.try_replay(ctx);
@@ -313,7 +315,8 @@ impl VProtocol for PessimisticProtocol {
                         );
                         let prev = self.stable_own;
                         self.stable_own = self.stable_own.max(stable[self.rank]);
-                        self.stats.lock().unwrap().el_acked_events = self.stable_own;
+                        // Monotone watermark; the merge law is `max`.
+                        self.stats.local().el_acked_events = self.stable_own;
                         if self.stable_own > prev && self.stable_own >= self.rclock {
                             ctx.core.release_held();
                         }

@@ -42,6 +42,7 @@ use rand::SeedableRng;
 use crate::calendar::{EventCalendar, EventKey};
 use crate::exec::{noop_waker, ExecHandle, ExecShared, SharedExec, TaskId, TaskSlot};
 use crate::net::{EthernetParams, Network, WireSize};
+use crate::profiler;
 use crate::schedule::{EventInfo, EventKind, PopDecision, SchedulePolicy};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
@@ -416,8 +417,14 @@ impl Sim {
         let slot = &self.actors[dst_actor];
         let dst_node = slot.node;
         let gen = slot.gen;
-        let arrival = self.net.send(self.now, src_node, dst_node, size.total());
-        self.stats.record_message(size);
+        let arrival = {
+            let _p = profiler::scope(profiler::Phase::Net);
+            self.net.send(self.now, src_node, dst_node, size.total())
+        };
+        {
+            let _p = profiler::scope(profiler::Phase::Stats);
+            self.stats.record_message(size);
+        }
         self.schedule_at(
             arrival,
             Event::Deliver {
@@ -610,7 +617,10 @@ impl Sim {
                 self.exec.lock().unwrap().now = deadline;
                 return false;
             }
-            let (time, seq, key, event) = self.calendar.pop().unwrap();
+            let (time, seq, key, event) = {
+                let _p = profiler::scope(profiler::Phase::Calendar);
+                self.calendar.pop().unwrap()
+            };
             debug_assert!(time >= self.now);
             // The schedule-policy seam: a policy may defer a live event,
             // which re-inserts it at `time + delta` with a fresh (highest)
@@ -658,10 +668,13 @@ impl Sim {
             // A detached event (None payload) still advances the clock
             // and the event counter: it occupies the dispatch slot a
             // dead incarnation's timer would have burned anyway.
-            if let Some(event) = event {
-                self.dispatch(key, event);
+            {
+                let _p = profiler::scope(profiler::Phase::Dispatch);
+                if let Some(event) = event {
+                    self.dispatch(key, event);
+                }
+                self.drain_tasks();
             }
-            self.drain_tasks();
             self.events_processed += 1;
             if let Some(limit) = self.event_limit {
                 assert!(

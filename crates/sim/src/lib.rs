@@ -22,6 +22,9 @@
 //!   schedule exploration — same-time reorders, bounded latency
 //!   injection, replayable decision traces ([`schedule`]),
 //! * byte/time **statistics** used by the benchmark harnesses ([`stats`]),
+//! * kernel **self-profiling**: per-phase wall-clock counters behind the
+//!   `VLOG_PROFILE` knob ([`profiler`]) — wall time never enters the
+//!   deterministic statistics,
 //! * shared harness utilities: centralized `VLOG_*` env-knob parsing
 //!   ([`env_knob`]) and first-divergence report diffing ([`diff`]).
 //!
@@ -55,6 +58,7 @@ pub mod env_knob;
 pub mod exec;
 pub mod kernel;
 pub mod net;
+pub mod profiler;
 pub mod schedule;
 pub mod stats;
 pub mod time;

@@ -82,6 +82,15 @@ impl MsgHistogram {
     pub fn max_bucket_bytes(&self) -> u64 {
         self.nonzero().map(|(b, _)| b).max().unwrap_or(0)
     }
+
+    /// Merges another histogram into this one, bucket-wise. Commutative
+    /// and associative, so shard-local histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &MsgHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
 }
 
 impl std::fmt::Debug for MsgHistogram {
@@ -109,8 +118,15 @@ pub struct Stats {
     pub bytes: WireSize,
     /// Message-count histogram over power-of-two wire-size buckets.
     pub msg_sizes: MsgHistogram,
-    /// Named integer counters (protocol-specific).
+    /// Named additive counters (protocol-specific). A key belongs to
+    /// exactly one of `counters`/`gauges` — additive keys are written
+    /// through [`Stats::add`]/[`Stats::bump`], never [`Stats::set_max`].
     counters: BTreeMap<&'static str, u64>,
+    /// Named peak gauges (queue depths, outstanding-event highs),
+    /// written exclusively through [`Stats::set_max`]. Kept apart from
+    /// the additive counters so [`Stats::merge`] can apply the lawful
+    /// combine per key class: `+` for counters, `max` for gauges.
+    gauges: BTreeMap<&'static str, u64>,
     /// Named duration accumulators (protocol-specific).
     durations: BTreeMap<&'static str, SimDuration>,
 }
@@ -140,16 +156,23 @@ impl Stats {
         self.add(key, 1);
     }
 
-    /// Raises the named counter to `v` if `v` exceeds its current value
+    /// Raises the named gauge to `v` if `v` exceeds its current value
     /// (peak-gauge semantics: queue depths, outstanding-event highs).
+    /// A gauge key must never also be written through [`Stats::add`].
     pub fn set_max(&mut self, key: &'static str, v: u64) {
-        let slot = self.counters.entry(key).or_insert(0);
+        let slot = self.gauges.entry(key).or_insert(0);
         *slot = (*slot).max(v);
     }
 
-    /// Current value of a named counter (zero if never written).
+    /// Current value of a named counter or gauge (zero if never
+    /// written). Keys are disjoint across the two classes, so one
+    /// lookup namespace serves both.
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counters
+            .get(key)
+            .or_else(|| self.gauges.get(key))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Adds to the named duration accumulator.
@@ -165,9 +188,40 @@ impl Stats {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// All named counters, sorted by key (deterministic iteration).
+    /// All named additive counters, sorted by key (deterministic
+    /// iteration).
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All named peak gauges, sorted by key.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another `Stats` into this one with the lawful combine per
+    /// field: `+` for message/byte totals, histogram buckets, additive
+    /// counters and durations; `max` for peak gauges. Commutative and
+    /// associative (property-tested in `vlog-tests`), so per-shard
+    /// accumulators can be folded in any order and always equal the
+    /// sequential single-accumulator result.
+    pub fn merge(&mut self, other: &Stats) {
+        self.messages += other.messages;
+        self.bytes.header += other.bytes.header;
+        self.bytes.payload += other.bytes.payload;
+        self.bytes.piggyback += other.bytes.piggyback;
+        self.bytes.control += other.bytes.control;
+        self.msg_sizes.merge(&other.msg_sizes);
+        for (k, v) in other.counters.iter() {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges.iter() {
+            let slot = self.gauges.entry(k).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (k, d) in other.durations.iter() {
+            *self.durations.entry(k).or_default() += *d;
+        }
     }
 
     /// All named duration accumulators, sorted by key.
@@ -302,8 +356,68 @@ mod tests {
         s.set_max("peak", 9);
         s.set_max("peak", 5);
         assert_eq!(s.get("peak"), 9);
-        // set_max on a counter that was never written creates it.
+        // set_max on a gauge that was never written creates it.
         s.set_max("fresh", 0);
         assert_eq!(s.get("fresh"), 0);
+        // Gauges live in their own namespace, not among the counters.
+        assert_eq!(s.counters().count(), 0);
+        let gauges: Vec<_> = s.gauges().collect();
+        assert_eq!(gauges, vec![("fresh", 0), ("peak", 9)]);
+    }
+
+    #[test]
+    fn merge_applies_the_lawful_combine_per_field() {
+        let mut a = Stats::new();
+        a.record_message(WireSize {
+            header: 10,
+            payload: 90,
+            piggyback: 0,
+            control: 0,
+        });
+        a.add("el_records", 3);
+        a.set_max("el_peak_queue", 5);
+        a.add_time("el_ack_latency", SimDuration::from_micros(2));
+
+        let mut b = Stats::new();
+        b.record_message(WireSize {
+            header: 10,
+            payload: 0,
+            piggyback: 100,
+            control: 0,
+        });
+        b.add("el_records", 4);
+        b.bump("node_crashes");
+        b.set_max("el_peak_queue", 2);
+        b.add_time("el_ack_latency", SimDuration::from_micros(3));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.messages, 2);
+        assert_eq!(ab.total_bytes(), 210);
+        assert_eq!(ab.msg_sizes.count(), 2);
+        assert_eq!(ab.get("el_records"), 7);
+        assert_eq!(ab.get("node_crashes"), 1);
+        assert_eq!(ab.get("el_peak_queue"), 5, "gauges merge by max, not +");
+        assert_eq!(ab.get_time("el_ack_latency").as_nanos(), 5_000);
+
+        // Commutative: b.merge(a) observes the same totals.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(format!("{ab:?}"), format!("{ba:?}"));
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = MsgHistogram::default();
+        a.record(1);
+        a.record(100);
+        let mut b = MsgHistogram::default();
+        b.record(100);
+        b.record(1 << 20);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket(0), 1);
+        assert_eq!(a.bucket(7), 2);
+        assert_eq!(a.bucket(20), 1);
     }
 }

@@ -437,17 +437,34 @@ impl ClusterRun {
             }
         };
 
+        // Capture every simulation-derived value, then drop the kernel:
+        // dropping the actors drops the daemon/protocol stat cells, which
+        // flush their lock-free deltas into the shared per-rank handles.
+        // Only after that flush are the rank stats complete.
+        let makespan = self.sim.now().saturating_since(SimTime::ZERO);
+        let stats = self.sim.stats().clone();
+        let events = self.sim.events_processed();
+        drop(self.sim);
+
+        if vlog_sim::profiler::report_each_run() {
+            let readings = vlog_sim::profiler::take();
+            eprint!(
+                "{}",
+                vlog_sim::profiler::render(&self.suite_name, &readings)
+            );
+        }
+
         RunReport {
             suite: self.suite_name,
-            makespan: self.sim.now().saturating_since(SimTime::ZERO),
+            makespan,
             completed,
-            stats: self.sim.stats().clone(),
+            stats,
             rank_stats: self
                 .rank_stats
                 .iter()
                 .map(|s| s.lock().unwrap().clone())
                 .collect(),
-            events: self.sim.events_processed(),
+            events,
         }
     }
 }

@@ -21,6 +21,7 @@
 //! sender-based payload logs, replay — lives behind those hooks.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
@@ -35,7 +36,10 @@ use vlog_sim::{
 use crate::api::Mpi;
 use crate::ckpt::{CkptReply, CkptRequest, Image, ImageProto, StoredMsg};
 use crate::cost::StackProfile;
-use crate::hooks::{Ctx, ProtoBlob, RecvGate, SendGate, SharedRankStats, Topology, VProtocol};
+use crate::hooks::{
+    Ctx, ProtoBlob, RankStatCell, RecvGate, SendGate, SharedRankStats, TopoCache, TopoView,
+    Topology, VProtocol,
+};
 use crate::phase::ProtoPhase;
 use crate::pipe::{AppRequest, PipeBox, SharedPipe};
 use crate::types::{
@@ -133,8 +137,12 @@ pub struct DaemonCore {
     node: NodeId,
     me: ActorId,
     topo: Topology,
+    /// Epoch-validated topology snapshot: steady-state routing reads it
+    /// lock-free. `RefCell` keeps the `&self` accessor signatures (the
+    /// daemon is single-threaded actor state).
+    topo_cache: RefCell<TopoCache>,
     profile: Arc<StackProfile>,
-    stats: SharedRankStats,
+    stats: RankStatCell,
     app_spec: AppSpec,
 
     pipe: SharedPipe,
@@ -193,12 +201,18 @@ impl DaemonCore {
         &self.topo
     }
 
+    /// Current lock-free topology snapshot (epoch-validated; re-captured
+    /// only when the topology mutated, which never happens mid-run).
+    pub fn topo_view(&self) -> Arc<TopoView> {
+        self.topo_cache.borrow_mut().view(&self.topo).clone()
+    }
+
     pub fn profile(&self) -> &StackProfile {
         &self.profile
     }
 
     pub fn stats(&self) -> SharedRankStats {
-        self.stats.clone()
+        self.stats.shared()
     }
 
     pub fn is_recovering(&self) -> bool {
@@ -228,7 +242,7 @@ impl DaemonCore {
 
     /// Sends a protocol control message to the daemon of another rank.
     pub fn control_to_rank(&self, sim: &mut Sim, dst: Rank, bytes: u64, body: Box<dyn Any + Send>) {
-        let actor = self.topo.daemon(dst);
+        let actor = self.topo_view().daemon(dst);
         self.control_to_actor(sim, actor, bytes, body_as_daemon(body));
     }
 
@@ -274,7 +288,7 @@ impl DaemonCore {
             piggyback: PiggybackBlob::empty(),
             replayed: true,
         };
-        let target = self.topo.daemon(dst);
+        let target = self.topo_view().daemon(dst);
         let src_node = self.node;
         sim.schedule_at(
             end,
@@ -338,7 +352,7 @@ impl DaemonCore {
         if self.recovering {
             self.recovering = false;
             let dt = sim.now().saturating_since(self.recover_start);
-            self.stats.lock().unwrap().recovery_total.push(dt);
+            self.stats.local().recovery_total.push(dt);
         }
     }
 
@@ -360,9 +374,10 @@ impl DaemonCore {
 
     /// Reports that this rank crossed a protocol-phase boundary; a
     /// matching armed [`crate::PhaseFault`] crashes the rank here. No-op
-    /// (beyond one mutex lock) when no armature is armed.
+    /// (one relaxed epoch load) when no armature is armed.
     pub fn phase_boundary(&self, sim: &mut Sim, phase: ProtoPhase) {
-        if let Some(arm) = self.topo.phase_faults() {
+        let view = self.topo_view();
+        if let Some(arm) = view.phase_faults() {
             arm.crossed(sim, self.rank, phase);
         }
     }
@@ -508,8 +523,9 @@ impl Vdaemon {
                 node,
                 me,
                 topo,
+                topo_cache: RefCell::new(TopoCache::new()),
                 profile,
-                stats,
+                stats: RankStatCell::new(stats),
                 app_spec,
                 pipe: PipeBox::new(),
                 app_task: None,
@@ -543,7 +559,7 @@ impl Vdaemon {
             BootMode::Recover { version } => {
                 self.core.recovering = true;
                 self.core.recover_start = sim.now();
-                let Some((server, _)) = self.core.topo.ckpt_server() else {
+                let Some((server, _)) = self.core.topo_view().ckpt_server() else {
                     // No checkpoint infrastructure: restart from scratch.
                     self.finish_restart(sim, None);
                     return;
@@ -697,7 +713,7 @@ impl Vdaemon {
                 tag,
                 len: self.core.pending_rdv[&(dst, ssn)].payload.len(),
             };
-            let target = self.core.topo.daemon(dst);
+            let target = self.core.topo_view().daemon(dst);
             let src_node = self.core.node;
             sim.schedule_at(
                 end,
@@ -726,7 +742,7 @@ impl Vdaemon {
             self.proto.on_transmit(&mut ctx, dst, ssn)
         };
         {
-            let mut st = self.core.stats.lock().unwrap();
+            let st = self.core.stats.local();
             st.app_msgs_sent += 1;
             st.pb_bytes_sent += pb.bytes;
             if pb.bytes == 0 {
@@ -745,7 +761,7 @@ impl Vdaemon {
             piggyback: pb,
             replayed: false,
         };
-        let target = self.core.topo.daemon(dst);
+        let target = self.core.topo_view().daemon(dst);
         let src_node = self.core.node;
         sim.schedule_at(
             end,
@@ -859,7 +875,7 @@ impl Vdaemon {
         let bytes = image.wire_bytes();
         let cost = SimDuration::from_nanos((bytes as f64 * SNAPSHOT_NS_PER_BYTE) as u64);
         let end = sim.charge_cpu(self.core.node, cost);
-        if let Some((server, _)) = self.core.topo.ckpt_server() {
+        if let Some((server, _)) = self.core.topo_view().ckpt_server() {
             let src_node = self.core.node;
             let me = self.core.me;
             sim.schedule_at(
@@ -932,7 +948,7 @@ impl Vdaemon {
             DaemonMsg::App(m) => {
                 if self.core.recovering
                     && self.core.app_task.is_none()
-                    && !self.core.topo.buggy_restart_window()
+                    && !self.core.topo_view().buggy_restart_window()
                 {
                     // Restart window: the checkpoint image is still being
                     // fetched, so the restored channel watermarks do not
@@ -954,7 +970,7 @@ impl Vdaemon {
                     dst: self.core.rank,
                     ssn,
                 };
-                let target = self.core.topo.daemon(src);
+                let target = self.core.topo_view().daemon(src);
                 let src_node = self.core.node;
                 sim.schedule_at(
                     end,
@@ -1107,7 +1123,7 @@ impl Actor for Vdaemon {
                             };
                             self.proto.on_app_finished(&mut ctx);
                         }
-                        if let Some((dispatcher, _)) = self.core.topo.dispatcher() {
+                        if let Some((dispatcher, _)) = self.core.topo_view().dispatcher() {
                             self.core.control_to_actor(
                                 sim,
                                 dispatcher,
@@ -1132,7 +1148,7 @@ impl Actor for Vdaemon {
                     }
                 }
                 CkptReply::StoreAck { version, .. } => {
-                    self.core.stats.lock().unwrap().checkpoints += 1;
+                    self.core.stats.local().checkpoints += 1;
                     let mut ctx = Ctx {
                         sim,
                         core: &mut self.core,

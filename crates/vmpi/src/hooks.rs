@@ -18,6 +18,7 @@
 //! cluster builder consumes.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use vlog_sim::{ActorId, NodeId, Sim, SimDuration, SimTime};
@@ -28,9 +29,15 @@ use crate::types::{AppMsg, Payload, PiggybackBlob, Rank, Ssn};
 
 /// Where everything lives. Filled by the cluster builder before the
 /// simulation starts; shared read-only with every component.
+///
+/// Every mutator bumps an epoch counter; steady-state consumers hold a
+/// [`TopoCache`] and route through an immutable [`TopoView`] snapshot,
+/// re-captured only when the epoch moved — one relaxed atomic load per
+/// access instead of a mutex lock.
 #[derive(Clone, Default)]
 pub struct Topology {
     inner: Arc<Mutex<TopoInner>>,
+    epoch: Arc<AtomicU64>,
 }
 
 #[derive(Default)]
@@ -56,20 +63,53 @@ impl Topology {
         Self::default()
     }
 
+    /// Invalidates every outstanding [`TopoCache`]. Called by all
+    /// mutators; relaxed ordering suffices because a cluster run is
+    /// single-threaded and cross-thread hand-off of the topology is
+    /// already synchronized by the `Arc`s that carry it.
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current mutation epoch (see [`TopoCache`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Captures an immutable snapshot of the topology: one lock, then
+    /// lock-free reads through the returned view.
+    pub fn view(&self) -> Arc<TopoView> {
+        let t = self.inner.lock().unwrap();
+        Arc::new(TopoView {
+            daemons: t.daemons.clone(),
+            nodes: t.nodes.clone(),
+            els: t.els.clone(),
+            ckpt_server: t.ckpt_server,
+            dispatcher: t.dispatcher,
+            phase_faults: t.phase_faults.clone(),
+            buggy_restart_window: t.buggy_restart_window,
+        })
+    }
+
     pub fn set_ranks(&self, daemons: Vec<ActorId>, nodes: Vec<NodeId>) {
-        let mut t = self.inner.lock().unwrap();
-        t.daemons = daemons;
-        t.nodes = nodes;
+        {
+            let mut t = self.inner.lock().unwrap();
+            t.daemons = daemons;
+            t.nodes = nodes;
+        }
+        self.bump();
     }
 
     pub fn set_el(&self, actor: ActorId, node: NodeId) {
         self.inner.lock().unwrap().els = vec![(actor, node)];
+        self.bump();
     }
 
     /// Registers several Event Logger instances (the paper's future-work
     /// distribution; see `vlog-core::el_multi`).
     pub fn set_els(&self, els: Vec<(ActorId, NodeId)>) {
         self.inner.lock().unwrap().els = els;
+        self.bump();
     }
 
     /// The Event Logger serving `rank` (round-robin assignment).
@@ -89,10 +129,12 @@ impl Topology {
 
     pub fn set_ckpt_server(&self, actor: ActorId, node: NodeId) {
         self.inner.lock().unwrap().ckpt_server = Some((actor, node));
+        self.bump();
     }
 
     pub fn set_dispatcher(&self, actor: ActorId, node: NodeId) {
         self.inner.lock().unwrap().dispatcher = Some((actor, node));
+        self.bump();
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -122,6 +164,7 @@ impl Topology {
     /// Arms phase-triggered fault injection (cluster builder only).
     pub fn set_phase_faults(&self, arm: Arc<PhaseFaultArmature>) {
         self.inner.lock().unwrap().phase_faults = Some(arm);
+        self.bump();
     }
 
     /// The armed phase-fault armature, if any.
@@ -132,11 +175,103 @@ impl Topology {
     /// Enables the restart-window test bug (cluster builder only).
     pub fn set_buggy_restart_window(&self, on: bool) {
         self.inner.lock().unwrap().buggy_restart_window = on;
+        self.bump();
     }
 
     /// Whether the restart-window test bug is enabled.
     pub fn buggy_restart_window(&self) -> bool {
         self.inner.lock().unwrap().buggy_restart_window
+    }
+}
+
+/// Immutable snapshot of a [`Topology`], captured by [`Topology::view`].
+/// All accessors are lock-free; see [`TopoCache`] for the epoch-validated
+/// caching pattern the daemons and protocols use.
+pub struct TopoView {
+    daemons: Vec<ActorId>,
+    nodes: Vec<NodeId>,
+    els: Vec<(ActorId, NodeId)>,
+    ckpt_server: Option<(ActorId, NodeId)>,
+    dispatcher: Option<(ActorId, NodeId)>,
+    phase_faults: Option<Arc<PhaseFaultArmature>>,
+    buggy_restart_window: bool,
+}
+
+impl TopoView {
+    /// The Event Logger serving `rank` (round-robin assignment).
+    pub fn el_for(&self, rank: Rank) -> Option<(ActorId, NodeId)> {
+        if self.els.is_empty() {
+            None
+        } else {
+            Some(self.els[rank % self.els.len()])
+        }
+    }
+
+    /// Number of Event Logger instances.
+    pub fn el_count(&self) -> usize {
+        self.els.len()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.daemons.len()
+    }
+
+    pub fn daemon(&self, rank: Rank) -> ActorId {
+        self.daemons[rank]
+    }
+
+    pub fn node(&self, rank: Rank) -> NodeId {
+        self.nodes[rank]
+    }
+
+    pub fn el(&self) -> Option<(ActorId, NodeId)> {
+        self.els.first().copied()
+    }
+
+    pub fn ckpt_server(&self) -> Option<(ActorId, NodeId)> {
+        self.ckpt_server
+    }
+
+    pub fn dispatcher(&self) -> Option<(ActorId, NodeId)> {
+        self.dispatcher
+    }
+
+    /// The armed phase-fault armature, if any.
+    pub fn phase_faults(&self) -> Option<&Arc<PhaseFaultArmature>> {
+        self.phase_faults.as_ref()
+    }
+
+    /// Whether the restart-window test bug is enabled.
+    pub fn buggy_restart_window(&self) -> bool {
+        self.buggy_restart_window
+    }
+}
+
+/// Epoch-validated cache of a [`TopoView`]. Steady-state consumers call
+/// [`TopoCache::view`] per access: one relaxed atomic load when the
+/// topology has not mutated (the common case — the topology is fully
+/// built before the simulation starts), a single re-snapshot when it has.
+#[derive(Default)]
+pub struct TopoCache {
+    cached: Option<(u64, Arc<TopoView>)>,
+}
+
+impl TopoCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current view of `topo`, re-captured only if its epoch moved.
+    pub fn view(&mut self, topo: &Topology) -> &Arc<TopoView> {
+        let epoch = topo.epoch();
+        let stale = match &self.cached {
+            Some((cached_epoch, _)) => *cached_epoch != epoch,
+            None => true,
+        };
+        if stale {
+            self.cached = Some((epoch, topo.view()));
+        }
+        &self.cached.as_ref().expect("just populated").1
     }
 }
 
@@ -337,10 +472,88 @@ pub struct RankStats {
     pub checkpoints: u64,
 }
 
+impl RankStats {
+    /// Combines `other` into `self` with each field's lawful combine:
+    /// counters and CPU durations add, the EL ack watermark takes the
+    /// max (it is a monotone assignment, not an increment), recovery
+    /// duration lists concatenate. Additive and max fields commute and
+    /// associate, which is what lets per-incarnation delta cells
+    /// ([`RankStatCell`]) replace a shared lock; the lists rely on
+    /// cells flushing in chronological order (an incarnation's cell is
+    /// dropped — and flushed — when it crashes, before its successor
+    /// records anything).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.pb_send_time += other.pb_send_time;
+        self.pb_recv_time += other.pb_recv_time;
+        self.pb_events_sent += other.pb_events_sent;
+        self.pb_bytes_sent += other.pb_bytes_sent;
+        self.empty_pb_msgs += other.empty_pb_msgs;
+        self.app_msgs_sent += other.app_msgs_sent;
+        self.el_acked_events = self.el_acked_events.max(other.el_acked_events);
+        self.recovery_collect
+            .extend_from_slice(&other.recovery_collect);
+        self.recovery_total.extend_from_slice(&other.recovery_total);
+        self.checkpoints += other.checkpoints;
+    }
+}
+
 /// Shared handle on [`RankStats`]. Shared between successive protocol
 /// incarnations of one rank (stats survive daemon restarts) and the
 /// harness that reads them after the run — real sharing, hence `Arc`.
 pub type SharedRankStats = Arc<Mutex<RankStats>>;
+
+/// Write-side handle on a rank's statistics: a local [`RankStats`] delta
+/// accumulated lock-free on the hot path, merged into the shared handle
+/// once — on [`flush`](RankStatCell::flush) or when the cell drops (a
+/// daemon/protocol incarnation dying on crash or at end-of-run).
+///
+/// Correctness relies on the writer split already present in the code:
+/// each field has exactly one writer component per incarnation, merge is
+/// commutative/associative per field ([`RankStats::merge`]), and cells
+/// flush in chronological incarnation order.
+pub struct RankStatCell {
+    shared: SharedRankStats,
+    local: RankStats,
+}
+
+impl RankStatCell {
+    pub fn new(shared: SharedRankStats) -> Self {
+        RankStatCell {
+            shared,
+            local: RankStats::default(),
+        }
+    }
+
+    /// The local delta, bumped lock-free on the hot path.
+    #[inline]
+    pub fn local(&mut self) -> &mut RankStats {
+        &mut self.local
+    }
+
+    /// A fresh cell over the same shared handle (successor incarnations
+    /// after a restart share the rank's stats).
+    pub fn sibling(&self) -> RankStatCell {
+        RankStatCell::new(self.shared.clone())
+    }
+
+    /// The shared end-of-run handle this cell flushes into.
+    pub fn shared(&self) -> SharedRankStats {
+        self.shared.clone()
+    }
+
+    /// Merges the accumulated delta into the shared handle and resets
+    /// the delta. One lock per flush instead of one per update.
+    pub fn flush(&mut self) {
+        let delta = std::mem::take(&mut self.local);
+        self.shared.lock().unwrap().merge(&delta);
+    }
+}
+
+impl Drop for RankStatCell {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
 
 /// How the dispatcher recovers from a crash under this protocol family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

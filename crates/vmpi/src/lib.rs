@@ -51,13 +51,13 @@ pub use collectives::{ReduceOp, RESERVED_TAG_BASE};
 pub use cost::StackProfile;
 pub use daemon::{app, AppSpec, BootMode, DaemonCore, Vdaemon};
 pub use hooks::{
-    Ctx, ProtoBlob, RankStats, RecoveryStyle, RecvGate, SchedulerCmd, SendGate, SharedRankStats,
-    Suite, Topology, VProtocol,
+    Ctx, ProtoBlob, RankStatCell, RankStats, RecoveryStyle, RecvGate, SchedulerCmd, SendGate,
+    SharedRankStats, Suite, TopoCache, TopoView, Topology, VProtocol,
 };
 pub use phase::{PhaseFault, PhaseFaultArmature, ProtoPhase};
 pub use scheduler::{CkptScheduler, SchedulerPolicy};
 pub use types::{
-    AppMsg, DaemonMsg, Payload, PiggybackBlob, RClock, Rank, RecvMsg, RecvSelector, Ssn, Tag,
-    MSG_HEADER_BYTES,
+    AppMsg, DaemonMsg, Payload, PayloadArena, PiggybackBlob, RClock, Rank, RecvMsg, RecvSelector,
+    Ssn, Tag, MSG_HEADER_BYTES,
 };
 pub use vdummy::{Vdummy, VdummySuite};

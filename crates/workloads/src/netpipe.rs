@@ -47,8 +47,18 @@ impl NetpipePoints {
         self.inner.lock().unwrap().values().copied().collect()
     }
 
-    fn insert(&self, p: NetpipePoint) {
-        self.inner.lock().unwrap().insert(p.bytes, p);
+    /// Commits a batch of measured points, taking the collector lock
+    /// once for the whole batch instead of once per point. Points drain
+    /// in measurement order, so a size re-measured after a crash still
+    /// overwrites its stale pre-crash entry (last write wins).
+    fn insert_batch(&self, points: &mut Vec<NetpipePoint>) {
+        if points.is_empty() {
+            return;
+        }
+        let mut map = self.inner.lock().unwrap();
+        for p in points.drain(..) {
+            map.insert(p.bytes, p);
+        }
     }
 }
 
@@ -106,8 +116,16 @@ fn build(
             // Fast-forward past the sizes a pre-crash incarnation
             // already completed.
             let start = restored_u64(&mpi) as usize;
+            // Points measured by rank 0 buffer locally and flush into
+            // the shared collector in batches (one lock per flush, not
+            // one per point). Flushing *before* each checkpoint offer
+            // keeps crash replay correct: anything still buffered at a
+            // crash belongs to sizes at or past the restored cursor,
+            // which the next incarnation re-measures.
+            let mut pending: Vec<NetpipePoint> = Vec::new();
             for (idx, &bytes) in all_sizes.iter().enumerate().skip(start) {
                 if let Some(state_bytes) = ckpt_state_bytes {
+                    out.insert_batch(&mut pending);
                     mpi.checkpoint_point(ckpt_payload(state_bytes, idx as u64))
                         .await;
                 }
@@ -134,13 +152,14 @@ fn build(
                     let dt = mpi.time().saturating_since(t0);
                     let half_rtt_us = dt.as_micros_f64() / (2.0 * reps as f64);
                     let mbps = (bytes as f64 * 8.0) / half_rtt_us; // b/us == Mbit/s
-                    out.insert(NetpipePoint {
+                    pending.push(NetpipePoint {
                         bytes,
                         latency_us: half_rtt_us,
                         mbps,
                     });
                 }
             }
+            out.insert_batch(&mut pending);
         }
     });
     (spec, results)
@@ -268,15 +287,31 @@ mod tests {
     #[test]
     fn points_dedupe_by_size() {
         let points = NetpipePoints::default();
-        for latency in [2.0, 1.0] {
-            points.insert(NetpipePoint {
+        let mut batch = vec![
+            NetpipePoint {
                 bytes: 64,
-                latency_us: latency,
+                latency_us: 2.0,
                 mbps: 1.0,
-            });
-        }
+            },
+            NetpipePoint {
+                bytes: 64,
+                latency_us: 1.0,
+                mbps: 1.0,
+            },
+        ];
+        points.insert_batch(&mut batch);
+        assert!(batch.is_empty(), "insert_batch drains its buffer");
         let sorted = points.sorted();
         assert_eq!(sorted.len(), 1);
         assert_eq!(sorted[0].latency_us, 1.0); // last write wins
+
+        // Replay across a second batch overwrites too, exactly like the
+        // old per-point path did.
+        points.insert_batch(&mut vec![NetpipePoint {
+            bytes: 64,
+            latency_us: 0.5,
+            mbps: 2.0,
+        }]);
+        assert_eq!(points.sorted()[0].latency_us, 0.5);
     }
 }

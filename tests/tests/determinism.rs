@@ -179,6 +179,31 @@ fn sweep_reports_are_identical_across_thread_counts() {
     }
 }
 
+/// Profiling must observe, never perturb: the same eight-suite sweep
+/// (fault-free and faulted) with the kernel's self-profiling scopes
+/// force-enabled must report byte-identically to the plain sweep, on 1,
+/// 2 and 4 worker threads. Wall-clock readings stay in the profiler's
+/// thread-local accumulators and never reach a `RunReport`; this pins
+/// that contract.
+#[test]
+fn profiling_does_not_perturb_reports_across_thread_counts() {
+    let jobs: Vec<(usize, bool)> = (0..8usize)
+        .flat_map(|idx| [(idx, false), (idx, true)])
+        .collect();
+    let runner = |(idx, with_fault): (usize, bool)| run_once(suite_for(idx), with_fault);
+    let plain = run_many(jobs.clone(), 1, runner);
+    vlog_sim::profiler::set_enabled(true);
+    for threads in [1usize, 2, 4] {
+        let profiled = run_many(jobs.clone(), threads, runner);
+        diff::assert_reports_identical(
+            &format!("profiled-{threads}-threads-vs-plain"),
+            &plain,
+            &profiled,
+        );
+    }
+    vlog_sim::profiler::set_enabled(false);
+}
+
 /// Registry conformance: every registered workload, under every one of
 /// the eight suite configurations, with a rank killed mid-run, must
 /// (a) run to completion (the protocols recover it), (b) move piggyback

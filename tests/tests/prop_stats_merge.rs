@@ -1,0 +1,254 @@
+//! Property tests of the statistics merge laws behind the sharded stat
+//! cells (the raw-speed pass).
+//!
+//! The kernel's `Stats` and the per-rank `RankStats` used to be updated
+//! through shared locks on every message; they are now accumulated in
+//! per-worker / per-incarnation local cells and merged once at
+//! end-of-run. That refactor is only sound if merging the shards equals
+//! the old sequential accumulation — which these properties check
+//! against randomized operation sequences and partitions:
+//!
+//! * `Stats::merge` is a full commutative monoid action (counters add,
+//!   gauges max, durations add, histogram buckets add), so *any*
+//!   assignment of operations to shards, merged in *any* order, must
+//!   reproduce sequential accumulation;
+//! * `RankStats::merge` additionally carries order-dependent duration
+//!   lists and a monotone watermark, so the modelled partition is the
+//!   real one — contiguous incarnation chunks flushed chronologically
+//!   through `RankStatCell` — while associativity (and commutativity of
+//!   the scalar fields) is checked separately.
+
+use proptest::prelude::*;
+use vlog_sim::{SimDuration, Stats, WireSize};
+use vlog_vmpi::{RankStatCell, RankStats, SharedRankStats};
+
+// ---------------------------------------------------------------------
+// RankStats
+// ---------------------------------------------------------------------
+
+/// One protocol-visible statistics update. `Ack` models the EL
+/// stability watermark the way the protocols actually write it: an
+/// *assignment* of a globally monotone value, not an increment — the
+/// reason `RankStats::merge` folds that field with `max`.
+#[derive(Debug, Clone, Copy)]
+enum ROp {
+    Events(u8),
+    Bytes(u16),
+    EmptyMsg,
+    AppMsg,
+    Ckpt,
+    SendTime(u16),
+    RecvTime(u16),
+    Ack(u16),
+    RecoveryCollect(u16),
+    RecoveryTotal(u16),
+}
+
+fn rop_strategy() -> impl Strategy<Value = ROp> {
+    prop_oneof![
+        any::<u8>().prop_map(ROp::Events),
+        any::<u16>().prop_map(ROp::Bytes),
+        Just(ROp::EmptyMsg),
+        Just(ROp::AppMsg),
+        Just(ROp::Ckpt),
+        any::<u16>().prop_map(ROp::SendTime),
+        any::<u16>().prop_map(ROp::RecvTime),
+        any::<u16>().prop_map(ROp::Ack),
+        any::<u16>().prop_map(ROp::RecoveryCollect),
+        any::<u16>().prop_map(ROp::RecoveryTotal),
+    ]
+}
+
+/// Applies one op. `watermark` is the global monotone EL stability
+/// value shared by every incarnation of the rank.
+fn apply(st: &mut RankStats, op: ROp, watermark: &mut u64) {
+    match op {
+        ROp::Events(n) => st.pb_events_sent += n as u64,
+        ROp::Bytes(n) => st.pb_bytes_sent += n as u64,
+        ROp::EmptyMsg => st.empty_pb_msgs += 1,
+        ROp::AppMsg => st.app_msgs_sent += 1,
+        ROp::Ckpt => st.checkpoints += 1,
+        ROp::SendTime(ns) => st.pb_send_time += SimDuration::from_nanos(ns as u64),
+        ROp::RecvTime(ns) => st.pb_recv_time += SimDuration::from_nanos(ns as u64),
+        ROp::Ack(d) => {
+            *watermark += d as u64;
+            st.el_acked_events = *watermark;
+        }
+        ROp::RecoveryCollect(ns) => st.recovery_collect.push(SimDuration::from_nanos(ns as u64)),
+        ROp::RecoveryTotal(ns) => st.recovery_total.push(SimDuration::from_nanos(ns as u64)),
+    }
+}
+
+/// A delta built by applying ops to a fresh `RankStats` (its own
+/// watermark — deltas from different writers are independent).
+fn delta(ops: &[ROp]) -> RankStats {
+    let mut st = RankStats::default();
+    let mut w = 0u64;
+    for &op in ops {
+        apply(&mut st, op, &mut w);
+    }
+    st
+}
+
+fn fp(st: &RankStats) -> String {
+    format!("{st:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The real sharding: any split of one rank's update sequence into
+    /// contiguous incarnation chunks, each accumulated in its own
+    /// `RankStatCell` and flushed (by drop) in chronological order,
+    /// equals sequential accumulation into one locked struct.
+    #[test]
+    fn incarnation_cells_equal_sequential_accumulation(
+        ops in prop::collection::vec(rop_strategy(), 0..80),
+        cuts in prop::collection::vec(0usize..81, 0..4),
+    ) {
+        let mut oracle = RankStats::default();
+        let mut w = 0u64;
+        for &op in &ops {
+            apply(&mut oracle, op, &mut w);
+        }
+
+        let shared: SharedRankStats = Default::default();
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (ops.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(ops.len());
+        bounds.sort_unstable();
+        let mut w2 = 0u64;
+        for pair in bounds.windows(2) {
+            let mut cell = RankStatCell::new(shared.clone());
+            for &op in &ops[pair[0]..pair[1]] {
+                apply(cell.local(), op, &mut w2);
+            }
+            // Dropping the cell flushes it, like a crashing or
+            // finishing incarnation.
+        }
+        let merged = shared.lock().unwrap().clone();
+        prop_assert_eq!(fp(&merged), fp(&oracle));
+    }
+
+    /// Merge is associative over arbitrary deltas (list concatenation,
+    /// addition and max all are), so nested flush/merge orders cannot
+    /// change the result as long as the chronological sequence is kept.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(rop_strategy(), 0..30),
+        b in prop::collection::vec(rop_strategy(), 0..30),
+        c in prop::collection::vec(rop_strategy(), 0..30),
+    ) {
+        let (da, db, dc) = (delta(&a), delta(&b), delta(&c));
+        let mut left = da.clone();
+        left.merge(&db);
+        left.merge(&dc);
+        let mut bc = db.clone();
+        bc.merge(&dc);
+        let mut right = da.clone();
+        right.merge(&bc);
+        prop_assert_eq!(fp(&left), fp(&right));
+    }
+
+    /// The scalar fields also commute (the daemon cell and the protocol
+    /// cell of one incarnation flush in an arbitrary relative order at
+    /// end-of-run — sound because the two writers share no list field).
+    #[test]
+    fn merge_of_scalar_deltas_is_commutative(
+        a in prop::collection::vec(rop_strategy(), 0..30),
+        b in prop::collection::vec(rop_strategy(), 0..30),
+    ) {
+        let scalar_only = |ops: &[ROp]| -> Vec<ROp> {
+            ops.iter()
+                .filter(|op| !matches!(op, ROp::RecoveryCollect(_) | ROp::RecoveryTotal(_)))
+                .copied()
+                .collect()
+        };
+        let (da, db) = (delta(&scalar_only(&a)), delta(&scalar_only(&b)));
+        let mut ab = da.clone();
+        ab.merge(&db);
+        let mut ba = db.clone();
+        ba.merge(&da);
+        prop_assert_eq!(fp(&ab), fp(&ba));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats (the kernel-wide accumulator)
+// ---------------------------------------------------------------------
+
+const COUNTER_KEYS: [&str; 3] = ["net.msgs", "ckpt.commits", "el.records"];
+const GAUGE_KEYS: [&str; 2] = ["el.peak_queue", "el.peak_outstanding"];
+const TIME_KEYS: [&str; 2] = ["el.ack_latency", "recovery.replay"];
+
+/// One kernel-side statistics update.
+#[derive(Debug, Clone, Copy)]
+enum SOp {
+    Add(usize, u16),
+    Bump(usize),
+    Gauge(usize, u32),
+    Time(usize, u16),
+    Msg(u16, u16, u16, u16),
+}
+
+fn sop_strategy() -> impl Strategy<Value = SOp> {
+    prop_oneof![
+        (0..COUNTER_KEYS.len(), any::<u16>()).prop_map(|(k, v)| SOp::Add(k, v)),
+        (0..COUNTER_KEYS.len()).prop_map(SOp::Bump),
+        (0..GAUGE_KEYS.len(), any::<u32>()).prop_map(|(k, v)| SOp::Gauge(k, v)),
+        (0..TIME_KEYS.len(), any::<u16>()).prop_map(|(k, v)| SOp::Time(k, v)),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>())
+            .prop_map(|(h, p, g, c)| SOp::Msg(h, p, g, c)),
+    ]
+}
+
+fn apply_s(st: &mut Stats, op: SOp) {
+    match op {
+        SOp::Add(k, v) => st.add(COUNTER_KEYS[k], v as u64),
+        SOp::Bump(k) => st.bump(COUNTER_KEYS[k]),
+        SOp::Gauge(k, v) => st.set_max(GAUGE_KEYS[k], v as u64),
+        SOp::Time(k, ns) => st.add_time(TIME_KEYS[k], SimDuration::from_nanos(ns as u64)),
+        SOp::Msg(h, p, g, c) => st.record_message(WireSize {
+            header: h as u64,
+            payload: p as u64,
+            piggyback: g as u64,
+            control: c as u64,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every `Stats` field folds commutatively (add / max / bucket
+    /// add), so an arbitrary assignment of operations to shards, merged
+    /// forwards or backwards, reproduces sequential accumulation
+    /// exactly. This is what lets per-worker stat shards replace the
+    /// old locked accumulator without any ordering discipline.
+    #[test]
+    fn sharded_stats_equal_sequential_accumulation(
+        assigned in prop::collection::vec((sop_strategy(), 0usize..4), 0..100),
+    ) {
+        let mut oracle = Stats::new();
+        for &(op, _) in &assigned {
+            apply_s(&mut oracle, op);
+        }
+
+        let mut shards = vec![Stats::new(), Stats::new(), Stats::new(), Stats::new()];
+        for &(op, shard) in &assigned {
+            apply_s(&mut shards[shard], op);
+        }
+
+        let mut forward = Stats::new();
+        for sh in &shards {
+            forward.merge(sh);
+        }
+        prop_assert_eq!(format!("{forward:?}"), format!("{oracle:?}"));
+
+        let mut backward = Stats::new();
+        for sh in shards.iter().rev() {
+            backward.merge(sh);
+        }
+        prop_assert_eq!(format!("{backward:?}"), format!("{oracle:?}"));
+    }
+}

@@ -16,17 +16,35 @@ use std::sync::Arc;
 ///
 /// Clones share one allocation; consuming reads ([`Buf`]) and
 /// [`Bytes::split_off`]/[`Bytes::split_to`] only move offsets.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
     start: usize,
     end: usize,
 }
 
+/// Shared backing of every empty `Bytes`: [`Bytes::new`] and
+/// `Bytes::from(vec![])` are one refcount bump, never an allocation.
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Creates an empty `Bytes`. Allocation-free: every empty `Bytes`
+    /// shares one static backing.
     pub fn new() -> Bytes {
-        Bytes::default()
+        Bytes {
+            data: empty_arc(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Creates a `Bytes` owning a copy of `data`.
@@ -103,6 +121,9 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let end = v.len();
         Bytes {
             data: v.into(),
@@ -407,6 +428,19 @@ impl BufMut for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_bytes_share_one_backing() {
+        let a = Bytes::new();
+        let b = Bytes::from(Vec::new());
+        let c = Bytes::default();
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(Arc::ptr_eq(&a.data, &c.data));
+        // Non-empty construction still gets its own allocation.
+        let d = Bytes::from(vec![1]);
+        assert!(!Arc::ptr_eq(&a.data, &d.data));
+    }
 
     #[test]
     fn roundtrip_le_accessors() {

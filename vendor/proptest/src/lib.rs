@@ -3,7 +3,8 @@
 //! Supports the surface this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]`
 //! attribute, integer-range and tuple strategies, `prop::collection::vec`,
-//! [`Strategy::prop_map`], `any::<T>()` and the `prop_assert*` macros.
+//! [`Strategy::prop_map`], `any::<T>()`, [`Just`], the unweighted
+//! [`prop_oneof!`] and the `prop_assert*` macros.
 //!
 //! Differences from the real crate, by design:
 //!
@@ -85,6 +86,49 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn new_value(&self, rng: &mut TestRng) -> O {
         (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy producing one fixed value, cloned per case — the constant
+/// arms of a [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternative strategies that all
+/// yield one value type: the engine behind [`prop_oneof!`]. Like
+/// [`Map`], the erased alternatives carry no inverse, so a `Union`
+/// yields no shrink candidates (failures still replay by seed).
+pub struct Union<V> {
+    options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps the already-boxed alternatives ([`prop_oneof!`] builds
+    /// the vector). Panics if `options` is empty — a choice among zero
+    /// alternatives has no value to draw.
+    pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Union<V> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.random_range(0..self.options.len());
+        (self.options[idx])(rng)
     }
 }
 
@@ -559,6 +603,25 @@ macro_rules! __proptest_body {
     )*};
 }
 
+/// Uniform choice among alternative strategies of one value type.
+/// Unweighted subset of the real crate's macro (no `N => strat` weight
+/// prefixes); expands to a [`Union`] over boxed draw closures.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __vlog_options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $(
+            let __vlog_strat = $strat;
+            __vlog_options.push(::std::boxed::Box::new(
+                move |rng: &mut $crate::TestRng| $crate::Strategy::new_value(&__vlog_strat, rng),
+            ));
+        )+
+        $crate::Union::new(__vlog_options)
+    }};
+}
+
 /// Like `assert!`, inside a property.
 #[macro_export]
 macro_rules! prop_assert {
@@ -607,8 +670,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -645,6 +708,22 @@ mod tests {
         fn tuples_compose(t in (0usize..4, 10u64..20, any::<bool>())) {
             prop_assert!(t.0 < 4);
             prop_assert!((10..20).contains(&t.1));
+        }
+
+        #[test]
+        fn just_repeats_its_value(v in Just(41u64).prop_map(|x| x + 1)) {
+            prop_assert_eq!(v, 42);
+        }
+
+        #[test]
+        fn oneof_draws_only_from_its_alternatives(
+            v in prop_oneof![0u64..10, 100u64..110, Just(7_777u64)],
+        ) {
+            prop_assert!(
+                (0..10).contains(&v) || (100..110).contains(&v) || v == 7_777,
+                "out-of-alternative value {}",
+                v
+            );
         }
     }
 
