@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 
 use vlog_core::{
     decode_factored, decode_flat, encode_factored, encode_flat, make_reduction, AGraph,
-    Determinant, PbEncoder, SenderLog, Technique,
+    Determinant, ElBatcher, PbEncoder, SenderLog, Technique,
 };
 use vlog_sim::{profiler, EventCalendar, SimDuration, SimTime};
 use vlog_vmpi::{Payload, PayloadArena, RankStatCell, RankStats};
@@ -338,6 +338,54 @@ fn bench_profiler_scope(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ack-clocked EL batcher on the determinant-shipping hot path: the
+/// offer/ack cycle at increasing coalescing depth (how many dets pile up
+/// behind the in-flight batch before the ack flushes them), and the
+/// reshard handoff drain.
+fn bench_el_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("el_batching");
+    for &depth in &[1usize, 16, 256] {
+        let input = dets(depth, 4);
+        g.bench_with_input(
+            BenchmarkId::new("offer_ack_cycle", depth),
+            &input,
+            |b, d| {
+                b.iter_batched(
+                    ElBatcher::new,
+                    |mut batcher| {
+                        // First offer ships immediately; the rest
+                        // coalesce until the ack releases them.
+                        let first = batcher.offer(d[0]);
+                        for det in &d[1..] {
+                            let _ = batcher.offer(*det);
+                        }
+                        (first, batcher.acked())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("reshard_handoff", depth),
+            &input,
+            |b, d| {
+                b.iter_batched(
+                    || {
+                        let mut batcher = ElBatcher::new();
+                        for det in d {
+                            let _ = batcher.offer(*det);
+                        }
+                        batcher
+                    },
+                    |mut batcher| batcher.take_unacked(),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codecs,
@@ -347,6 +395,7 @@ criterion_group!(
     bench_calendar,
     bench_sharded_stats,
     bench_payload_arena,
-    bench_profiler_scope
+    bench_profiler_scope,
+    bench_el_batching
 );
 criterion_main!(benches);

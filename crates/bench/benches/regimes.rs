@@ -17,10 +17,13 @@ use vlog_bench::{
     banner, default_threads, fmt3, render_markdown, run_many, write_json, RegimeRow, SuiteKind,
     Table,
 };
-use vlog_sim::SimDuration;
+use vlog_core::{CausalSuite, Technique};
+use vlog_sim::{NetProfile, SimDuration};
 use vlog_vmpi::{ClusterConfig, FaultPlan};
 use vlog_workloads::runner::faults;
-use vlog_workloads::{registry, run_workload, RegistryScale, Workload, WorkloadRun, FAMILIES};
+use vlog_workloads::{
+    net_axes, registry, run_workload, NetAxis, RegistryScale, Workload, WorkloadRun, FAMILIES,
+};
 
 /// When the hub dies. Every Large entry runs well past this point under
 /// every suite, so the fault always lands mid-run.
@@ -34,15 +37,23 @@ const DETECT_DELAY: SimDuration = SimDuration::from_millis(8);
 /// Checkpoint cadence offered to every suite.
 const CKPT_EVERY: SimDuration = SimDuration::from_millis(6);
 
-fn cluster_for(w: &dyn Workload) -> ClusterConfig {
+/// When the EL-scaling sweep kills one EL shard. Matches the hub-fault
+/// time so the two fault modes stress the same phase of the run.
+const EL_FAULT_AT: SimDuration = SimDuration::from_millis(5);
+
+/// Stable-clock gossip period of the distributed EL shards.
+const EL_GOSSIP: SimDuration = SimDuration::from_millis(20);
+
+fn cluster_for(w: &dyn Workload, profile: NetProfile) -> ClusterConfig {
     let mut cfg = ClusterConfig::new(w.np());
     cfg.detect_delay = DETECT_DELAY;
     cfg.event_limit = Some(2_000_000_000);
+    cfg.net = profile;
     cfg
 }
 
 fn run_cell(w: &Arc<dyn Workload>, kind: SuiteKind) -> RegimeRow {
-    let cfg = cluster_for(w.as_ref());
+    let cfg = cluster_for(w.as_ref(), NetProfile::fast_ethernet_2005());
     let free = run_workload(w.as_ref(), &cfg, kind.build(CKPT_EVERY), &FaultPlan::none());
     assert!(
         free.report.completed,
@@ -58,27 +69,104 @@ fn run_cell(w: &Arc<dyn Workload>, kind: SuiteKind) -> RegimeRow {
         faulted.label,
         kind.label()
     );
-    row_from_runs(w.as_ref(), kind, &free, &faulted)
-}
-
-fn row_from_runs(
-    w: &dyn Workload,
-    kind: SuiteKind,
-    free: &WorkloadRun,
-    faulted: &WorkloadRun,
-) -> RegimeRow {
-    let (pb_send, pb_recv) = free.pb_times();
     let el = match kind {
         SuiteKind::Causal { el, .. } => el,
         SuiteKind::Pessimistic => true,
         SuiteKind::Coordinated => false,
     };
+    let axis = NetAxis {
+        profile: NetProfile::fast_ethernet_2005(),
+        el_count: if el { 1 } else { 0 },
+    };
+    row_from_runs(
+        w.as_ref(),
+        kind.label(),
+        kind.is_causal(),
+        el,
+        &axis,
+        &free,
+        &faulted,
+    )
+}
+
+/// One cell of the EL-scaling sweep: the saturation-probe workload under
+/// Vcausal+EL on the given fabric × shard-count axis, fault-free plus
+/// (when there is a shard to spare) an EL-failure rerun in which shard 0
+/// is crashed mid-run and its ranks re-shard onto the survivors. Here
+/// `faulted_makespan_s` records that EL-failure rerun, not a hub
+/// failure.
+fn run_scaling_cell(w: &Arc<dyn Workload>, axis: &NetAxis) -> RegimeRow {
+    let kind = SuiteKind::Causal {
+        technique: Technique::Vcausal,
+        el: true,
+    };
+    let suite = || {
+        Arc::new(
+            CausalSuite::new(Technique::Vcausal, true)
+                .with_checkpoints(CKPT_EVERY)
+                .with_distributed_el(axis.el_count, EL_GOSSIP),
+        )
+    };
+    let cfg = cluster_for(w.as_ref(), axis.profile.clone());
+    let free = run_workload(w.as_ref(), &cfg, suite(), &FaultPlan::none());
+    assert!(
+        free.report.completed,
+        "{} on {} did not complete fault-free",
+        free.label,
+        axis.label()
+    );
+    let faulted = if axis.el_count >= 2 {
+        let run = run_workload(
+            w.as_ref(),
+            &cfg,
+            suite(),
+            &FaultPlan::kill_el_at(EL_FAULT_AT, 0),
+        );
+        assert!(
+            run.report.completed,
+            "{} on {} did not survive the EL-shard failure",
+            run.label,
+            axis.label()
+        );
+        assert!(
+            run.report.el_reshards() >= 1,
+            "{} on {}: EL failure injected but no re-shard happened",
+            run.label,
+            axis.label()
+        );
+        run
+    } else {
+        run_workload(w.as_ref(), &cfg, suite(), &FaultPlan::none())
+    };
+    row_from_runs(w.as_ref(), kind.label(), true, true, axis, &free, &faulted)
+}
+
+fn row_from_runs(
+    w: &dyn Workload,
+    suite: String,
+    causal: bool,
+    el: bool,
+    axis: &NetAxis,
+    free: &WorkloadRun,
+    faulted: &WorkloadRun,
+) -> RegimeRow {
+    let (pb_send, pb_recv) = free.pb_times();
+    let gauges = free.report.el_shard_gauges(axis.el_count);
+    let el_shard_queues = gauges
+        .iter()
+        .map(|(q, _)| q.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let el_ack_peak_us = gauges
+        .iter()
+        .map(|(_, ack)| ack.as_micros_f64())
+        .fold(0.0, f64::max);
     RegimeRow {
         family: free.family.to_string(),
         label: free.label.clone(),
-        suite: kind.label(),
+        suite,
         np: w.np() as u64,
-        causal: kind.is_causal(),
+        causal,
         el,
         completed: free.report.completed && faulted.report.completed,
         makespan_s: free.report.makespan.as_secs_f64(),
@@ -95,6 +183,10 @@ fn row_from_runs(
         el_peak_outstanding: free.report.el_peak_outstanding(),
         el_ack_mean_us: free.report.el_ack_latency_mean().as_micros_f64(),
         el_records: free.report.el_acked_records(),
+        profile: axis.profile.name.to_string(),
+        el_count: axis.el_count as u64,
+        el_shard_queues,
+        el_ack_peak_us,
     }
 }
 
@@ -114,7 +206,34 @@ fn main() {
         .iter()
         .flat_map(|w| suites.iter().map(move |&k| (w.clone(), k)))
         .collect();
-    let rows = run_many(jobs, default_threads(), |(w, kind)| run_cell(&w, kind));
+    let mut rows = run_many(jobs, default_threads(), |(w, kind)| run_cell(&w, kind));
+
+    // EL-scaling sweep: the saturation probe (deepest FFT tiling) under
+    // Vcausal+EL across every off-baseline fabric × shard-count axis.
+    // The baseline axis is skipped — the main grid above already holds
+    // that cell, and it doubles as table 6's first row.
+    let probe = workloads
+        .iter()
+        .find(|w| w.family() == "fft" && w.label().ends_with(".t32"))
+        .expect("Large registry always has the deep-tiling FFT entry")
+        .clone();
+    let axes: Vec<NetAxis> = net_axes(RegistryScale::Large)
+        .into_iter()
+        .filter(|a| !(a.profile.name == "fast-ethernet-2005" && a.el_count <= 1))
+        .collect();
+    banner(
+        "EL-scaling sweep — saturation probe x every net axis x {free, EL failure}",
+        &format!(
+            "{} on {} fabrics; EL shard 0 dies at {EL_FAULT_AT} where shards allow",
+            probe.label(),
+            axes.len()
+        ),
+    );
+    let scaling_jobs: Vec<(Arc<dyn Workload>, NetAxis)> =
+        axes.into_iter().map(|a| (probe.clone(), a)).collect();
+    rows.extend(run_many(scaling_jobs, default_threads(), |(w, axis)| {
+        run_scaling_cell(&w, &axis)
+    }));
 
     // Stdout summary: one table per family mirroring REPORT.md's core
     // columns.

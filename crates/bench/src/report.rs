@@ -83,13 +83,38 @@ pub struct RegimeRow {
     pub el_ack_mean_us: f64,
     /// Event records the EL processed in the fault-free run.
     pub el_records: u64,
+    /// Network-fabric profile the cluster was built on
+    /// ([`vlog_sim::NetProfile::name`]).
+    pub profile: String,
+    /// Event-Logger shard count (1 = the classic single EL; 0 for
+    /// EL-less suites).
+    pub el_count: u64,
+    /// Per-shard peak CPU-queue depths, slash-joined in shard order
+    /// (`"3/0/1/0"`); empty when no EL ran.
+    pub el_shard_queues: String,
+    /// Worst per-shard peak arrival-to-ack latency, µs (fault-free run).
+    pub el_ack_peak_us: f64,
 }
 
 impl RegimeRow {
-    /// The `family/label/suite` name identifying this cell in the JSON
-    /// grid.
+    /// The name identifying this cell in the JSON grid:
+    /// `family/label/suite`, with the `@profile/elK` net axis appended
+    /// for cells off the paper-baseline fabric so the EL-scaling sweep
+    /// rows stay unique alongside the main grid.
     pub fn name(&self) -> String {
-        format!("{}/{}/{}", self.family, self.label, self.suite)
+        let base = format!("{}/{}/{}", self.family, self.label, self.suite);
+        if self.is_baseline_axis() {
+            base
+        } else {
+            format!("{base}@{}/el{}", self.profile, self.el_count)
+        }
+    }
+
+    /// True when this cell ran on the paper's baseline fabric
+    /// (FastEthernet-2005, at most the single classic EL) — the axis
+    /// the cross-regime tables pivot on.
+    pub fn is_baseline_axis(&self) -> bool {
+        self.profile == "fast-ethernet-2005" && self.el_count <= 1
     }
 
     /// Recovery overhead of the hub failure: extra makespan relative to
@@ -122,7 +147,8 @@ pub fn write_json(rows: &[RegimeRow]) -> String {
              \"max_msg_bucket\": {}, \"el_peak_queue\": {}, \
              \"el_peak_queue_faulted\": {}, \
              \"el_peak_outstanding\": {}, \"el_ack_mean_us\": {:.3}, \
-             \"el_records\": {}}}{}\n",
+             \"el_records\": {}, \"profile\": \"{}\", \"el_count\": {}, \
+             \"el_shard_queues\": \"{}\", \"el_ack_peak_us\": {:.3}}}{}\n",
             json_escape(&r.name()),
             json_escape(&r.family),
             json_escape(&r.label),
@@ -145,6 +171,10 @@ pub fn write_json(rows: &[RegimeRow]) -> String {
             r.el_peak_outstanding,
             r.el_ack_mean_us,
             r.el_records,
+            json_escape(&r.profile),
+            r.el_count,
+            json_escape(&r.el_shard_queues),
+            r.el_ack_peak_us,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -403,6 +433,12 @@ fn row_from_fields(fields: &[(String, JsonValue)]) -> Result<RegimeRow, String> 
         el_peak_outstanding: get("el_peak_outstanding")?.as_u64("el_peak_outstanding")?,
         el_ack_mean_us: get("el_ack_mean_us")?.as_f64("el_ack_mean_us")?,
         el_records: get("el_records")?.as_u64("el_records")?,
+        profile: get("profile")?.as_str("profile")?.to_string(),
+        el_count: get("el_count")?.as_u64("el_count")?,
+        el_shard_queues: get("el_shard_queues")?
+            .as_str("el_shard_queues")?
+            .to_string(),
+        el_ack_peak_us: get("el_ack_peak_us")?.as_f64("el_ack_peak_us")?,
     })
 }
 
@@ -456,7 +492,15 @@ fn fmt_ms(seconds: f64) -> String {
 /// Renders `REPORT.md` from the rows of one scaled-regime sweep: one
 /// figure-style table per metric, each followed by the prose comparing
 /// what the paper predicts with what the simulation shows.
-pub fn render_markdown(rows: &[RegimeRow]) -> String {
+pub fn render_markdown(all_rows: &[RegimeRow]) -> String {
+    // Tables 1-5 pivot on the paper-baseline fabric; the off-baseline
+    // net axes of the EL-scaling sweep get their own table 6.
+    let baseline: Vec<RegimeRow> = all_rows
+        .iter()
+        .filter(|r| r.is_baseline_axis())
+        .cloned()
+        .collect();
+    let rows: &[RegimeRow] = &baseline;
     let workloads = distinct(rows, workload_name);
     let suites = distinct(rows, |r| r.suite.clone());
     let causal_suites: Vec<String> = suites
@@ -705,6 +749,83 @@ pub fn render_markdown(rows: &[RegimeRow]) -> String {
          predicts every number above.\n"
     );
 
+    // ---- Table 6: EL scaling across fabrics ----------------------------
+    let scaling: Vec<&RegimeRow> = {
+        let axes_per_cell = |r: &RegimeRow| {
+            all_rows
+                .iter()
+                .filter(|o| workload_name(o) == workload_name(r) && o.suite == r.suite)
+                .count()
+        };
+        all_rows
+            .iter()
+            .filter(|r| r.el && axes_per_cell(r) > 1)
+            .collect()
+    };
+    if !scaling.is_empty() {
+        let _ = writeln!(out, "## 6. Event Logger scaling across network fabrics\n");
+        let _ = writeln!(
+            out,
+            "The saturation probe (the deepest FFT tiling under the first\n\
+             causal EL suite) rerun across every fabric × EL-shard axis of\n\
+             the registry. `shard queues` is the peak CPU-queue depth per\n\
+             shard, slash-joined in shard order; `EL-fail ms` is the same\n\
+             run with one EL shard crashed mid-run and its ranks\n\
+             re-sharded onto the survivors (only defined for `el >= 2`).\n"
+        );
+        let headers: Vec<String> = [
+            "fabric / EL shards",
+            "free ms",
+            "EL-fail ms",
+            "shard queues",
+            "ack peak µs",
+            "ack mean µs",
+            "records",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut body = Vec::new();
+        for r in &scaling {
+            body.push(vec![
+                format!("{}/el{}", r.profile, r.el_count),
+                fmt_ms(r.makespan_s),
+                if r.el_count >= 2 {
+                    fmt_ms(r.faulted_makespan_s)
+                } else {
+                    "-".into()
+                },
+                if r.el_shard_queues.is_empty() {
+                    "-".into()
+                } else {
+                    r.el_shard_queues.clone()
+                },
+                format!("{:.1}", r.el_ack_peak_us),
+                format!("{:.1}", r.el_ack_mean_us),
+                r.el_records.to_string(),
+            ]);
+        }
+        out.push_str(&md_table(&headers, &body));
+        let _ = writeln!(
+            out,
+            "\nThis is the experiment the paper could not run: its testbed\n\
+             was fixed at Fast Ethernet, where the 100 Mb/s ingress link\n\
+             paces records further apart than the EL's per-record service\n\
+             time — the ack *round-trip*, not the EL CPU, bounds the\n\
+             un-acked window. On the gigabit fabrics the pacing vanishes:\n\
+             records arrive faster than one EL core can log them, the\n\
+             per-shard CPU queues above go from zero to double digits,\n\
+             and the bottleneck the paper's conclusion predicts for\n\
+             larger clusters appears at 16 ranks. Sharding the EL\n\
+             (`el4`) splits the arrival stream and drains the queues\n\
+             back down — the distributed-EL future work, quantified.\n\
+             Losing a shard mid-run costs one detection delay plus the\n\
+             re-shard handoff (unacked batches re-shipped to the\n\
+             survivor shards), visible as the `EL-fail` column tracking\n\
+             the fault-free makespan within a few percent.\n"
+        );
+    }
+
     out
 }
 
@@ -736,6 +857,10 @@ mod tests {
                 el_peak_outstanding: 17,
                 el_ack_mean_us: 95.5,
                 el_records: 900,
+                profile: "fast-ethernet-2005".into(),
+                el_count: 1,
+                el_shard_queues: "3".into(),
+                el_ack_peak_us: 110.0,
             },
             RegimeRow {
                 family: "halo".into(),
@@ -759,8 +884,25 @@ mod tests {
                 el_peak_outstanding: 0,
                 el_ack_mean_us: 0.0,
                 el_records: 0,
+                profile: "fast-ethernet-2005".into(),
+                el_count: 0,
+                el_shard_queues: String::new(),
+                el_ack_peak_us: 0.0,
             },
         ]
+    }
+
+    /// The EL cell of `sample_rows` rerun on an off-baseline net axis,
+    /// as the EL-scaling sweep emits it.
+    fn scaling_row() -> RegimeRow {
+        let mut r = sample_rows().remove(0);
+        r.profile = "gigabit".into();
+        r.el_count = 4;
+        r.el_shard_queues = "12/9/11/10".into();
+        r.el_ack_peak_us = 310.0;
+        r.makespan_s = 0.011;
+        r.faulted_makespan_s = 0.0115;
+        r
     }
 
     #[test]
@@ -827,6 +969,41 @@ mod tests {
 ";
         assert!(md.contains(expected_rec), "recovery table drifted:\n{md}");
         // Rendering twice is byte-identical (no hidden state, no time).
+        assert_eq!(md, render_markdown(&rows));
+        // No scaling rows -> no table 6.
+        assert!(!md.contains("## 6."), "table 6 without scaling rows:\n{md}");
+    }
+
+    #[test]
+    fn off_baseline_rows_get_axis_suffixed_names_and_table_6() {
+        let mut rows = sample_rows();
+        rows.push(scaling_row());
+        assert_eq!(rows[0].name(), "halo/24r.x5/Vcausal (EL)");
+        assert_eq!(
+            rows[2].name(),
+            "halo/24r.x5/Vcausal (EL)@gigabit/el4",
+            "off-baseline cells must stay unique in the JSON grid"
+        );
+        let back = parse_json(&write_json(&rows)).unwrap();
+        assert_eq!(rows, back, "new columns must round-trip");
+
+        let md = render_markdown(&rows);
+        // Tables 1-5 pivot on the baseline axis only: the piggyback
+        // table still has exactly one halo row.
+        let expected_t1 = "\
+| workload (np) | Vcausal (EL) | Vcausal (no EL) |
+| :-- | --: | --: |
+| halo/24r.x5 (24) | 4.56 | 9.87 |
+";
+        assert!(md.contains(expected_t1), "baseline pivot drifted:\n{md}");
+        // Both axes of the EL cell land in table 6, shard gauges intact.
+        let expected_t6 = "\
+| fabric / EL shards | free ms | EL-fail ms | shard queues | ack peak µs | ack mean µs | records |
+| :-- | --: | --: | --: | --: | --: | --: |
+| fast-ethernet-2005/el1 | 12.35 | - | 3 | 110.0 | 95.5 | 900 |
+| gigabit/el4 | 11.00 | 11.50 | 12/9/11/10 | 310.0 | 95.5 | 900 |
+";
+        assert!(md.contains(expected_t6), "EL-scaling table drifted:\n{md}");
         assert_eq!(md, render_markdown(&rows));
     }
 }

@@ -24,12 +24,12 @@ use std::sync::Arc;
 
 use vlog_sim::{profiler, SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RankStatCell,
-    RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, ElReshard, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank,
+    RankStatCell, RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::costs::CausalCosts;
-use crate::el::{ElMsg, ElReply, EL_RECORD_BYTES};
+use crate::el::{el_batch_bytes, ElBatcher, ElMsg, ElReply};
 use crate::event::Determinant;
 use crate::piggyback::PbBody;
 use crate::reduction::{make_reduction, Reduction, Technique};
@@ -133,6 +133,8 @@ pub struct CausalProtocol {
     /// Wheel handle of the armed reclaim retry timer, cancelled as soon
     /// as collection completes instead of left to fire as a stale no-op.
     reclaim_timer: Option<vlog_sim::TimerHandle>,
+    /// Ack-clocked record batcher on the ship-to-EL path.
+    batcher: ElBatcher,
 }
 
 impl CausalProtocol {
@@ -159,6 +161,7 @@ impl CausalProtocol {
             ckpt_expected: BTreeMap::new(),
             rec: None,
             reclaim_timer: None,
+            batcher: ElBatcher::new(),
         }
     }
 
@@ -175,20 +178,60 @@ impl CausalProtocol {
     }
 
     fn ship_to_el(&mut self, ctx: &mut Ctx<'_>, det: Determinant) {
+        if self.el_actor(ctx).is_none() {
+            return;
+        }
+        crate::el::record_el_outstanding(ctx.sim, det.clock, self.stable[self.rank]);
+        // Ack-clocked batching: ship immediately on an idle line,
+        // coalesce behind the in-flight batch otherwise (the ack flushes
+        // it). The phase boundary marks a *wire* shipment, so armed
+        // phase faults keep firing on actual record traffic.
+        if let Some(batch) = self.batcher.offer(det) {
+            self.send_batch(ctx, batch);
+            ctx.phase_boundary(ProtoPhase::DeterminantShipped);
+        }
+    }
+
+    fn send_batch(&mut self, ctx: &mut Ctx<'_>, batch: Vec<Determinant>) {
         if let Some(el) = self.el_actor(ctx) {
-            crate::el::record_el_outstanding(ctx.sim, det.clock, self.stable[self.rank]);
             let me = ctx.core.actor();
             ctx.core.control_to_actor(
                 ctx.sim,
                 el,
-                EL_RECORD_BYTES,
+                el_batch_bytes(batch.len()),
                 Box::new(ElMsg::Record {
                     from: self.rank,
-                    det,
+                    dets: batch,
                     reply_to: me,
                 }),
             );
-            ctx.phase_boundary(ProtoPhase::DeterminantShipped);
+        }
+    }
+
+    /// An Event Logger shard died and the topology republished its
+    /// rank→shard map. Re-route to the (possibly new) shard and hand
+    /// over every determinant of this rank not yet acknowledged stable:
+    /// the batcher's shipped-but-unacked and coalescing records plus the
+    /// retained causality store above the stable watermark. Keyed by
+    /// clock so the two sources dedupe; offered in clock order so the
+    /// new shard sees a monotone sequence.
+    fn handle_reshard(&mut self, ctx: &mut Ctx<'_>, _reshard: ElReshard) {
+        if self.el_actor(ctx).is_none() {
+            return;
+        }
+        let mut handoff: BTreeMap<RClock, Determinant> = BTreeMap::new();
+        for det in self.batcher.take_unacked() {
+            handoff.insert(det.clock, det);
+        }
+        for det in self.red.retained() {
+            if det.receiver == self.rank && det.clock > self.stable[self.rank] {
+                handoff.insert(det.clock, det);
+            }
+        }
+        for (_, det) in handoff {
+            if let Some(batch) = self.batcher.offer(det) {
+                self.send_batch(ctx, batch);
+            }
         }
     }
 
@@ -435,6 +478,11 @@ impl CausalProtocol {
                     SimDuration::from_nanos(self.costs.el_ack_ns),
                 );
                 self.apply_stable_vec(&stable);
+                // The ack clocks the batcher: flush whatever coalesced
+                // behind the just-acknowledged batch.
+                if let Some(batch) = self.batcher.acked() {
+                    self.send_batch(ctx, batch);
+                }
                 ctx.phase_boundary(ProtoPhase::AckReceived);
             }
             ElReply::QueryResp { dets, stable } => {
@@ -564,6 +612,13 @@ impl VProtocol for CausalProtocol {
         let body = match body.downcast::<CausalCtl>() {
             Ok(c) => {
                 self.handle_ctl(ctx, *c);
+                return;
+            }
+            Err(b) => b,
+        };
+        let body = match body.downcast::<ElReshard>() {
+            Ok(r) => {
+                self.handle_reshard(ctx, *r);
                 return;
             }
             Err(b) => b,

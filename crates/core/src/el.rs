@@ -22,6 +22,12 @@ use crate::event::Determinant;
 /// Wire size of one event record (determinant body + rank + framing).
 pub const EL_RECORD_BYTES: u64 = 20;
 
+/// Wire size of a record batch carrying `k` determinants (batch framing
+/// plus the records themselves).
+pub fn el_batch_bytes(k: usize) -> u64 {
+    8 + EL_RECORD_BYTES * k as u64
+}
+
 /// Wire size of an acknowledgement for `n` ranks (stable clock vector).
 pub fn el_ack_bytes(n: usize) -> u64 {
     8 + 4 * n as u64
@@ -34,10 +40,11 @@ pub fn el_resp_bytes(k: usize, n: usize) -> u64 {
 
 /// Messages understood by the Event Logger.
 pub enum ElMsg {
-    /// Asynchronous event record from a daemon.
+    /// Asynchronous batch of event records from a daemon (clock order;
+    /// one coalesced acknowledgement covers the whole batch).
     Record {
         from: Rank,
-        det: Determinant,
+        dets: Vec<Determinant>,
         reply_to: ActorId,
     },
     /// Recovery query: all stored events of `victim` with clock > `from`.
@@ -87,21 +94,47 @@ pub fn shard_queue_key(index: usize) -> &'static str {
     SHARD_QUEUE_KEYS[index.min(SHARD_QUEUE_KEYS.len() - 1)]
 }
 
+/// Per-shard peak ack-latency counter keys (nanoseconds), parallel to
+/// [`shard_queue_key`].
+const SHARD_ACK_KEYS: [&str; 8] = [
+    "el_ack_peak_s0_ns",
+    "el_ack_peak_s1_ns",
+    "el_ack_peak_s2_ns",
+    "el_ack_peak_s3_ns",
+    "el_ack_peak_s4_ns",
+    "el_ack_peak_s5_ns",
+    "el_ack_peak_s6_ns",
+    "el_ack_peak_s7_ns",
+];
+
+/// The per-shard peak ack-latency counter key of shard `index`.
+pub fn shard_ack_key(index: usize) -> &'static str {
+    SHARD_ACK_KEYS[index.min(SHARD_ACK_KEYS.len() - 1)]
+}
+
 /// Records the server-side saturation gauges for one stored (or
-/// duplicate) event record on EL shard `index`: the CPU queue depth the
-/// record saw at arrival and its arrival-to-ack-send latency. Shared by
-/// the single [`EventLogger`] and the distributed shards in
+/// duplicate) batch of `batch_len` event records on EL shard `index`:
+/// the CPU queue depth the batch saw at arrival (its own service time
+/// subtracted out) and its arrival-to-ack-send latency. Shared by the
+/// single [`EventLogger`] and the distributed shards in
 /// [`el_multi`](crate::el_multi). The complementary *creator*-side
 /// gauge — the un-acked event window that decides whether acks arrive
 /// in time to trim piggybacks — is recorded by the protocols at ship
 /// time (see [`record_el_outstanding`]).
-pub(crate) fn record_el_saturation(sim: &mut Sim, index: usize, ack_latency: SimDuration) {
-    let depth = (ack_latency.as_nanos() / EL_SERVICE_NS).saturating_sub(1);
+pub(crate) fn record_el_saturation(
+    sim: &mut Sim,
+    index: usize,
+    ack_latency: SimDuration,
+    batch_len: usize,
+) {
+    let depth = (ack_latency.as_nanos() / EL_SERVICE_NS).saturating_sub(batch_len as u64);
     let stats = sim.stats_mut();
     stats.set_max("el_peak_queue", depth);
     stats.set_max(shard_queue_key(index), depth);
     stats.add_time("el_ack_latency", ack_latency);
+    stats.bump("el_ack_samples");
     stats.set_max("el_ack_latency_peak_ns", ack_latency.as_nanos());
+    stats.set_max(shard_ack_key(index), ack_latency.as_nanos());
 }
 
 /// Records the creator-side saturation gauge when a protocol ships the
@@ -113,6 +146,75 @@ pub(crate) fn record_el_saturation(sim: &mut Sim, index: usize, ack_latency: Sim
 pub fn record_el_outstanding(sim: &mut Sim, shipped: RClock, acked: RClock) {
     sim.stats_mut()
         .set_max("el_peak_outstanding", shipped.saturating_sub(acked));
+}
+
+/// Ack-clocked record batcher used by the logging protocols on their
+/// ship-to-EL path (the shape arXiv:1905.03184 identifies as the main
+/// logger-cost lever: coalesce records, coalesce acks).
+///
+/// Fully deterministic — no timers. The first determinant after an idle
+/// period ships immediately; while that batch's acknowledgement is in
+/// flight, subsequent determinants coalesce into one pending batch that
+/// flushes the moment the ack arrives. The Event Logger sends exactly
+/// one acknowledgement per batch, so under saturation the record *and*
+/// ack message counts collapse together.
+///
+/// Invariant: at most one batch is in flight at a time, and `pending`
+/// only accumulates while a batch is in flight.
+#[derive(Debug, Default)]
+pub struct ElBatcher {
+    /// The batch shipped and not yet acknowledged.
+    in_flight: Vec<Determinant>,
+    /// Records coalescing behind the in-flight batch.
+    pending: Vec<Determinant>,
+}
+
+impl ElBatcher {
+    pub fn new() -> Self {
+        ElBatcher::default()
+    }
+
+    /// Offers one determinant. Returns the batch to put on the wire now
+    /// (always just this determinant, when the line is idle), or `None`
+    /// when it coalesced behind the in-flight batch.
+    pub fn offer(&mut self, det: Determinant) -> Option<Vec<Determinant>> {
+        self.pending.push(det);
+        if self.in_flight.is_empty() {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// The in-flight batch was acknowledged. Returns the coalesced next
+    /// batch to put on the wire, if any records queued up meanwhile.
+    pub fn acked(&mut self) -> Option<Vec<Determinant>> {
+        self.in_flight.clear();
+        if self.pending.is_empty() {
+            None
+        } else {
+            self.flush()
+        }
+    }
+
+    /// Everything shipped-but-unacknowledged plus everything still
+    /// coalescing, in offer order — the records a re-shard handoff must
+    /// re-route to the new shard. Leaves the batcher idle.
+    pub fn take_unacked(&mut self) -> Vec<Determinant> {
+        let mut all = std::mem::take(&mut self.in_flight);
+        all.append(&mut self.pending);
+        all
+    }
+
+    /// Number of offered-but-unacknowledged records.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len() + self.pending.len()
+    }
+
+    fn flush(&mut self) -> Option<Vec<Determinant>> {
+        self.in_flight = std::mem::take(&mut self.pending);
+        Some(self.in_flight.clone())
+    }
 }
 
 /// The Event Logger server actor.
@@ -149,24 +251,31 @@ impl Actor for EventLogger {
         match *el_msg {
             ElMsg::Record {
                 from,
-                det,
+                dets,
                 reply_to,
             } => {
-                debug_assert_eq!(det.receiver, from);
-                let seq = &mut self.stored[from];
-                // Records arrive in clock order per creator (FIFO channel);
-                // replay re-ships may duplicate.
-                let is_new = seq.last().is_none_or(|last| last.clock < det.clock);
-                if is_new {
-                    seq.push(det);
-                    self.stable[from] = det.clock;
-                    sim.stats_mut().bump("el_records");
-                } else {
-                    sim.stats_mut().bump("el_duplicate_records");
+                let batch_len = dets.len();
+                sim.stats_mut().bump("el_batches");
+                for det in dets {
+                    debug_assert_eq!(det.receiver, from);
+                    let seq = &mut self.stored[from];
+                    // Records arrive in clock order per creator (FIFO
+                    // channel); replay re-ships may duplicate.
+                    let is_new = seq.last().is_none_or(|last| last.clock < det.clock);
+                    if is_new {
+                        seq.push(det);
+                        self.stable[from] = det.clock;
+                        sim.stats_mut().bump("el_records");
+                    } else {
+                        sim.stats_mut().bump("el_duplicate_records");
+                    }
                 }
                 let arrived = sim.now();
-                let end = sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
-                record_el_saturation(sim, 0, end.saturating_since(arrived));
+                let end = sim.charge_cpu(
+                    self.node,
+                    SimDuration::from_nanos(EL_SERVICE_NS * batch_len.max(1) as u64),
+                );
+                record_el_saturation(sim, 0, end.saturating_since(arrived), batch_len);
                 let stable = self.stable.clone();
                 let node = self.node;
                 let n = self.n;
@@ -289,7 +398,7 @@ mod tests {
                 WireSize::control(EL_RECORD_BYTES),
                 Box::new(ElMsg::Record {
                     from: 1,
-                    det: det(1, clock),
+                    dets: vec![det(1, clock)],
                     reply_to: probe,
                 }),
             );
@@ -311,7 +420,7 @@ mod tests {
                 WireSize::control(EL_RECORD_BYTES),
                 Box::new(ElMsg::Record {
                     from: 2,
-                    det: det(2, 1),
+                    dets: vec![det(2, 1)],
                     reply_to: probe,
                 }),
             );
@@ -332,7 +441,7 @@ mod tests {
                 WireSize::control(EL_RECORD_BYTES),
                 Box::new(ElMsg::Record {
                     from: 0,
-                    det: det(0, clock),
+                    dets: vec![det(0, clock)],
                     reply_to: probe,
                 }),
             );
@@ -380,7 +489,7 @@ mod tests {
             WireSize::control(EL_RECORD_BYTES),
             Box::new(ElMsg::Record {
                 from: 1,
-                det: det(1, 1),
+                dets: vec![det(1, 1)],
                 reply_to: probe,
             }),
         );
@@ -414,12 +523,77 @@ mod tests {
         assert_eq!(shard_queue_key(0), "el_peak_queue_s0");
         assert_eq!(shard_queue_key(7), "el_peak_queue_s7");
         assert_eq!(shard_queue_key(99), "el_peak_queue_s7");
+        assert_eq!(shard_ack_key(0), "el_ack_peak_s0_ns");
+        assert_eq!(shard_ack_key(99), "el_ack_peak_s7_ns");
     }
 
     #[test]
     fn wire_sizes_scale_with_ranks_and_events() {
         assert_eq!(el_ack_bytes(16), 8 + 64);
+        assert_eq!(el_batch_bytes(1), 8 + EL_RECORD_BYTES);
+        assert_eq!(el_batch_bytes(5), 8 + 5 * EL_RECORD_BYTES);
         assert!(el_resp_bytes(100, 16) > el_resp_bytes(10, 16));
         assert!(el_resp_bytes(0, 32) > 0);
+    }
+
+    #[test]
+    fn batcher_ships_immediately_on_an_idle_line() {
+        let mut b = ElBatcher::new();
+        assert_eq!(b.offer(det(0, 1)), Some(vec![det(0, 1)]));
+        assert_eq!(b.outstanding(), 1);
+        // Nothing coalesced: the ack flushes nothing.
+        assert_eq!(b.acked(), None);
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn batcher_coalesces_behind_the_in_flight_batch() {
+        let mut b = ElBatcher::new();
+        assert!(b.offer(det(0, 1)).is_some());
+        // While the first record's ack is pending, later records coalesce.
+        assert_eq!(b.offer(det(0, 2)), None);
+        assert_eq!(b.offer(det(0, 3)), None);
+        assert_eq!(b.outstanding(), 3);
+        // The ack clocks out the coalesced batch in one flush.
+        assert_eq!(b.acked(), Some(vec![det(0, 2), det(0, 3)]));
+        assert_eq!(b.outstanding(), 2);
+        assert_eq!(b.acked(), None);
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn batcher_handoff_drains_everything_unacked() {
+        let mut b = ElBatcher::new();
+        assert!(b.offer(det(0, 1)).is_some());
+        assert_eq!(b.offer(det(0, 2)), None);
+        assert_eq!(b.take_unacked(), vec![det(0, 1), det(0, 2)]);
+        assert_eq!(b.outstanding(), 0);
+        // After the handoff the line is idle again: next offer ships.
+        assert!(b.offer(det(0, 3)).is_some());
+        // A stale ack (from the dead shard) with records in flight only
+        // rotates the accounting — no record is lost or duplicated.
+        assert_eq!(b.acked(), None);
+    }
+
+    #[test]
+    fn batched_records_get_one_coalesced_ack() {
+        let (mut sim, el, probe, acks, _) = setup();
+        sim.net_send(
+            1,
+            el,
+            WireSize::control(el_batch_bytes(3)),
+            Box::new(ElMsg::Record {
+                from: 1,
+                dets: vec![det(1, 1), det(1, 2), det(1, 3)],
+                reply_to: probe,
+            }),
+        );
+        sim.run();
+        let acks = acks.lock().unwrap();
+        assert_eq!(acks.len(), 1, "a batch is acknowledged exactly once");
+        assert_eq!(acks[0], vec![0, 3, 0]);
+        assert_eq!(sim.stats().get("el_records"), 3);
+        assert_eq!(sim.stats().get("el_batches"), 1);
+        assert_eq!(sim.stats().get("el_ack_samples"), 1);
     }
 }

@@ -97,21 +97,33 @@ impl Actor for ElShard {
                 match *m {
                     ElMsg::Record {
                         from,
-                        det,
+                        dets,
                         reply_to,
                     } => {
-                        let seq = &mut self.stored[from];
-                        if seq.last().is_none_or(|last| last.clock < det.clock) {
-                            seq.push(det);
-                            self.local_stable[from] = det.clock;
-                            self.merged_stable[from] = self.merged_stable[from].max(det.clock);
-                            sim.stats_mut().bump("el_records");
-                        } else {
-                            sim.stats_mut().bump("el_duplicate_records");
+                        let batch_len = dets.len();
+                        sim.stats_mut().bump("el_batches");
+                        for det in dets {
+                            let seq = &mut self.stored[from];
+                            if seq.last().is_none_or(|last| last.clock < det.clock) {
+                                seq.push(det);
+                                self.local_stable[from] = det.clock;
+                                self.merged_stable[from] = self.merged_stable[from].max(det.clock);
+                                sim.stats_mut().bump("el_records");
+                            } else {
+                                sim.stats_mut().bump("el_duplicate_records");
+                            }
                         }
                         let arrived = sim.now();
-                        let end = sim.charge_cpu(self.node, SimDuration::from_nanos(EL_SERVICE_NS));
-                        record_el_saturation(sim, self.index, end.saturating_since(arrived));
+                        let end = sim.charge_cpu(
+                            self.node,
+                            SimDuration::from_nanos(EL_SERVICE_NS * batch_len.max(1) as u64),
+                        );
+                        record_el_saturation(
+                            sim,
+                            self.index,
+                            end.saturating_since(arrived),
+                            batch_len,
+                        );
                         let stable = self.merged_stable.clone();
                         let node = self.node;
                         let bytes = el_ack_bytes(self.n);
@@ -238,8 +250,16 @@ pub fn install_distributed_el(
     els
 }
 
-/// The rank-to-shard assignment used by clients.
-pub fn shard_of(rank: Rank, k: usize) -> usize {
+/// The rank-to-shard assignment used by clients: routed through the
+/// epoch-published shard map of the topology view, so it keeps agreeing
+/// with the servers after a re-shard (the historical `rank % k` hash
+/// silently diverged from any rebalanced map).
+pub fn shard_of(view: &vlog_vmpi::TopoView, rank: Rank) -> Option<usize> {
+    view.shard_of(rank)
+}
+
+/// The epoch-0 static assignment the published map is seeded with.
+pub fn shard_hash(rank: Rank, k: usize) -> usize {
     rank % k
 }
 
@@ -248,9 +268,81 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shard_assignment_is_round_robin() {
-        assert_eq!(shard_of(0, 4), 0);
-        assert_eq!(shard_of(5, 4), 1);
-        assert_eq!(shard_of(7, 2), 1);
+    fn shard_hash_is_round_robin() {
+        assert_eq!(shard_hash(0, 4), 0);
+        assert_eq!(shard_hash(5, 4), 1);
+        assert_eq!(shard_hash(7, 2), 1);
+    }
+
+    #[test]
+    fn map_and_hash_agree_at_epoch_zero() {
+        // The epoch-0 published map must be exactly the static hash; a
+        // disagreement would route client records to a shard that never
+        // gossips their stability.
+        let mut sim = Sim::new(3);
+        let topo = Topology::new();
+        let daemons: Vec<_> = (0..6)
+            .map(|_| {
+                let node = sim.add_node();
+                struct Nop;
+                impl Actor for Nop {
+                    fn on_deliver(&mut self, _: &mut Sim, _: ActorId, _: Delivery) {}
+                }
+                (sim.add_actor(node, Box::new(Nop)), node)
+            })
+            .collect();
+        topo.set_ranks(
+            daemons.iter().map(|d| d.0).collect(),
+            daemons.iter().map(|d| d.1).collect(),
+        );
+        let stable = sim.add_node();
+        let els = install_distributed_el(&mut sim, &topo, stable, 3, SimDuration::from_millis(20));
+        let view = topo.view();
+        for rank in 0..6 {
+            assert_eq!(shard_of(&view, rank), Some(shard_hash(rank, 3)));
+            assert_eq!(view.el_for(rank), Some(els[shard_hash(rank, 3)]));
+        }
+    }
+
+    #[test]
+    fn rebalance_reroutes_only_orphaned_ranks() {
+        let mut sim = Sim::new(3);
+        let topo = Topology::new();
+        let daemons: Vec<_> = (0..6)
+            .map(|_| {
+                let node = sim.add_node();
+                struct Nop;
+                impl Actor for Nop {
+                    fn on_deliver(&mut self, _: &mut Sim, _: ActorId, _: Delivery) {}
+                }
+                (sim.add_actor(node, Box::new(Nop)), node)
+            })
+            .collect();
+        topo.set_ranks(
+            daemons.iter().map(|d| d.0).collect(),
+            daemons.iter().map(|d| d.1).collect(),
+        );
+        let stable = sim.add_node();
+        install_distributed_el(&mut sim, &topo, stable, 3, SimDuration::from_millis(20));
+        let before = topo.epoch();
+        let epoch = topo.rebalance_after_el_failure(1).expect("survivors exist");
+        assert!(epoch > before);
+        let view = topo.view();
+        // Ranks on live shards keep their assignment; shard-1 ranks
+        // (1, 4) respread over the survivors {0, 2} deterministically.
+        assert_eq!(shard_of(&view, 0), Some(0));
+        assert_eq!(shard_of(&view, 2), Some(2));
+        assert_eq!(shard_of(&view, 3), Some(0));
+        assert_eq!(shard_of(&view, 5), Some(2));
+        assert_eq!(shard_of(&view, 1), Some(2)); // survivors[1 % 2]
+        assert_eq!(shard_of(&view, 4), Some(0)); // survivors[4 % 2]
+                                                 // Killing the survivors one by one: last shard takes everything,
+                                                 // then total loss reports None.
+        assert!(topo.rebalance_after_el_failure(0).is_some());
+        let view = topo.view();
+        for rank in 0..6 {
+            assert_eq!(shard_of(&view, rank), Some(2));
+        }
+        assert!(topo.rebalance_after_el_failure(2).is_none());
     }
 }

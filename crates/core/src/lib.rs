@@ -50,8 +50,11 @@ pub mod vcausal;
 pub use causal::{CausalCtl, CausalProtocol};
 pub use coordinated::CoordinatedProtocol;
 pub use costs::CausalCosts;
-pub use el::{shard_queue_key, ElMsg, ElReply, EventLogger, EL_RECORD_BYTES};
-pub use el_multi::{install_distributed_el, ElShard};
+pub use el::{
+    el_batch_bytes, shard_ack_key, shard_queue_key, ElBatcher, ElMsg, ElReply, EventLogger,
+    EL_RECORD_BYTES,
+};
+pub use el_multi::{install_distributed_el, shard_hash, shard_of, ElShard};
 pub use event::{Determinant, EventId};
 pub use graph::AGraph;
 pub use pessimistic::PessimisticProtocol;

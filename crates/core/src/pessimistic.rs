@@ -16,13 +16,13 @@ use std::sync::Arc;
 
 use vlog_sim::{SimDuration, SimTime};
 use vlog_vmpi::{
-    AppMsg, Ctx, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank, RankStatCell,
-    RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
+    AppMsg, Ctx, ElReshard, Payload, PiggybackBlob, ProtoBlob, ProtoPhase, RClock, Rank,
+    RankStatCell, RecvGate, SchedulerCmd, SendGate, SharedRankStats, Ssn, Tag, VProtocol,
 };
 
 use crate::causal::CausalCtl;
 use crate::costs::CausalCosts;
-use crate::el::{ElMsg, ElReply, EL_RECORD_BYTES};
+use crate::el::{el_batch_bytes, ElBatcher, ElMsg, ElReply};
 use crate::event::Determinant;
 use crate::sender_log::SenderLog;
 
@@ -74,6 +74,8 @@ pub struct PessimisticProtocol {
     /// Wheel handle of the armed reclaim retry timer, cancelled as soon
     /// as collection completes instead of left to fire as a stale no-op.
     reclaim_timer: Option<vlog_sim::TimerHandle>,
+    /// Ack-clocked record batcher on the ship-to-EL path.
+    batcher: ElBatcher,
 }
 
 impl PessimisticProtocol {
@@ -90,32 +92,56 @@ impl PessimisticProtocol {
             ckpt_expected: BTreeMap::new(),
             rec: None,
             reclaim_timer: None,
+            batcher: ElBatcher::new(),
         }
     }
 
     fn el_actor(&self, ctx: &Ctx<'_>) -> vlog_sim::ActorId {
+        // Routed through the epoch-published shard map, so the protocol
+        // follows a re-shard to its new Event Logger automatically.
         ctx.core
             .topo_view()
-            .el()
+            .el_for(self.rank)
             .expect("pessimistic logging requires an Event Logger")
             .0
     }
 
     fn ship_to_el(&mut self, ctx: &mut Ctx<'_>, det: Determinant) {
-        let el = self.el_actor(ctx);
         crate::el::record_el_outstanding(ctx.sim, det.clock, self.stable_own);
+        // Ack-clocked batching (see `ElBatcher`); the held-send release
+        // protocol is untouched because the EL still acknowledges every
+        // record — just one coalesced ack per batch.
+        if let Some(batch) = self.batcher.offer(det) {
+            self.send_batch(ctx, batch);
+            ctx.phase_boundary(ProtoPhase::DeterminantShipped);
+        }
+    }
+
+    fn send_batch(&mut self, ctx: &mut Ctx<'_>, batch: Vec<Determinant>) {
+        let el = self.el_actor(ctx);
         let me = ctx.core.actor();
         ctx.core.control_to_actor(
             ctx.sim,
             el,
-            EL_RECORD_BYTES,
+            el_batch_bytes(batch.len()),
             Box::new(ElMsg::Record {
                 from: self.rank,
-                det,
+                dets: batch,
                 reply_to: me,
             }),
         );
-        ctx.phase_boundary(ProtoPhase::DeterminantShipped);
+    }
+
+    /// Re-shard handoff: the pessimistic protocol keeps no local
+    /// determinant store (the EL has it all), so everything the dead
+    /// shard may have lost is exactly the batcher's unacknowledged
+    /// records — re-offer them toward the re-published shard.
+    fn handle_reshard(&mut self, ctx: &mut Ctx<'_>, _reshard: ElReshard) {
+        for det in self.batcher.take_unacked() {
+            if let Some(batch) = self.batcher.offer(det) {
+                self.send_batch(ctx, batch);
+            }
+        }
     }
 
     fn send_recovery_requests(&mut self, ctx: &mut Ctx<'_>) {
@@ -320,6 +346,11 @@ impl VProtocol for PessimisticProtocol {
                         if self.stable_own > prev && self.stable_own >= self.rclock {
                             ctx.core.release_held();
                         }
+                        // The ack clocks the batcher: flush the records
+                        // that coalesced behind the acknowledged batch.
+                        if let Some(batch) = self.batcher.acked() {
+                            self.send_batch(ctx, batch);
+                        }
                         ctx.phase_boundary(ProtoPhase::AckReceived);
                     }
                     ElReply::QueryResp { dets, stable } => {
@@ -376,6 +407,13 @@ impl VProtocol for PessimisticProtocol {
                         self.slog.prune_below(from, received[self.rank]);
                     }
                 }
+                return;
+            }
+            Err(b) => b,
+        };
+        let body = match body.downcast::<ElReshard>() {
+            Ok(r) => {
+                self.handle_reshard(ctx, *r);
                 return;
             }
             Err(b) => b,

@@ -126,6 +126,8 @@ pub struct Scenario {
     pub message_ceiling: u64,
     /// Completed recoveries the run must record (victims of the plan).
     pub min_recoveries: usize,
+    /// EL shard re-balances the run must record (EL-failure plans).
+    pub min_reshards: u64,
 }
 
 /// Deterministic per-(rank, iteration) ring-message content. Every
@@ -232,6 +234,7 @@ impl Scenario {
             faults,
             message_ceiling,
             min_recoveries,
+            min_reshards: 0,
         }
     }
 
@@ -293,6 +296,12 @@ impl Scenario {
                 Some(format!(
                     "lost recovery: {recoveries} completed recoveries, expected >= {}",
                     self.min_recoveries
+                ))
+            } else if report.el_reshards() < self.min_reshards {
+                Some(format!(
+                    "lost re-shard: {} EL re-balances recorded, expected >= {}",
+                    report.el_reshards(),
+                    self.min_reshards
                 ))
             } else {
                 None
@@ -422,6 +431,49 @@ pub fn default_scenarios() -> Vec<Scenario> {
             60_000,
             1,
         ),
+        {
+            // Distributed EL losing a shard mid-run: shard 0 dies, its
+            // ranks re-shard onto shard 1, unacked batches are handed
+            // off — the run must still complete with no rank recovery.
+            let mut s = Scenario::new(
+                "causal+el2/el-failure",
+                Arc::new(
+                    CausalSuite::new(Technique::Vcausal, true)
+                        .with_checkpoints(SimDuration::from_millis(4))
+                        .with_distributed_el(2, SimDuration::from_millis(2)),
+                ),
+                3,
+                80,
+                // Early kill: the re-shard lands at 2ms + the 10ms
+                // detection delay, well inside the ~15ms run.
+                FaultPlan::kill_el_at(SimDuration::from_millis(2), 0),
+                60_000,
+                0,
+            );
+            s.min_reshards = 1;
+            s
+        },
+        {
+            // EL failure compounded by a rank crash after the re-shard:
+            // rank 1 recovers against the survivor shard (its own shard,
+            // 1, is the one that lived).
+            let mut s = Scenario::new(
+                "causal+el2/el-failure+crash",
+                Arc::new(
+                    CausalSuite::new(Technique::Vcausal, true)
+                        .with_checkpoints(SimDuration::from_millis(4))
+                        .with_distributed_el(2, SimDuration::from_millis(2)),
+                ),
+                3,
+                80,
+                FaultPlan::kill_el_at(SimDuration::from_millis(2), 0)
+                    .then_kill(SimDuration::from_millis(14), 1),
+                60_000,
+                1,
+            );
+            s.min_reshards = 1;
+            s
+        },
     ]
 }
 

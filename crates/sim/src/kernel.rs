@@ -41,7 +41,7 @@ use rand::SeedableRng;
 
 use crate::calendar::{EventCalendar, EventKey};
 use crate::exec::{noop_waker, ExecHandle, ExecShared, SharedExec, TaskId, TaskSlot};
-use crate::net::{EthernetParams, Network, WireSize};
+use crate::net::{NetProfile, Network, WireSize};
 use crate::profiler;
 use crate::schedule::{EventInfo, EventKind, PopDecision, SchedulePolicy};
 use crate::stats::Stats;
@@ -137,8 +137,8 @@ struct ActorSlot {
 pub struct SimConfig {
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
-    /// Network model parameters.
-    pub net: EthernetParams,
+    /// Network fabric profile.
+    pub net: NetProfile,
     /// Optional hard cap on dispatched events (runaway protection).
     pub event_limit: Option<u64>,
 }
@@ -147,7 +147,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             seed: 0,
-            net: EthernetParams::default(),
+            net: NetProfile::default(),
             event_limit: None,
         }
     }

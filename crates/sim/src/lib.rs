@@ -66,7 +66,7 @@ pub mod time;
 pub use calendar::{EventCalendar, EventKey};
 pub use exec::{ExecHandle, OpCell, TaskId};
 pub use kernel::{Actor, ActorId, Delivery, Event, NodeId, Sim, SimConfig, TimerHandle};
-pub use net::{EthernetParams, Network, WireSize};
+pub use net::{EthernetParams, HeteroLinks, NetProfile, Network, WireSize, SERVICE_BOUNDARY};
 pub use schedule::{
     AppliedTrace, Decision, EventInfo, EventKind, Fifo, PopDecision, SchedulePolicy, ScriptPolicy,
 };

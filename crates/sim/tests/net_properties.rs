@@ -11,7 +11,7 @@ proptest! {
     /// the foundation of ssn-based duplicate detection and replay.
     #[test]
     fn per_pair_fifo(sizes in prop::collection::vec(1u64..2_000_000, 1..40)) {
-        let mut net = Network::new(EthernetParams::default());
+        let mut net = Network::from_params(EthernetParams::default());
         let mut last = SimTime::ZERO;
         for s in sizes {
             let t = net.send(SimTime::ZERO, 0, 1, s);
@@ -28,7 +28,7 @@ proptest! {
         starts in prop::collection::vec(0u64..1_000_000, 1..30),
     ) {
         let params = EthernetParams::default();
-        let mut net = Network::new(params.clone());
+        let mut net = Network::from_params(params.clone());
         let mut now = SimTime::ZERO;
         for (s, dt) in sizes.iter().zip(&starts) {
             now = now + vlog_sim::SimDuration::from_nanos(*dt);
@@ -46,9 +46,9 @@ proptest! {
         mine in prop::collection::vec(1u64..500_000, 1..20),
         other in prop::collection::vec(1u64..500_000, 0..20),
     ) {
-        let mut quiet = Network::new(EthernetParams::default());
+        let mut quiet = Network::from_params(EthernetParams::default());
         let solo: Vec<_> = mine.iter().map(|s| quiet.send(SimTime::ZERO, 0, 1, *s)).collect();
-        let mut busy = Network::new(EthernetParams::default());
+        let mut busy = Network::from_params(EthernetParams::default());
         for s in &other {
             busy.send(SimTime::ZERO, 2, 3, *s);
         }
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn bandwidth_is_conserved(sizes in prop::collection::vec(1u64..1_000_000, 2..30)) {
         let params = EthernetParams::default();
-        let mut net = Network::new(params.clone());
+        let mut net = Network::from_params(params.clone());
         let mut last = SimTime::ZERO;
         let mut wire_total = 0u64;
         for s in &sizes {

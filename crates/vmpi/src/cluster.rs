@@ -17,15 +17,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use vlog_sim::{
-    EthernetParams, Event, SchedulePolicy, Sim, SimConfig, SimDuration, SimTime, Stats,
-};
+use vlog_sim::{Event, NetProfile, SchedulePolicy, Sim, SimConfig, SimDuration, SimTime, Stats};
 
 use crate::ckpt::CkptServer;
 use crate::cost::StackProfile;
 use crate::daemon::{AppSpec, BootMode, Vdaemon, TOKEN_BOOT};
 use crate::dispatcher::{Dispatcher, DispatcherMsg, RelaunchFn};
-use crate::hooks::{RankStats, SharedRankStats, Suite, Topology};
+use crate::hooks::{ElReshard, RankStats, SharedRankStats, Suite, Topology};
 use crate::phase::{PhaseFault, PhaseFaultArmature, ProtoPhase};
 use crate::types::Rank;
 
@@ -41,8 +39,8 @@ pub struct ClusterConfig {
     pub ranks: usize,
     /// Software stack cost profile.
     pub profile: StackProfile,
-    /// Network parameters.
-    pub net: EthernetParams,
+    /// Network fabric profile.
+    pub net: NetProfile,
     /// RNG seed.
     pub seed: u64,
     /// Stop the simulation when every rank finished (default true).
@@ -72,7 +70,7 @@ impl ClusterConfig {
         ClusterConfig {
             ranks,
             profile: StackProfile::vdaemon(),
-            net: EthernetParams::default(),
+            net: NetProfile::default(),
             seed: 1,
             stop_on_completion: true,
             event_limit: None,
@@ -86,7 +84,7 @@ impl ClusterConfig {
     /// Switches to the MPICH-P4 profile (no daemon, half-duplex links).
     pub fn p4(mut self) -> Self {
         self.profile = StackProfile::p4();
-        self.net.half_duplex = true;
+        self.net.base.half_duplex = true;
         self
     }
 
@@ -105,6 +103,10 @@ pub struct FaultPlan {
     pub faults: Vec<(SimDuration, Rank)>,
     /// Crashes armed on protocol-phase boundaries.
     pub phase_faults: Vec<PhaseFault>,
+    /// `(virtual time, shard index)` Event Logger shard crashes. After
+    /// the detection delay the topology republishes its rank→shard map
+    /// and every rank is notified with an [`crate::ElReshard`].
+    pub el_faults: Vec<(SimDuration, usize)>,
 }
 
 impl FaultPlan {
@@ -142,9 +144,24 @@ impl FaultPlan {
         self
     }
 
+    /// One crash of Event Logger shard `shard` at `t`.
+    pub fn kill_el_at(t: SimDuration, shard: usize) -> Self {
+        FaultPlan {
+            el_faults: vec![(t, shard)],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds one more Event Logger shard crash to the schedule (builder
+    /// form, so combined EL + rank fault storms compose).
+    pub fn then_kill_el_at(mut self, t: SimDuration, shard: usize) -> Self {
+        self.el_faults.push((t, shard));
+        self
+    }
+
     /// True when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty() && self.phase_faults.is_empty()
+        self.faults.is_empty() && self.phase_faults.is_empty() && self.el_faults.is_empty()
     }
 
     /// Periodic crashes: one fault every `period` starting at `start`,
@@ -221,15 +238,22 @@ impl RunReport {
     }
 
     /// Number of event records the Event Logger processed (stored plus
-    /// detected duplicates) — the denominator of the mean ack latency.
+    /// detected duplicates).
     pub fn el_acked_records(&self) -> u64 {
         self.stats.get("el_records") + self.stats.get("el_duplicate_records")
     }
 
-    /// Mean arrival-to-ack-send latency over every event record an
-    /// Event Logger shard processed (zero without an EL).
+    /// Number of record batches the Event Logger acknowledged (the
+    /// coalesced-ack message count; equals the record count when no
+    /// batching kicked in).
+    pub fn el_batches(&self) -> u64 {
+        self.stats.get("el_batches")
+    }
+
+    /// Mean arrival-to-ack-send latency over every record batch an
+    /// Event Logger shard acknowledged (zero without an EL).
     pub fn el_ack_latency_mean(&self) -> SimDuration {
-        let n = self.el_acked_records();
+        let n = self.stats.get("el_ack_samples");
         if n == 0 {
             SimDuration::ZERO
         } else {
@@ -241,6 +265,29 @@ impl RunReport {
     /// shard.
     pub fn el_ack_latency_peak(&self) -> SimDuration {
         SimDuration::from_nanos(self.stats.get("el_ack_latency_peak_ns"))
+    }
+
+    /// Per-shard saturation gauges `(peak queue depth, peak ack
+    /// latency)` for shards `0..k`, read from the per-shard counter keys
+    /// the EL servers record (`el_peak_queue_s{i}` /
+    /// `el_ack_peak_s{i}_ns`; shards beyond 8 fold into the last slot —
+    /// same tables as `vlog-core::el::shard_queue_key`/`shard_ack_key`).
+    /// Makes a re-shard visible in reports: the dead shard's gauges
+    /// freeze while the survivors' keep climbing.
+    pub fn el_shard_gauges(&self, k: usize) -> Vec<(u64, SimDuration)> {
+        (0..k.min(8))
+            .map(|i| {
+                (
+                    self.stats.get(&format!("el_peak_queue_s{i}")),
+                    SimDuration::from_nanos(self.stats.get(&format!("el_ack_peak_s{i}_ns"))),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of EL shard-failure re-shards the topology published.
+    pub fn el_reshards(&self) -> u64 {
+        self.stats.get("el_reshards")
     }
 }
 
@@ -274,9 +321,15 @@ impl ClusterRun {
         program: AppSpec,
         faults: &FaultPlan,
     ) -> ClusterRun {
+        // Pin a heterogeneous profile's fast class to the actual
+        // compute/service boundary: node ids `>= ranks` are the stable
+        // service nodes (checkpoint server, dispatcher, EL shards), which
+        // is exactly the class the hetero-uplink profile accelerates.
+        let mut net = cfg.net.clone();
+        net.resolve_service_boundary(cfg.ranks);
         let mut sim = Sim::with_config(SimConfig {
             seed: cfg.seed,
-            net: cfg.net.clone(),
+            net,
             event_limit: cfg.event_limit,
         });
         if let Some(factory) = &cfg.schedule_policy {
@@ -393,6 +446,40 @@ impl ClusterRun {
             let arm = PhaseFaultArmature::new(faults.phase_faults.clone());
             arm.wire(disp_id, stable_a, cfg.detect_delay, rank_nodes.clone());
             topo.set_phase_faults(arm);
+        }
+
+        // Event Logger shard faults: crash the shard's node, then — after
+        // the detection delay — republish the rank→shard map over the
+        // survivors and notify every rank daemon so its protocol hands
+        // its unacknowledged records over to the new shard.
+        for &(t, shard) in &faults.el_faults {
+            let topo_crash = topo.clone();
+            sim.after(t, move |sim| {
+                if let Some((_, node)) = topo_crash.el_at(shard) {
+                    sim.crash_node(node);
+                    sim.stats_mut().bump("el_shard_crashes");
+                }
+            });
+            let topo_detect = topo.clone();
+            let daemons = daemon_ids.clone();
+            sim.after(t + cfg.detect_delay, move |sim| {
+                let Some(epoch) = topo_detect.rebalance_after_el_failure(shard) else {
+                    // No survivor to rebalance onto (total EL loss).
+                    return;
+                };
+                sim.stats_mut().bump("el_reshards");
+                for &daemon in &daemons {
+                    sim.net_send(
+                        stable_a,
+                        daemon,
+                        vlog_sim::WireSize::control(16),
+                        Box::new(crate::types::DaemonMsg::Proto(Box::new(ElReshard {
+                            epoch,
+                            dead_shard: shard,
+                        }))),
+                    );
+                }
+            });
         }
 
         // Fault plan: crash now, notify the dispatcher after the detection
@@ -519,8 +606,12 @@ mod tests {
         stats.set_max("el_peak_outstanding", 3);
         stats.add("el_records", 4);
         stats.add("el_duplicate_records", 1);
+        stats.add("el_batches", 2);
+        stats.add("el_ack_samples", 5);
         stats.add_time("el_ack_latency", SimDuration::from_micros(50));
         stats.set_max("el_ack_latency_peak_ns", 20_000);
+        stats.set_max("el_peak_queue_s0", 7);
+        stats.set_max("el_ack_peak_s0_ns", 20_000);
         let report = RunReport {
             suite: "test".into(),
             makespan: SimDuration::ZERO,
@@ -532,8 +623,14 @@ mod tests {
         assert_eq!(report.el_peak_queue_depth(), 7);
         assert_eq!(report.el_peak_outstanding(), 3);
         assert_eq!(report.el_acked_records(), 5);
+        assert_eq!(report.el_batches(), 2);
         assert_eq!(report.el_ack_latency_mean(), SimDuration::from_micros(10));
         assert_eq!(report.el_ack_latency_peak(), SimDuration::from_micros(20));
+        assert_eq!(
+            report.el_shard_gauges(2),
+            vec![(7, SimDuration::from_micros(20)), (0, SimDuration::ZERO)]
+        );
+        assert_eq!(report.el_reshards(), 0);
     }
 
     #[test]

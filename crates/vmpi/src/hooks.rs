@@ -45,8 +45,14 @@ struct TopoInner {
     daemons: Vec<ActorId>,
     nodes: Vec<NodeId>,
     /// Event Logger instances (one or several; ranks are assigned
-    /// round-robin when there is more than one).
+    /// through `shard_map`).
     els: Vec<(ActorId, NodeId)>,
+    /// Epoch-published rank→shard map: `shard_map[rank]` indexes `els`.
+    /// Seeded round-robin by [`Topology::set_els`]; rewritten by
+    /// [`Topology::rebalance_after_el_failure`] when a shard dies.
+    shard_map: Vec<usize>,
+    /// Shards that have crashed (parallel to `els`).
+    el_dead: Vec<bool>,
     ckpt_server: Option<(ActorId, NodeId)>,
     dispatcher: Option<(ActorId, NodeId)>,
     /// Phase-triggered fault injection, armed by the cluster builder when
@@ -84,6 +90,7 @@ impl Topology {
             daemons: t.daemons.clone(),
             nodes: t.nodes.clone(),
             els: t.els.clone(),
+            shard_map: t.shard_map.clone(),
             ckpt_server: t.ckpt_server,
             dispatcher: t.dispatcher,
             phase_faults: t.phase_faults.clone(),
@@ -101,25 +108,70 @@ impl Topology {
     }
 
     pub fn set_el(&self, actor: ActorId, node: NodeId) {
-        self.inner.lock().unwrap().els = vec![(actor, node)];
-        self.bump();
+        self.set_els(vec![(actor, node)]);
     }
 
-    /// Registers several Event Logger instances (the paper's future-work
-    /// distribution; see `vlog-core::el_multi`).
+    /// Registers the Event Logger shards and publishes the epoch-0
+    /// rank→shard map (round-robin over the shard count — the historical
+    /// static assignment; see `vlog-core::el_multi`).
     pub fn set_els(&self, els: Vec<(ActorId, NodeId)>) {
-        self.inner.lock().unwrap().els = els;
+        {
+            let mut t = self.inner.lock().unwrap();
+            let k = els.len();
+            t.shard_map = if k == 0 {
+                Vec::new()
+            } else {
+                (0..t.daemons.len()).map(|r| r % k).collect()
+            };
+            t.el_dead = vec![false; k];
+            t.els = els;
+        }
         self.bump();
     }
 
-    /// The Event Logger serving `rank` (round-robin assignment).
+    /// The Event Logger serving `rank`, routed through the published
+    /// shard map (round-robin fallback for ranks beyond the map — the
+    /// map is sized at publication time).
     pub fn el_for(&self, rank: Rank) -> Option<(ActorId, NodeId)> {
         let t = self.inner.lock().unwrap();
         if t.els.is_empty() {
             None
         } else {
-            Some(t.els[rank % t.els.len()])
+            let shard = t.shard_map.get(rank).copied().unwrap_or(rank % t.els.len());
+            Some(t.els[shard])
         }
+    }
+
+    /// The Event Logger shard at `index` (dead or alive).
+    pub fn el_at(&self, index: usize) -> Option<(ActorId, NodeId)> {
+        self.inner.lock().unwrap().els.get(index).copied()
+    }
+
+    /// Marks shard `dead` as crashed and republishes the rank→shard map
+    /// over the surviving shards (each orphaned rank is reassigned
+    /// round-robin over the survivors; ranks on live shards keep their
+    /// assignment). Returns the new epoch, or `None` when no shard
+    /// survives (total EL loss — nothing to rebalance onto).
+    pub fn rebalance_after_el_failure(&self, dead: usize) -> Option<u64> {
+        {
+            let mut t = self.inner.lock().unwrap();
+            if dead >= t.els.len() {
+                return None;
+            }
+            t.el_dead[dead] = true;
+            let survivors: Vec<usize> = (0..t.els.len()).filter(|i| !t.el_dead[*i]).collect();
+            if survivors.is_empty() {
+                return None;
+            }
+            let el_dead = t.el_dead.clone();
+            for (rank, shard) in t.shard_map.iter_mut().enumerate() {
+                if el_dead[*shard] {
+                    *shard = survivors[rank % survivors.len()];
+                }
+            }
+        }
+        self.bump();
+        Some(self.epoch())
     }
 
     /// Number of Event Logger instances.
@@ -191,6 +243,7 @@ pub struct TopoView {
     daemons: Vec<ActorId>,
     nodes: Vec<NodeId>,
     els: Vec<(ActorId, NodeId)>,
+    shard_map: Vec<usize>,
     ckpt_server: Option<(ActorId, NodeId)>,
     dispatcher: Option<(ActorId, NodeId)>,
     phase_faults: Option<Arc<PhaseFaultArmature>>,
@@ -198,13 +251,30 @@ pub struct TopoView {
 }
 
 impl TopoView {
-    /// The Event Logger serving `rank` (round-robin assignment).
+    /// The Event Logger serving `rank`, routed through the shard map
+    /// this view snapshot published.
     pub fn el_for(&self, rank: Rank) -> Option<(ActorId, NodeId)> {
+        self.shard_of(rank).map(|shard| self.els[shard])
+    }
+
+    /// The shard index serving `rank` under this view's published map
+    /// (round-robin fallback for ranks beyond the map).
+    pub fn shard_of(&self, rank: Rank) -> Option<usize> {
         if self.els.is_empty() {
             None
         } else {
-            Some(self.els[rank % self.els.len()])
+            Some(
+                self.shard_map
+                    .get(rank)
+                    .copied()
+                    .unwrap_or(rank % self.els.len()),
+            )
         }
+    }
+
+    /// The Event Logger shard at `index` (dead or alive).
+    pub fn el_at(&self, index: usize) -> Option<(ActorId, NodeId)> {
+        self.els.get(index).copied()
     }
 
     /// Number of Event Logger instances.
@@ -591,6 +661,20 @@ pub trait Suite: Send + Sync {
     fn recovery_style(&self) -> RecoveryStyle {
         RecoveryStyle::SingleRank
     }
+}
+
+/// Broadcast by the cluster's failure detector after an Event Logger
+/// shard crashed and the topology republished its rank→shard map
+/// (forwarded to every rank's protocol through `on_control`). Receiving
+/// protocols refresh their topology view, re-route to their new shard
+/// and re-ship every determinant not yet acknowledged stable — the
+/// in-flight-record handoff that makes the EL service failure-tolerant.
+#[derive(Debug, Clone, Copy)]
+pub struct ElReshard {
+    /// Topology epoch that published the rebalanced map.
+    pub epoch: u64,
+    /// Index of the crashed shard.
+    pub dead_shard: usize,
 }
 
 /// Command sent by the checkpoint scheduler to a daemon (forwarded to the

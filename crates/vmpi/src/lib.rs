@@ -51,8 +51,8 @@ pub use collectives::{ReduceOp, RESERVED_TAG_BASE};
 pub use cost::StackProfile;
 pub use daemon::{app, AppSpec, BootMode, DaemonCore, Vdaemon};
 pub use hooks::{
-    Ctx, ProtoBlob, RankStatCell, RankStats, RecoveryStyle, RecvGate, SchedulerCmd, SendGate,
-    SharedRankStats, Suite, TopoCache, TopoView, Topology, VProtocol,
+    Ctx, ElReshard, ProtoBlob, RankStatCell, RankStats, RecoveryStyle, RecvGate, SchedulerCmd,
+    SendGate, SharedRankStats, Suite, TopoCache, TopoView, Topology, VProtocol,
 };
 pub use phase::{PhaseFault, PhaseFaultArmature, ProtoPhase};
 pub use scheduler::{CkptScheduler, SchedulerPolicy};

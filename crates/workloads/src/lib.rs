@@ -37,5 +37,5 @@ pub use fft_pipe::FftPipeConfig;
 pub use halo::HaloConfig;
 pub use nas::{full_flops, full_iters, grid_n, mem_bytes, Class, NasBench, NasConfig};
 pub use netpipe::{NetpipeConfig, NetpipePoint, NetpipePoints};
-pub use registry::{registry, RegistryScale, FAMILIES};
+pub use registry::{net_axes, registry, NetAxis, RegistryScale, FAMILIES};
 pub use workload::{run_workload, MetricProbe, Workload, WorkloadProgram, WorkloadRun};

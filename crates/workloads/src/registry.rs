@@ -11,6 +11,8 @@
 
 use std::sync::Arc;
 
+use vlog_sim::NetProfile;
+
 use crate::bursty::BurstyConfig;
 use crate::fft_pipe::FftPipeConfig;
 use crate::halo::HaloConfig;
@@ -36,6 +38,73 @@ pub enum RegistryScale {
     /// fault plan (see
     /// [`faults::hub_failure`](crate::runner::faults::hub_failure)).
     Large,
+}
+
+/// One point on the fabric/EL sweep grid: a named network profile
+/// paired with an Event-Logger shard count. The regimes bench and the
+/// determinism conformance suite run registry workloads across every
+/// axis returned by [`net_axes`], so a new profile or shard count added
+/// there is automatically benched, reported and determinism-checked.
+#[derive(Debug, Clone)]
+pub struct NetAxis {
+    /// Network fabric the cluster is built on.
+    pub profile: NetProfile,
+    /// Event-Logger shard count (1 = the single classic EL).
+    pub el_count: usize,
+}
+
+impl NetAxis {
+    /// Stable label used in report columns and bench IDs, e.g.
+    /// `"gigabit/el4"`.
+    pub fn label(&self) -> String {
+        format!("{}/el{}", self.profile.name, self.el_count)
+    }
+}
+
+/// The fabric × EL-shard axes swept at the given scale.
+///
+/// The first entry is always the paper's baseline —
+/// FastEthernet-2005 with a single EL — so sweeps that only want the
+/// classic setup can take `net_axes(scale)[0]`. `Smoke` keeps CI cheap
+/// with the baseline plus one distributed-EL point; `Large` adds the
+/// gigabit fabrics where the EL's CPU, not the ack round-trip, becomes
+/// the bottleneck.
+pub fn net_axes(scale: RegistryScale) -> Vec<NetAxis> {
+    let mut v = vec![NetAxis {
+        profile: NetProfile::fast_ethernet_2005(),
+        el_count: 1,
+    }];
+    match scale {
+        RegistryScale::Smoke => {
+            v.push(NetAxis {
+                profile: NetProfile::gigabit(),
+                el_count: 2,
+            });
+        }
+        RegistryScale::Default | RegistryScale::Large => {
+            v.push(NetAxis {
+                profile: NetProfile::fast_ethernet_2005(),
+                el_count: 4,
+            });
+            v.push(NetAxis {
+                profile: NetProfile::gigabit(),
+                el_count: 1,
+            });
+            v.push(NetAxis {
+                profile: NetProfile::gigabit(),
+                el_count: 4,
+            });
+            v.push(NetAxis {
+                profile: NetProfile::dual_gigabit(),
+                el_count: 4,
+            });
+            v.push(NetAxis {
+                profile: NetProfile::hetero_uplink(),
+                el_count: 2,
+            });
+        }
+    }
+    v
 }
 
 /// Enumerates every registered `(workload, np, params)` configuration
@@ -175,5 +244,33 @@ mod tests {
             fft_labels.iter().any(|l| l.ends_with(".t32")),
             "deep-tiling entry missing: {fft_labels:?}"
         );
+    }
+
+    #[test]
+    fn net_axes_lead_with_the_paper_baseline_and_stay_unique() {
+        for scale in [
+            RegistryScale::Smoke,
+            RegistryScale::Default,
+            RegistryScale::Large,
+        ] {
+            let axes = net_axes(scale);
+            assert_eq!(axes[0].profile.name, "fast-ethernet-2005");
+            assert_eq!(axes[0].el_count, 1, "baseline axis must be the classic EL");
+            let labels: BTreeSet<String> = axes.iter().map(|a| a.label()).collect();
+            assert_eq!(labels.len(), axes.len(), "duplicate net axis at {scale:?}");
+            for a in &axes {
+                assert!(a.el_count >= 1 && a.el_count <= 8, "{}", a.label());
+                assert!(
+                    NetProfile::by_name(a.profile.name).is_some(),
+                    "{}",
+                    a.label()
+                );
+            }
+        }
+        // Large must include a faster-than-baseline fabric so the EL
+        // service time can become the bottleneck (acceptance criterion).
+        assert!(net_axes(RegistryScale::Large)
+            .iter()
+            .any(|a| a.profile.name == "gigabit" && a.el_count == 1));
     }
 }

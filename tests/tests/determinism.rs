@@ -20,7 +20,7 @@ use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
 };
 use vlog_workloads::runner::faults;
-use vlog_workloads::{registry, run_workload, RegistryScale, Workload};
+use vlog_workloads::{net_axes, registry, run_workload, NetAxis, RegistryScale, Workload};
 
 const N: usize = 3;
 const ITERS: u64 = 15;
@@ -329,6 +329,73 @@ fn large_registry_survives_hub_failures_on_every_suite_deterministically() {
         let sharded = run_many(jobs.clone(), threads, runner);
         diff::assert_reports_identical(
             &format!("large-registry-hub-failure-sweep-{threads}-threads-vs-1"),
+            &sequential,
+            &sharded,
+        );
+    }
+}
+
+/// Net-axis conformance: the EL saturation probe under Vcausal+EL, once
+/// per `NetProfile` × `el_count` axis of the registry grid, fault-free
+/// and through an **EL-shard failure** (shard 0 crashed mid-run, its
+/// ranks re-sharded onto the survivors, unacked batches handed off).
+/// Every cell must complete, the EL-failure cells must actually record
+/// a re-shard, and the whole sweep must report byte-identically on 1, 2
+/// and 4 `run_many` threads — the contract behind the EL-scaling table
+/// of `REPORT.md`.
+#[test]
+fn net_axes_are_deterministic_fault_free_and_through_el_failure() {
+    let probe = registry(RegistryScale::Smoke)
+        .into_iter()
+        .find(|w| w.family() == "fft")
+        .expect("Smoke registry always has an FFT entry");
+    let jobs: Vec<(NetAxis, bool)> = net_axes(RegistryScale::Large)
+        .into_iter()
+        .flat_map(|a| [(a.clone(), false), (a, true)])
+        .collect();
+    let runner = |(axis, el_fault): (NetAxis, bool)| {
+        let suite = Arc::new(
+            CausalSuite::new(Technique::Vcausal, true)
+                .with_checkpoints(SimDuration::from_millis(2))
+                .with_distributed_el(axis.el_count, SimDuration::from_millis(2)),
+        );
+        let mut cfg = ClusterConfig::new(probe.np());
+        cfg.detect_delay = SimDuration::from_millis(1);
+        cfg.event_limit = Some(50_000_000);
+        cfg.net = axis.profile.clone();
+        // A single EL cannot lose a shard and keep going; those axes
+        // run the fault leg fault-free so the sweep stays rectangular.
+        let plan = if el_fault && axis.el_count >= 2 {
+            FaultPlan::kill_el_at(SimDuration::from_millis(5), 0)
+        } else {
+            FaultPlan::none()
+        };
+        let run = run_workload(probe.as_ref(), &cfg, suite, &plan);
+        assert!(
+            run.report.completed,
+            "{} on {} (el_fault={el_fault}) did not complete",
+            run.label,
+            axis.label()
+        );
+        if el_fault && axis.el_count >= 2 {
+            assert!(
+                run.report.el_reshards() >= 1,
+                "{} on {}: EL shard killed but no re-shard recorded",
+                run.label,
+                axis.label()
+            );
+        }
+        format!(
+            "axis={} el_fault={el_fault} {}",
+            axis.label(),
+            fingerprint(&run.report)
+        )
+    };
+    let sequential = run_many(jobs.clone(), 1, runner);
+    for threads in [2usize, 4] {
+        let sharded = run_many(jobs.clone(), threads, runner);
+        diff::assert_reports_identical(
+            &format!("net-axes-sweep-{threads}-threads-vs-1"),
             &sequential,
             &sharded,
         );

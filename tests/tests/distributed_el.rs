@@ -93,6 +93,50 @@ fn recovery_works_with_sharded_el() {
 }
 
 #[test]
+fn el_shard_failure_reshards_and_the_run_completes() {
+    // Kill shard 0 mid-run: its ranks must re-shard onto shard 1, the
+    // unacked batches must be handed off, and the ring must still
+    // finish with its in-program assertions intact.
+    let suite = Arc::new(
+        CausalSuite::new(Technique::Vcausal, true)
+            .with_distributed_el(2, SimDuration::from_millis(2))
+            .with_checkpoints(SimDuration::from_millis(5)),
+    );
+    let mut cfg = ClusterConfig::new(4);
+    cfg.detect_delay = SimDuration::from_millis(2);
+    cfg.event_limit = Some(50_000_000);
+    let faults = FaultPlan::kill_el_at(SimDuration::from_millis(4), 0);
+    let report = run_cluster(&cfg, suite, ring(150), &faults);
+    assert!(report.completed, "run did not survive the EL-shard failure");
+    assert_eq!(report.stats.get("el_shard_crashes"), 1);
+    assert_eq!(report.stats.get("el_reshards"), 1);
+    // Records kept flowing after the re-shard: the survivor logged (and
+    // acked) events, including the handed-off unacked batches.
+    assert!(report.stats.get("el_records") > 0);
+}
+
+#[test]
+fn rank_recovery_works_after_an_el_reshard() {
+    // Compound fault: shard 0 dies and its ranks re-shard, then rank 1
+    // (served by the surviving shard) crashes. Recovery must gather
+    // determinants from the post-reshard EL map and complete.
+    let suite = Arc::new(
+        CausalSuite::new(Technique::Vcausal, true)
+            .with_distributed_el(2, SimDuration::from_millis(2))
+            .with_checkpoints(SimDuration::from_millis(5)),
+    );
+    let mut cfg = ClusterConfig::new(4);
+    cfg.detect_delay = SimDuration::from_millis(2);
+    cfg.event_limit = Some(50_000_000);
+    let faults = FaultPlan::kill_el_at(SimDuration::from_millis(4), 0)
+        .then_kill(SimDuration::from_millis(12), 1);
+    let report = run_cluster(&cfg, suite, ring(150), &faults);
+    assert!(report.completed, "recovery after re-shard failed");
+    assert_eq!(report.stats.get("el_reshards"), 1);
+    assert_eq!(report.rank_stats[1].recovery_total.len(), 1);
+}
+
+#[test]
 fn sharding_relieves_the_lu_event_logger_bottleneck() {
     // LU at 16 ranks is the paper's EL-saturation case; with shards the
     // ack round trip shortens and fewer events ride along.
