@@ -52,10 +52,45 @@ fn bench_codecs(c: &mut Criterion) {
         let enc_f = encode_factored(&input).unwrap();
         let enc_l = encode_flat(&input).unwrap();
         g.bench_with_input(BenchmarkId::new("decode_factored", n), &enc_f, |b, d| {
-            b.iter(|| decode_factored(d.clone()))
+            b.iter(|| decode_factored(d.clone()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("decode_flat", n), &enc_l, |b, d| {
-            b.iter(|| decode_flat(d.clone()))
+            b.iter(|| decode_flat(d.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// The compact wire format against the fixed-width codecs it must beat:
+/// encode (one-shot and batched through `PbEncoder`) and decode at the
+/// same determinant counts as `piggyback_codecs`. `scripts/verify.sh`
+/// gates on this group being present in `BENCH_micro.json`.
+fn bench_pb_compact(c: &mut Criterion) {
+    use vlog_core::{compact_len, decode_compact, encode_compact, flat_len};
+    let mut g = c.benchmark_group("pb_compact");
+    for &n in &[1usize, 16, 256] {
+        let mut input = dets(n, 4);
+        input.sort_by_key(|d| (d.receiver, d.clock));
+        // The wire-size claim this format exists for, pinned where the
+        // throughput is measured: >= 2x smaller than flat at 256.
+        if n == 256 {
+            assert!(
+                compact_len(&input) * 2 <= flat_len(&input),
+                "compact lost its 2x wire margin at n=256"
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("encode_compact", n), &input, |b, d| {
+            b.iter(|| encode_compact(d))
+        });
+        let mut enc = PbEncoder::new();
+        g.bench_with_input(
+            BenchmarkId::new("encode_compact_batched", n),
+            &input,
+            |b, d| b.iter(|| enc.encode_compact(d).unwrap()),
+        );
+        let wire = encode_compact(&input);
+        g.bench_with_input(BenchmarkId::new("decode_compact", n), &wire, |b, d| {
+            b.iter(|| decode_compact(d.clone()).unwrap())
         });
     }
     g.finish();
@@ -389,6 +424,7 @@ fn bench_el_batching(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_codecs,
+    bench_pb_compact,
     bench_graph,
     bench_reductions,
     bench_sender_log,

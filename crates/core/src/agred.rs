@@ -213,6 +213,18 @@ impl Reduction for GraphRed {
         self.graph.apply_stable(stable);
     }
 
+    fn note_peer_stable(&mut self, peer: Rank, stable: &[RClock]) {
+        // A peer's reported stability is exactly peer knowledge: it holds
+        // (or can re-fetch from the EL) every determinant at or below the
+        // vector, so it folds into the per-channel `known` floor. The
+        // traversal in `receiver_bound` starts above that floor, making
+        // GC notices also *cheapen* fresh-channel sends.
+        for c in 0..self.n {
+            let k = &mut self.known[peer][c];
+            *k = (*k).max(stable[c]);
+        }
+    }
+
     fn retained(&self) -> Vec<Determinant> {
         self.graph.retained()
     }
@@ -380,6 +392,30 @@ mod tests {
         assert!(reds[0].retained_count() < before);
         let (pb, _) = reds[0].build(3, clocks[0]);
         assert!(pb.iter().all(|d| d.clock > 2));
+    }
+
+    #[test]
+    fn peer_stability_raises_the_channel_bound() {
+        for kind in [Technique::Manetho, Technique::LogOn] {
+            let mut reds: Vec<Box<dyn Reduction>> =
+                (0..4).map(|_| make_reduction(kind, 4)).collect();
+            let mut clocks = vec![0; 4];
+            for (from, to) in [(1, 0), (0, 1), (1, 2), (1, 2), (1, 2), (2, 1)] {
+                exchange(&mut reds, &mut clocks, from, to);
+            }
+            // Rank 3 learns everything rank 1 knows.
+            exchange(&mut reds, &mut clocks, 1, 3);
+            // Rank 2's GC notice tells rank 3 that P1's and P2's events
+            // up to these clocks are EL-stable at rank 2's checkpoint.
+            reds[3].note_peer_stable(2, &[1, 2, 3, 0]);
+            let (pb, _) = reds[3].build(2, clocks[3]);
+            assert!(
+                pb.iter().all(|d| d.clock > [1, 2, 3, 0][d.receiver]),
+                "{kind:?} piggybacked below the peer-stable floor: {pb:?}"
+            );
+            // The local store is untouched: peer stability is not global.
+            assert!(reds[3].retained_count() > 0);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use vlog_vmpi::{
 use crate::costs::CausalCosts;
 use crate::el::{el_batch_bytes, ElBatcher, ElMsg, ElReply};
 use crate::event::Determinant;
-use crate::piggyback::PbBody;
+use crate::piggyback::{watermarks_len, PbBody, PbFormat};
 use crate::reduction::{make_reduction, Reduction, Technique};
 use crate::sender_log::SenderLog;
 
@@ -39,16 +39,27 @@ use crate::sender_log::SenderLog;
 pub enum CausalCtl {
     /// Recovery request: send me your causality knowledge and re-send
     /// your logged payloads for me from my channel watermarks.
+    /// `recovery_id` names the victim's restart incarnation so retried
+    /// reclaims of the *same* recovery don't trigger duplicate payload
+    /// re-sends, while a later crash (new id) resets the dedupe.
     Reclaim {
         victim: Rank,
         from_clock: RClock,
         watermarks: Vec<Ssn>,
+        recovery_id: u64,
     },
     /// Causality knowledge response.
     ReclaimResp { from: Rank, dets: Vec<Determinant> },
     /// Checkpoint-commit notice: my image covers receptions below these
-    /// per-sender sequence numbers — prune your sender logs.
-    GcNotice { from: Rank, received: Vec<Ssn> },
+    /// per-sender sequence numbers — prune your sender logs. `stable` is
+    /// the sender's EL-stability vector at commit time: determinants at
+    /// or below it are safely logged, so peers may prune them from
+    /// piggybacks *on this channel* (send-side pruning).
+    GcNotice {
+        from: Rank,
+        received: Vec<Ssn>,
+        stable: Vec<RClock>,
+    },
 }
 
 /// Protocol section of a checkpoint image.
@@ -105,6 +116,9 @@ const TIMER_RECLAIM: u64 = 1;
 /// The causal message logging protocol for one rank.
 pub struct CausalProtocol {
     technique: Technique,
+    /// Piggyback wire format (sizes only — determinants travel in
+    /// structured form inside the simulation; see `piggyback`).
+    format: PbFormat,
     el: bool,
     rank: Rank,
     n: usize,
@@ -140,6 +154,7 @@ pub struct CausalProtocol {
 impl CausalProtocol {
     pub fn new(
         technique: Technique,
+        format: PbFormat,
         el: bool,
         rank: Rank,
         n: usize,
@@ -148,6 +163,7 @@ impl CausalProtocol {
     ) -> Self {
         CausalProtocol {
             technique,
+            format,
             el,
             rank,
             n,
@@ -283,6 +299,9 @@ impl CausalProtocol {
 
     fn send_reclaims(&mut self, ctx: &mut Ctx<'_>) {
         let wm = self.rec.as_ref().map_or(0, |r| r.wm);
+        // The restart instant names this incarnation: a second crash
+        // starts later, so its id differs and resets the peers' dedupe.
+        let recovery_id = self.rec.as_ref().map_or(0, |r| r.started.as_nanos());
         let watermarks = ctx.core.expected_watermarks();
         let already: BTreeSet<Rank> = self
             .rec
@@ -296,11 +315,12 @@ impl CausalProtocol {
             ctx.core.control_to_rank(
                 ctx.sim,
                 peer,
-                24 + 8 * self.n as u64,
+                32 + 8 * self.n as u64,
                 Box::new(CausalCtl::Reclaim {
                     victim: self.rank,
                     from_clock: wm,
                     watermarks: watermarks.clone(),
+                    recovery_id,
                 }),
             );
         }
@@ -423,6 +443,7 @@ impl CausalProtocol {
                 victim,
                 from_clock,
                 watermarks,
+                recovery_id,
             } => {
                 // Causality knowledge: everything retained (with an EL the
                 // store is small — that is the entire point of the paper).
@@ -440,13 +461,19 @@ impl CausalProtocol {
                         dets,
                     }),
                 );
-                // Payload re-sends from the sender-based log.
-                let from_ssn = watermarks[self.rank];
+                // Payload re-sends from the sender-based log. A retried
+                // reclaim of the same incarnation resumes past what was
+                // already shipped instead of re-sending everything.
+                let from_ssn = self
+                    .slog
+                    .replay_start(victim, recovery_id, watermarks[self.rank]);
                 let entries: Vec<(Ssn, Tag, Payload)> = self
                     .slog
                     .entries_from(victim, from_ssn)
                     .map(|(ssn, e)| (ssn, e.tag, e.payload.clone()))
                     .collect();
+                let next = entries.last().map_or(from_ssn, |(ssn, _, _)| ssn + 1);
+                self.slog.note_shipped(victim, recovery_id, next);
                 for (ssn, tag, payload) in entries {
                     ctx.core.transmit_replay(ctx.sim, victim, tag, ssn, payload);
                 }
@@ -464,8 +491,17 @@ impl CausalProtocol {
                     self.maybe_finish_collection(ctx);
                 }
             }
-            CausalCtl::GcNotice { from, received } => {
+            CausalCtl::GcNotice {
+                from,
+                received,
+                stable,
+            } => {
                 self.slog.prune_below(from, received[self.rank]);
+                // Send-side pruning: `from` vouches these clocks are
+                // EL-stable, so piggybacks *to it* can skip them. Peer
+                // knowledge only — global stability still comes solely
+                // from EL acknowledgements.
+                self.red.note_peer_stable(from, &stable);
             }
         }
     }
@@ -536,7 +572,7 @@ impl VProtocol for CausalProtocol {
     ) -> (PiggybackBlob, SimDuration) {
         let _codec = profiler::scope(profiler::Phase::Codec);
         let (dets, work) = self.red.build(dst, self.rclock);
-        let bytes = self.technique.wire_len(&dets);
+        let bytes = self.format.wire_len(&dets);
         let cost = self.build_cost(dets.len(), work.visits);
         self.stats.local().pb_events_sent += dets.len() as u64;
         let body = PbBody {
@@ -672,15 +708,19 @@ impl VProtocol for CausalProtocol {
             return;
         };
         self.ckpt_expected.retain(|v, _| *v > version);
+        // The stability vector rides along RLE-compressed (it is mostly
+        // long flat runs), so the notice grows by a few bytes, not 8*n.
+        let wire = 8 + 8 * self.n as u64 + watermarks_len(&self.stable);
         for peer in 0..self.n {
             if peer != self.rank {
                 ctx.core.control_to_rank(
                     ctx.sim,
                     peer,
-                    8 + 8 * self.n as u64,
+                    wire,
                     Box::new(CausalCtl::GcNotice {
                         from: self.rank,
                         received: received.clone(),
+                        stable: self.stable.clone(),
                     }),
                 );
             }

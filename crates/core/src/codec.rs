@@ -1,7 +1,19 @@
 //! Minimal byte-level encoding helpers (little endian). Hand-rolled to
 //! keep wire sizes explicit and dependencies minimal.
+//!
+//! The fixed-width getters are *checked*: a short buffer is reported as
+//! [`PbCodecError::Truncated`] naming the field being decoded, mirroring
+//! the encode-side overflow checks, instead of panicking mid-decode deep
+//! inside the `bytes` shim. The LEB128 helpers back the `Compact`
+//! piggyback format: unsigned varints plus the zigzag mapping that makes
+//! small signed deltas cost one byte.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::piggyback::PbCodecError;
+
+/// Longest LEB128 encoding of a `u64` (ten 7-bit groups cover 64 bits).
+pub const MAX_UVARINT_BYTES: usize = 10;
 
 pub fn put_u16(out: &mut BytesMut, v: u16) {
     out.put_u16_le(v);
@@ -15,16 +27,89 @@ pub fn put_u64(out: &mut BytesMut, v: u64) {
     out.put_u64_le(v);
 }
 
-pub fn get_u16(buf: &mut Bytes) -> u16 {
-    buf.get_u16_le()
+fn need(buf: &Bytes, field: &'static str, bytes: usize) -> Result<(), PbCodecError> {
+    if buf.remaining() < bytes {
+        Err(PbCodecError::Truncated {
+            field,
+            need: bytes,
+            have: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
 }
 
-pub fn get_u32(buf: &mut Bytes) -> u32 {
-    buf.get_u32_le()
+pub fn get_u16(buf: &mut Bytes, field: &'static str) -> Result<u16, PbCodecError> {
+    need(buf, field, 2)?;
+    Ok(buf.get_u16_le())
 }
 
-pub fn get_u64(buf: &mut Bytes) -> u64 {
-    buf.get_u64_le()
+pub fn get_u32(buf: &mut Bytes, field: &'static str) -> Result<u32, PbCodecError> {
+    need(buf, field, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+pub fn get_u64(buf: &mut Bytes, field: &'static str) -> Result<u64, PbCodecError> {
+    need(buf, field, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Appends `v` as an unsigned LEB128 varint (7 value bits per byte, high
+/// bit set on every byte but the last).
+pub fn put_uvarint(out: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        out.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.put_u8(v as u8);
+}
+
+/// Exact encoded length of [`put_uvarint`] for `v`.
+pub fn uvarint_len(v: u64) -> u64 {
+    // 1 byte per started 7-bit group; zero still takes one byte.
+    let bits = 64 - v.leading_zeros() as u64;
+    1 + bits.saturating_sub(1) / 7
+}
+
+/// Reads one unsigned LEB128 varint. A buffer that ends mid-varint is
+/// [`PbCodecError::Truncated`]; a varint longer than
+/// [`MAX_UVARINT_BYTES`] or carrying bits beyond 64 is reported as an
+/// overflow of the 64-bit wire field.
+pub fn get_uvarint(buf: &mut Bytes, field: &'static str) -> Result<u64, PbCodecError> {
+    let mut v = 0u64;
+    for i in 0..MAX_UVARINT_BYTES {
+        need(buf, field, 1)?;
+        let b = buf.get_u8();
+        let group = (b & 0x7f) as u64;
+        // The tenth byte may only contribute the final bit of a u64.
+        if i == MAX_UVARINT_BYTES - 1 && group > 1 {
+            return Err(PbCodecError::Overflow {
+                field,
+                value: group,
+                wire_bits: 64,
+            });
+        }
+        v |= group << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(PbCodecError::Overflow {
+        field,
+        value: v,
+        wire_bits: 64,
+    })
+}
+
+/// Zigzag-maps a signed delta so near-zero values (of either sign) get
+/// short varints: 0, -1, 1, -2, ... → 0, 1, 2, 3, ...
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 #[cfg(test)]
@@ -38,9 +123,85 @@ mod tests {
         put_u32(&mut out, 0xDEAD_BEEF);
         put_u64(&mut out, 0x0123_4567_89AB_CDEF);
         let mut b = out.freeze();
-        assert_eq!(get_u16(&mut b), 0xBEEF);
-        assert_eq!(get_u32(&mut b), 0xDEAD_BEEF);
-        assert_eq!(get_u64(&mut b), 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&mut b, "a").unwrap(), 0xBEEF);
+        assert_eq!(get_u32(&mut b, "b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut b, "c").unwrap(), 0x0123_4567_89AB_CDEF);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn short_buffers_are_reported_not_panicked() {
+        let mut b = Bytes::copy_from_slice(&[0x01]);
+        assert_eq!(
+            get_u32(&mut b.clone(), "clock"),
+            Err(PbCodecError::Truncated {
+                field: "clock",
+                need: 4,
+                have: 1,
+            })
+        );
+        assert_eq!(get_u16(&mut b.clone(), "rid").unwrap_err().field(), "rid");
+        assert!(get_u64(&mut b, "ssn").is_err());
+        let mut empty = Bytes::new();
+        assert!(get_u16(&mut empty, "rid").is_err());
+    }
+
+    #[test]
+    fn uvarint_roundtrips_across_all_group_boundaries() {
+        let mut cases = vec![0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, u64::MAX];
+        for shift in 1..64 {
+            cases.push(1 << shift);
+            cases.push((1 << shift) - 1);
+        }
+        for v in cases {
+            let mut out = BytesMut::new();
+            put_uvarint(&mut out, v);
+            assert_eq!(out.len() as u64, uvarint_len(v), "len of {v:#x}");
+            let mut b = out.freeze();
+            assert_eq!(get_uvarint(&mut b, "v").unwrap(), v, "{v:#x}");
+            assert!(b.is_empty());
+        }
+        assert_eq!(uvarint_len(0), 1);
+        assert_eq!(uvarint_len(u64::MAX), MAX_UVARINT_BYTES as u64);
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        // Continuation bit set, then the buffer ends.
+        let mut b = Bytes::copy_from_slice(&[0x80]);
+        assert_eq!(
+            get_uvarint(&mut b, "delta"),
+            Err(PbCodecError::Truncated {
+                field: "delta",
+                need: 1,
+                have: 0,
+            })
+        );
+        // Ten continuation bytes: more than 64 bits of payload.
+        let mut b = Bytes::copy_from_slice(&[0xff; 10]);
+        assert!(matches!(
+            get_uvarint(&mut b, "delta"),
+            Err(PbCodecError::Overflow { field: "delta", .. })
+        ));
+        // A tenth byte carrying more than the final u64 bit overflows
+        // even without a continuation bit.
+        let mut b =
+            Bytes::copy_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02]);
+        assert!(matches!(
+            get_uvarint(&mut b, "delta"),
+            Err(PbCodecError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_biased_to_small_magnitudes() {
+        for v in [0i64, -1, 1, -2, 2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        // Deltas of ±63 or less fit a single varint byte.
+        assert!(uvarint_len(zigzag(63)) == 1 && uvarint_len(zigzag(-63)) == 1);
     }
 }

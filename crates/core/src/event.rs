@@ -72,18 +72,23 @@ impl Determinant {
         Ok(())
     }
 
-    pub(crate) fn decode_body(receiver: Rank, buf: &mut Bytes) -> Determinant {
-        let clock = codec::get_u32(buf) as RClock;
-        let sender = codec::get_u16(buf) as Rank;
-        let ssn = codec::get_u32(buf) as Ssn;
-        let cause = codec::get_u32(buf) as RClock;
-        Determinant {
+    /// Checked like the encode side: a buffer ending mid-body is a
+    /// [`PbCodecError`](crate::piggyback::PbCodecError), not a panic.
+    pub(crate) fn decode_body(
+        receiver: Rank,
+        buf: &mut Bytes,
+    ) -> Result<Determinant, crate::piggyback::PbCodecError> {
+        let clock = codec::get_u32(buf, "clock")? as RClock;
+        let sender = codec::get_u16(buf, "sender")? as Rank;
+        let ssn = codec::get_u32(buf, "ssn")? as Ssn;
+        let cause = codec::get_u32(buf, "cause")? as RClock;
+        Ok(Determinant {
             receiver,
             clock,
             sender,
             ssn,
             cause,
-        }
+        })
     }
 }
 
@@ -124,8 +129,26 @@ mod tests {
         d.encode_body(&mut out).unwrap();
         assert_eq!(out.len() as u64, Determinant::BODY_BYTES);
         let mut buf = out.freeze();
-        let back = Determinant::decode_body(7, &mut buf);
+        let back = Determinant::decode_body(7, &mut buf).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_panic() {
+        let d = Determinant {
+            receiver: 7,
+            clock: 123_456,
+            sender: 3,
+            ssn: 42,
+            cause: 99,
+        };
+        let mut out = BytesMut::new();
+        d.encode_body(&mut out).unwrap();
+        let mut short = out.freeze().slice(..8);
+        assert_eq!(
+            Determinant::decode_body(7, &mut short).unwrap_err().field(),
+            "ssn"
+        );
     }
 
     #[test]

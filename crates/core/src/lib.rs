@@ -19,8 +19,10 @@
 //!   **coordinated checkpointing** with global rollback
 //!   ([`coordinated::CoordinatedProtocol`], Chandy-Lamport style).
 //! * Byte-exact **piggyback codecs** ([`piggyback`]): the factored
-//!   `{rid, nb, events}` format shared by Vcausal and Manetho and the
-//!   flat order-preserving LogOn format.
+//!   `{rid, nb, events}` format shared by Vcausal and Manetho, the flat
+//!   order-preserving LogOn format, and the varint/delta `compact`
+//!   format ([`piggyback::PbFormat`]) that drops the O(rank-count) field
+//!   widths.
 //!
 //! Ready-made [`suite`]s bundle each protocol with its auxiliary stable
 //! components for the cluster builder:
@@ -47,6 +49,7 @@ pub mod sender_log;
 pub mod suite;
 pub mod vcausal;
 
+pub use bytes::Bytes;
 pub use causal::{CausalCtl, CausalProtocol};
 pub use coordinated::CoordinatedProtocol;
 pub use costs::CausalCosts;
@@ -59,8 +62,9 @@ pub use event::{Determinant, EventId};
 pub use graph::AGraph;
 pub use pessimistic::PessimisticProtocol;
 pub use piggyback::{
-    decode_factored, decode_flat, encode_factored, encode_flat, factored_len, flat_len, PbBody,
-    PbCodecError, PbEncoder,
+    compact_len, decode_compact, decode_factored, decode_flat, decode_watermarks, encode_compact,
+    encode_factored, encode_flat, encode_watermarks, factored_len, flat_len, watermarks_len,
+    PbBody, PbCodecError, PbEncoder, PbFormat,
 };
 pub use reduction::{make_reduction, Reduction, Technique, Work};
 pub use sender_log::SenderLog;

@@ -146,6 +146,7 @@ impl PessimisticProtocol {
 
     fn send_recovery_requests(&mut self, ctx: &mut Ctx<'_>) {
         let wm = self.rec.as_ref().map_or(0, |r| r.wm);
+        let recovery_id = self.rec.as_ref().map_or(0, |r| r.started.as_nanos());
         let already: BTreeSet<Rank> = self
             .rec
             .as_ref()
@@ -159,11 +160,12 @@ impl PessimisticProtocol {
             ctx.core.control_to_rank(
                 ctx.sim,
                 peer,
-                24 + 8 * self.n as u64,
+                32 + 8 * self.n as u64,
                 Box::new(CausalCtl::Reclaim {
                     victim: self.rank,
                     from_clock: wm,
                     watermarks: watermarks.clone(),
+                    recovery_id,
                 }),
             );
         }
@@ -374,7 +376,10 @@ impl VProtocol for PessimisticProtocol {
             Ok(c) => {
                 match *c {
                     CausalCtl::Reclaim {
-                        victim, watermarks, ..
+                        victim,
+                        watermarks,
+                        recovery_id,
+                        ..
                     } => {
                         // No causality to share (the EL has it all), but
                         // the victim still needs our logged payloads.
@@ -387,12 +392,16 @@ impl VProtocol for PessimisticProtocol {
                                 dets: Vec::new(),
                             }),
                         );
-                        let from_ssn = watermarks[self.rank];
+                        let from_ssn =
+                            self.slog
+                                .replay_start(victim, recovery_id, watermarks[self.rank]);
                         let entries: Vec<(Ssn, Tag, Payload)> = self
                             .slog
                             .entries_from(victim, from_ssn)
                             .map(|(ssn, e)| (ssn, e.tag, e.payload.clone()))
                             .collect();
+                        let next = entries.last().map_or(from_ssn, |(ssn, _, _)| ssn + 1);
+                        self.slog.note_shipped(victim, recovery_id, next);
                         for (ssn, tag, payload) in entries {
                             ctx.core.transmit_replay(ctx.sim, victim, tag, ssn, payload);
                         }
@@ -403,7 +412,7 @@ impl VProtocol for PessimisticProtocol {
                             self.maybe_finish_collection(ctx);
                         }
                     }
-                    CausalCtl::GcNotice { from, received } => {
+                    CausalCtl::GcNotice { from, received, .. } => {
                         self.slog.prune_below(from, received[self.rank]);
                     }
                 }
@@ -464,15 +473,22 @@ impl VProtocol for PessimisticProtocol {
             return;
         };
         self.ckpt_expected.retain(|v, _| *v > version);
+        // Pessimistic logging tracks only its own EL stability; peers
+        // ignore the vector (there is no piggyback to prune), but the
+        // wire format stays shared with the causal protocols.
+        let mut stable = vec![0; self.n];
+        stable[self.rank] = self.stable_own;
+        let wire = 8 + 8 * self.n as u64 + crate::piggyback::watermarks_len(&stable);
         for peer in 0..self.n {
             if peer != self.rank {
                 ctx.core.control_to_rank(
                     ctx.sim,
                     peer,
-                    8 + 8 * self.n as u64,
+                    wire,
                     Box::new(CausalCtl::GcNotice {
                         from: self.rank,
                         received: received.clone(),
+                        stable: stable.clone(),
                     }),
                 );
             }

@@ -1,4 +1,4 @@
-//! The two piggyback wire formats (paper §III-C).
+//! The piggyback wire formats (paper §III-C).
 //!
 //! *"In the implementation of Vcausal and Manetho protocols, in order to
 //! reduce the piggybacked information size, the reception events are
@@ -10,34 +10,41 @@
 //! actual size in bytes of data added to the message is higher for
 //! LogOn."*
 //!
-//! Both codecs are implemented byte-for-byte: the simulation charges the
+//! The codecs are implemented byte-for-byte: the simulation charges the
 //! exact encoded length on the wire, the flat codec preserves the partial
 //! order LogOn relies on, and Criterion micro-benches measure the real
-//! encode/decode cost of both.
+//! encode/decode cost of each. Three formats are selectable per suite
+//! ([`PbFormat`]): the paper's two historical layouts, kept byte-identical
+//! as baselines, plus the `compact` format that breaks their O(rank-count)
+//! field widths with LEB128 varints and per-run delta encoding — see the
+//! [`PbFormat::Compact`] docs for the layout.
 //!
 //! # Wire limits
 //!
-//! The `rid` and `sender` fields are u16 on the wire and the per-group
-//! event count `nb` is u16. Encoding used to truncate with `as u16`,
-//! silently wrapping for ranks ≥ 65 536 — and a factored run of exactly
-//! 65 536 equal-receiver events encoded `nb = 0`, making the decoder lose
-//! the whole group. Conversions are now checked: out-of-range *values*
-//! (rank, clock, ssn) are reported as [`PbCodecError`] instead of
-//! corrupting the stream, while over-long runs — a shape limit, not a
-//! value limit — are transparently split into several maximal groups,
-//! which the decoder reassembles for free. Wire bytes are unchanged for
-//! everything that was previously encodable correctly.
+//! The `rid` and `sender` fields of the historical formats are u16 on the
+//! wire and the per-group event count `nb` is u16. Encoding used to
+//! truncate with `as u16`, silently wrapping for ranks ≥ 65 536 — and a
+//! factored run of exactly 65 536 equal-receiver events encoded `nb = 0`,
+//! making the decoder lose the whole group. Conversions are now checked:
+//! out-of-range *values* (rank, clock, ssn) are reported as
+//! [`PbCodecError`] instead of corrupting the stream, while over-long
+//! runs — a shape limit, not a value limit — are transparently split into
+//! several maximal groups, which the decoder reassembles for free. The
+//! decode side is checked too: a truncated buffer is a
+//! [`PbCodecError::Truncated`], not a panic. The compact format has no
+//! value limits at all — every field travels as a varint.
 
 use std::fmt;
 
 use bytes::{Bytes, BytesMut};
 use vlog_vmpi::{RClock, Rank};
 
+use crate::codec;
 use crate::event::Determinant;
 
 /// Per-group header of the factored format: rid (u16) + nb (u16).
 pub const GROUP_HEADER_BYTES: u64 = 4;
-/// Per-event body bytes (shared by both formats).
+/// Per-event body bytes (shared by the two fixed-width formats).
 pub const EVENT_BODY_BYTES: u64 = Determinant::BODY_BYTES;
 /// Per-event bytes of the flat (LogOn) format: rid (u16) + body.
 pub const FLAT_EVENT_BYTES: u64 = 2 + EVENT_BODY_BYTES;
@@ -45,31 +52,64 @@ pub const FLAT_EVENT_BYTES: u64 = 2 + EVENT_BODY_BYTES;
 /// equal-receiver runs are split into several groups by the encoder.
 pub const GROUP_MAX_EVENTS: usize = u16::MAX as usize;
 
-/// A determinant field that does not fit its wire representation.
+/// A piggyback wire-codec failure: a value that does not fit its wire
+/// field on encode, or a buffer that ends mid-field on decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PbCodecError {
-    /// Which wire field overflowed ("receiver", "sender", "clock", ...).
-    pub field: &'static str,
-    /// The offending value, widened.
-    pub value: u64,
-    /// Bits the wire format affords that field.
-    pub wire_bits: u32,
+pub enum PbCodecError {
+    /// A determinant field does not fit its wire representation.
+    Overflow {
+        /// Which wire field overflowed ("receiver", "sender", "clock", ...).
+        field: &'static str,
+        /// The offending value, widened.
+        value: u64,
+        /// Bits the wire format affords that field.
+        wire_bits: u32,
+    },
+    /// The buffer ended in the middle of a wire field.
+    Truncated {
+        /// Which wire field was being decoded.
+        field: &'static str,
+        /// Bytes the field needed.
+        need: usize,
+        /// Bytes the buffer had left.
+        have: usize,
+    },
+}
+
+impl PbCodecError {
+    /// The wire field the error is about, whichever side it hit.
+    pub fn field(&self) -> &'static str {
+        match self {
+            PbCodecError::Overflow { field, .. } => field,
+            PbCodecError::Truncated { field, .. } => field,
+        }
+    }
 }
 
 impl fmt::Display for PbCodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "piggyback codec: {} = {} exceeds the u{} wire field",
-            self.field, self.value, self.wire_bits
-        )
+        match self {
+            PbCodecError::Overflow {
+                field,
+                value,
+                wire_bits,
+            } => write!(
+                f,
+                "piggyback codec: {field} = {value} exceeds the u{wire_bits} wire field"
+            ),
+            PbCodecError::Truncated { field, need, have } => write!(
+                f,
+                "piggyback codec: buffer truncated decoding {field} \
+                 (needed {need} bytes, {have} left)"
+            ),
+        }
     }
 }
 
 impl std::error::Error for PbCodecError {}
 
 pub(crate) fn wire_u16(field: &'static str, v: u64) -> Result<u16, PbCodecError> {
-    u16::try_from(v).map_err(|_| PbCodecError {
+    u16::try_from(v).map_err(|_| PbCodecError::Overflow {
         field,
         value: v,
         wire_bits: 16,
@@ -77,7 +117,7 @@ pub(crate) fn wire_u16(field: &'static str, v: u64) -> Result<u16, PbCodecError>
 }
 
 pub(crate) fn wire_u32(field: &'static str, v: u64) -> Result<u32, PbCodecError> {
-    u32::try_from(v).map_err(|_| PbCodecError {
+    u32::try_from(v).map_err(|_| PbCodecError::Overflow {
         field,
         value: v,
         wire_bits: 32,
@@ -94,6 +134,102 @@ pub struct PbBody {
     pub sender_clock: RClock,
     /// Determinants, in emission order (LogOn's partial order matters).
     pub dets: Vec<Determinant>,
+}
+
+/// The selectable piggyback wire format of a causal suite.
+///
+/// The simulation charges each message the exact encoded length of the
+/// suite's format, so the choice shows up directly in the piggyback-share
+/// figures. The historical formats are kept byte-identical as baselines;
+/// `Compact` is the scaling format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbFormat {
+    /// One `rid` per event (LogOn's order-preserving layout).
+    Flat,
+    /// Events factored by receiver rank, `{rid, nb, events}` groups
+    /// (Vcausal/Manetho's layout).
+    Factored,
+    /// Varint/delta layout: maximal equal-receiver runs headed by
+    /// `uvarint(rid), uvarint(nb)`, each event encoded as
+    /// `uvarint(zigzag(Δclock)), uvarint(sender), uvarint(zigzag(Δssn)),
+    /// uvarint(zigzag(Δcause))` with the deltas taken against the
+    /// previous event of the same run (starting from 0). Reception
+    /// clocks and ssns of one creator are near-consecutive, so the
+    /// typical event costs 4 bytes instead of the fixed formats' 14–16,
+    /// and no field carries a u16/u32 value limit.
+    Compact,
+}
+
+impl PbFormat {
+    /// Stable lowercase name, the `VLOG_PB_FORMAT` vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PbFormat::Flat => "flat",
+            PbFormat::Factored => "factored",
+            PbFormat::Compact => "compact",
+        }
+    }
+
+    /// Inverse of [`PbFormat::label`].
+    pub fn parse(name: &str) -> Option<PbFormat> {
+        match name {
+            "flat" => Some(PbFormat::Flat),
+            "factored" => Some(PbFormat::Factored),
+            "compact" => Some(PbFormat::Compact),
+            _ => None,
+        }
+    }
+
+    /// Resolves the `VLOG_PB_FORMAT` env knob with the workspace's
+    /// warn-and-fallback contract: unset uses `default` silently, an
+    /// unknown name falls back to `default` with a stderr warning.
+    pub fn from_env_or(default: PbFormat) -> PbFormat {
+        match std::env::var("VLOG_PB_FORMAT") {
+            Err(_) => default,
+            Ok(raw) => match PbFormat::parse(raw.trim()) {
+                Some(f) => f,
+                None => {
+                    eprintln!(
+                        "warning: ignoring VLOG_PB_FORMAT={raw:?} (unknown format; \
+                         known: [\"flat\", \"factored\", \"compact\"]); \
+                         falling back to {}",
+                        default.label()
+                    );
+                    default
+                }
+            },
+        }
+    }
+
+    /// Exact wire length of `dets` in this format.
+    pub fn wire_len(&self, dets: &[Determinant]) -> u64 {
+        match self {
+            PbFormat::Flat => flat_len(dets),
+            PbFormat::Factored => factored_len(dets),
+            PbFormat::Compact => compact_len(dets),
+        }
+    }
+
+    /// Encodes `dets` in this format (compact never fails — it has no
+    /// wire limits — but shares the `Result` surface of the fixed-width
+    /// encoders).
+    pub fn encode(&self, dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
+        match self {
+            PbFormat::Flat => encode_flat(dets),
+            PbFormat::Factored => encode_factored(dets),
+            PbFormat::Compact => Ok(encode_compact(dets)),
+        }
+    }
+
+    /// Decodes a buffer produced by [`PbFormat::encode`] of the same
+    /// format.
+    pub fn decode(&self, buf: Bytes) -> Result<Vec<Determinant>, PbCodecError> {
+        match self {
+            PbFormat::Flat => decode_flat(buf),
+            PbFormat::Factored => decode_factored(buf),
+            PbFormat::Compact => decode_compact(buf),
+        }
+    }
 }
 
 /// Exact wire length of the factored format for `dets` (grouped by
@@ -137,8 +273,8 @@ pub fn encode_factored(dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
         while j < dets.len() && dets[j].receiver == rid && j - i < GROUP_MAX_EVENTS {
             j += 1;
         }
-        crate::codec::put_u16(&mut out, wire_u16("receiver", rid as u64)?);
-        crate::codec::put_u16(&mut out, (j - i) as u16);
+        codec::put_u16(&mut out, wire_u16("receiver", rid as u64)?);
+        codec::put_u16(&mut out, (j - i) as u16);
         for d in &dets[i..j] {
             d.encode_body(&mut out)?;
         }
@@ -148,36 +284,191 @@ pub fn encode_factored(dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
 }
 
 /// Decodes the factored format.
-pub fn decode_factored(mut buf: Bytes) -> Vec<Determinant> {
+pub fn decode_factored(mut buf: Bytes) -> Result<Vec<Determinant>, PbCodecError> {
     let mut dets = Vec::new();
     while !buf.is_empty() {
-        let rid = crate::codec::get_u16(&mut buf) as Rank;
-        let nb = crate::codec::get_u16(&mut buf) as usize;
+        let rid = codec::get_u16(&mut buf, "receiver")? as Rank;
+        let nb = codec::get_u16(&mut buf, "nb")? as usize;
         for _ in 0..nb {
-            dets.push(Determinant::decode_body(rid, &mut buf));
+            dets.push(Determinant::decode_body(rid, &mut buf)?);
         }
     }
-    dets
+    Ok(dets)
 }
 
 /// Encodes the flat (LogOn) format: order-preserving, one rid per event.
 pub fn encode_flat(dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
     let mut out = BytesMut::with_capacity(flat_len(dets) as usize);
     for d in dets {
-        crate::codec::put_u16(&mut out, wire_u16("receiver", d.receiver as u64)?);
+        codec::put_u16(&mut out, wire_u16("receiver", d.receiver as u64)?);
         d.encode_body(&mut out)?;
     }
     Ok(out.freeze())
 }
 
 /// Decodes the flat format, preserving order.
-pub fn decode_flat(mut buf: Bytes) -> Vec<Determinant> {
+pub fn decode_flat(mut buf: Bytes) -> Result<Vec<Determinant>, PbCodecError> {
     let mut dets = Vec::new();
     while !buf.is_empty() {
-        let rid = crate::codec::get_u16(&mut buf) as Rank;
-        dets.push(Determinant::decode_body(rid, &mut buf));
+        let rid = codec::get_u16(&mut buf, "receiver")? as Rank;
+        dets.push(Determinant::decode_body(rid, &mut buf)?);
     }
-    dets
+    Ok(dets)
+}
+
+/// The per-run delta state of the compact codec. Every field starts at
+/// zero at each run header, so runs decode independently.
+#[derive(Default, Clone, Copy)]
+struct CompactRunState {
+    clock: u64,
+    ssn: u64,
+    cause: u64,
+}
+
+impl CompactRunState {
+    /// The four varints of one event against this state, as
+    /// (Δclock-zigzagged, sender, Δssn-zigzagged, Δcause-zigzagged);
+    /// advances the state.
+    fn deltas(&mut self, d: &Determinant) -> [u64; 4] {
+        let dz = |prev: u64, cur: u64| codec::zigzag((cur as i64).wrapping_sub(prev as i64));
+        let out = [
+            dz(self.clock, d.clock),
+            d.sender as u64,
+            dz(self.ssn, d.ssn),
+            dz(self.cause, d.cause),
+        ];
+        self.clock = d.clock;
+        self.ssn = d.ssn;
+        self.cause = d.cause;
+        out
+    }
+}
+
+/// Exact wire length of the compact format (mirrors [`encode_compact`]
+/// varint for varint).
+pub fn compact_len(dets: &[Determinant]) -> u64 {
+    let mut len = 0u64;
+    let mut i = 0;
+    while i < dets.len() {
+        let rid = dets[i].receiver;
+        let mut j = i;
+        while j < dets.len() && dets[j].receiver == rid {
+            j += 1;
+        }
+        len += codec::uvarint_len(rid as u64) + codec::uvarint_len((j - i) as u64);
+        let mut st = CompactRunState::default();
+        for d in &dets[i..j] {
+            for v in st.deltas(d) {
+                len += codec::uvarint_len(v);
+            }
+        }
+        i = j;
+    }
+    len
+}
+
+/// Encodes the compact varint/delta format (see [`PbFormat::Compact`]).
+/// Infallible: varints carry any u64, so there are no wire limits to
+/// overflow.
+pub fn encode_compact(dets: &[Determinant]) -> Bytes {
+    let mut enc = PbEncoder::new();
+    enc.encode_compact(dets)
+        .expect("compact encode is infallible")
+}
+
+/// Decodes the compact format, preserving order.
+pub fn decode_compact(mut buf: Bytes) -> Result<Vec<Determinant>, PbCodecError> {
+    let mut dets = Vec::new();
+    while !buf.is_empty() {
+        let rid = codec::get_uvarint(&mut buf, "receiver")? as Rank;
+        let nb = codec::get_uvarint(&mut buf, "nb")? as usize;
+        let mut st = CompactRunState::default();
+        for _ in 0..nb {
+            let undz = |prev: u64, z: u64| prev.wrapping_add(codec::unzigzag(z) as u64);
+            let clock = undz(st.clock, codec::get_uvarint(&mut buf, "clock")?);
+            let sender = codec::get_uvarint(&mut buf, "sender")? as Rank;
+            let ssn = undz(st.ssn, codec::get_uvarint(&mut buf, "ssn")?);
+            let cause = undz(st.cause, codec::get_uvarint(&mut buf, "cause")?);
+            st.clock = clock;
+            st.ssn = ssn;
+            st.cause = cause;
+            dets.push(Determinant {
+                receiver: rid,
+                clock,
+                sender,
+                ssn,
+                cause,
+            });
+        }
+    }
+    Ok(dets)
+}
+
+/// Exact wire length of [`encode_watermarks`] for `wm`.
+pub fn watermarks_len(wm: &[RClock]) -> u64 {
+    let mut len = codec::uvarint_len(wm.len() as u64);
+    let mut prev = 0u64;
+    let mut i = 0;
+    while i < wm.len() {
+        let mut j = i;
+        while j < wm.len() && wm[j] == wm[i] {
+            j += 1;
+        }
+        len += codec::uvarint_len((j - i) as u64);
+        len += codec::uvarint_len(codec::zigzag((wm[i] as i64).wrapping_sub(prev as i64)));
+        prev = wm[i];
+        i = j;
+    }
+    len
+}
+
+/// Encodes a per-rank watermark vector run-length + delta style:
+/// `uvarint(n)`, then `(uvarint(run_len), uvarint(zigzag(Δvalue)))` per
+/// maximal run of equal values. Stability vectors are long and mostly
+/// flat (many ranks share a watermark), so this is a handful of bytes
+/// where the raw vector is `8n`.
+pub fn encode_watermarks(wm: &[RClock]) -> Bytes {
+    let mut out = BytesMut::with_capacity(watermarks_len(wm) as usize);
+    codec::put_uvarint(&mut out, wm.len() as u64);
+    let mut prev = 0u64;
+    let mut i = 0;
+    while i < wm.len() {
+        let mut j = i;
+        while j < wm.len() && wm[j] == wm[i] {
+            j += 1;
+        }
+        codec::put_uvarint(&mut out, (j - i) as u64);
+        codec::put_uvarint(
+            &mut out,
+            codec::zigzag((wm[i] as i64).wrapping_sub(prev as i64)),
+        );
+        prev = wm[i];
+        i = j;
+    }
+    out.freeze()
+}
+
+/// Decodes an [`encode_watermarks`] vector. Runs that overshoot the
+/// declared length are an overflow of the `wm_run` field.
+pub fn decode_watermarks(mut buf: Bytes) -> Result<Vec<RClock>, PbCodecError> {
+    let n = codec::get_uvarint(&mut buf, "wm_len")? as usize;
+    let mut wm = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    while wm.len() < n {
+        let run = codec::get_uvarint(&mut buf, "wm_run")? as usize;
+        if run == 0 || run > n - wm.len() {
+            return Err(PbCodecError::Overflow {
+                field: "wm_run",
+                value: run as u64,
+                wire_bits: 64,
+            });
+        }
+        let z = codec::get_uvarint(&mut buf, "wm_delta")?;
+        let v = prev.wrapping_add(codec::unzigzag(z) as u64);
+        wm.extend(std::iter::repeat(v).take(run));
+        prev = v;
+    }
+    Ok(wm)
 }
 
 /// One validation sweep over every wire field, in encode order
@@ -209,16 +500,16 @@ fn body_bytes(d: &Determinant) -> [u8; EVENT_BODY_BYTES as usize] {
     b
 }
 
-/// Reusable batched encoder for both piggyback formats.
+/// Reusable batched encoder for every piggyback format.
 ///
 /// Produces byte-identical output to [`encode_factored`] /
-/// [`encode_flat`] (golden-tested) but restructures the work for the
-/// per-ship hot path:
+/// [`encode_flat`] / [`encode_compact`] (golden-tested) but restructures
+/// the work for the per-ship hot path:
 ///
 /// * field validation is hoisted into one up-front sweep, so the
 ///   group/event loops carry no `Result` plumbing;
-/// * each event body is assembled in a fixed stack array and appended
-///   with a single `extend_from_slice` instead of four checked
+/// * each fixed-width event body is assembled in a fixed stack array and
+///   appended with a single `extend_from_slice` instead of four checked
 ///   per-field writes;
 /// * the accumulation buffer is owned by the encoder and reused across
 ///   calls, so steady-state encoding performs exactly one allocation
@@ -226,6 +517,32 @@ fn body_bytes(d: &Determinant) -> [u8; EVENT_BODY_BYTES as usize] {
 #[derive(Debug, Default)]
 pub struct PbEncoder {
     scratch: Vec<u8>,
+}
+
+/// Appends one LEB128 varint to a plain byte vector (the scratch-buffer
+/// twin of [`codec::put_uvarint`]).
+#[inline]
+fn push_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Writes one LEB128 varint into a fixed event staging buffer at
+/// offset `n`, returning the new offset. The buffer is sized so four
+/// maximal 10-byte varints fit exactly (4 × 10 = 40), which keeps the
+/// bounds check a compare against a constant.
+#[inline]
+fn stage_uvarint(buf: &mut [u8; 40], mut n: usize, mut v: u64) -> usize {
+    while v >= 0x80 {
+        buf[n] = (v as u8 & 0x7f) | 0x80;
+        v >>= 7;
+        n += 1;
+    }
+    buf[n] = v as u8;
+    n + 1
 }
 
 impl PbEncoder {
@@ -271,6 +588,66 @@ impl PbEncoder {
         }
         Ok(Bytes::copy_from_slice(&self.scratch))
     }
+
+    /// Batched compact encode. Same bytes as [`encode_compact`];
+    /// infallible like it, but keeps the shared `Result` surface.
+    ///
+    /// Each event's four varints are staged in a fixed stack buffer and
+    /// flushed with a single `extend_from_slice`, so the per-wire-byte
+    /// cost is one store rather than one capacity-checked `push` —
+    /// this is what keeps compact encode competitive with the
+    /// fixed-width formats on the send hot path.
+    pub fn encode_compact(&mut self, dets: &[Determinant]) -> Result<Bytes, PbCodecError> {
+        self.scratch.clear();
+        let mut i = 0;
+        while i < dets.len() {
+            let rid = dets[i].receiver;
+            let mut j = i;
+            while j < dets.len() && dets[j].receiver == rid {
+                j += 1;
+            }
+            push_uvarint(&mut self.scratch, rid as u64);
+            push_uvarint(&mut self.scratch, (j - i) as u64);
+            let mut st = CompactRunState::default();
+            for d in &dets[i..j] {
+                let vs = st.deltas(d);
+                if (vs[0] | vs[1] | vs[2] | vs[3]) < 0x80 {
+                    // Steady-state clustered piggyback: all four varints
+                    // are single-byte, so emit them as one fixed-size
+                    // store — the same branch-free shape as the flat
+                    // encoder's per-event copy.
+                    self.scratch.extend_from_slice(&[
+                        vs[0] as u8,
+                        vs[1] as u8,
+                        vs[2] as u8,
+                        vs[3] as u8,
+                    ]);
+                } else {
+                    let mut ev = [0u8; 40];
+                    let mut n = 0;
+                    for v in vs {
+                        n = stage_uvarint(&mut ev, n, v);
+                    }
+                    self.scratch.extend_from_slice(&ev[..n]);
+                }
+            }
+            i = j;
+        }
+        Ok(Bytes::copy_from_slice(&self.scratch))
+    }
+
+    /// Batched encode in the given format.
+    pub fn encode(
+        &mut self,
+        format: PbFormat,
+        dets: &[Determinant],
+    ) -> Result<Bytes, PbCodecError> {
+        match format {
+            PbFormat::Flat => self.encode_flat(dets),
+            PbFormat::Factored => self.encode_factored(dets),
+            PbFormat::Compact => self.encode_compact(dets),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,7 +673,7 @@ mod tests {
             factored_len(&dets),
             3 * GROUP_HEADER_BYTES + 4 * EVENT_BODY_BYTES
         );
-        assert_eq!(decode_factored(enc), dets);
+        assert_eq!(decode_factored(enc).unwrap(), dets);
     }
 
     #[test]
@@ -306,7 +683,141 @@ mod tests {
         let dets = vec![det(2, 9, 0), det(0, 1, 1), det(2, 8, 1), det(1, 3, 2)];
         let enc = encode_flat(&dets).unwrap();
         assert_eq!(enc.len() as u64, flat_len(&dets));
-        assert_eq!(decode_flat(enc), dets);
+        assert_eq!(decode_flat(enc).unwrap(), dets);
+    }
+
+    #[test]
+    fn compact_roundtrip_length_and_order() {
+        // Interleaved receivers, non-monotone clocks inside a run, and
+        // ssn/cause jumps in both directions: every delta sign shows up.
+        let dets = vec![
+            det(2, 9, 0),
+            det(2, 8, 1),
+            det(0, 1, 1),
+            det(0, 5, 3),
+            det(0, 2, 0),
+            det(1, 3, 2),
+        ];
+        let enc = encode_compact(&dets);
+        assert_eq!(enc.len() as u64, compact_len(&dets));
+        assert_eq!(decode_compact(enc).unwrap(), dets);
+        // Empty input is zero bytes like the other formats.
+        assert_eq!(compact_len(&[]), 0);
+        assert!(encode_compact(&[]).is_empty());
+        assert_eq!(decode_compact(Bytes::new()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn compact_carries_values_beyond_the_fixed_wire_limits() {
+        // The historical formats reject these; compact has no limits.
+        let dets = vec![
+            det(u16::MAX as Rank + 7, u32::MAX as u64 + 5, 3),
+            Determinant {
+                receiver: u16::MAX as Rank + 7,
+                clock: u64::MAX,
+                sender: u16::MAX as Rank + 1,
+                ssn: u64::MAX,
+                cause: 0,
+            },
+        ];
+        assert!(encode_factored(&dets).is_err());
+        assert!(encode_flat(&dets).is_err());
+        let enc = encode_compact(&dets);
+        assert_eq!(enc.len() as u64, compact_len(&dets));
+        assert_eq!(decode_compact(enc).unwrap(), dets);
+    }
+
+    #[test]
+    fn compact_beats_flat_at_the_acceptance_shape() {
+        // The micro-bench shape at 256 determinants (4 receivers, sorted
+        // by (receiver, clock)): the acceptance criterion is >= 2x fewer
+        // wire bytes than flat. Consecutive clocks/ssns per run delta to
+        // single-byte varints, so compact lands near 4 B/event.
+        let mut dets: Vec<Determinant> = (0..256usize)
+            .map(|i| Determinant {
+                receiver: i % 4,
+                clock: (i / 4 + 1) as u64,
+                sender: (i + 1) % 4,
+                ssn: i as u64,
+                cause: (i / 4) as u64,
+            })
+            .collect();
+        dets.sort_by_key(|d| (d.receiver, d.clock));
+        let compact = compact_len(&dets);
+        assert!(
+            2 * compact <= flat_len(&dets),
+            "compact {compact} B vs flat {} B: less than 2x win",
+            flat_len(&dets)
+        );
+        assert!(
+            2 * compact <= factored_len(&dets),
+            "compact {compact} B vs factored {} B: less than 2x win",
+            factored_len(&dets)
+        );
+        assert_eq!(decode_compact(encode_compact(&dets)).unwrap(), dets);
+    }
+
+    #[test]
+    fn truncated_buffers_are_errors_not_panics() {
+        let dets = vec![det(0, 1, 1), det(0, 2, 2), det(1, 1, 0)];
+        let fac = encode_factored(&dets).unwrap();
+        assert!(decode_factored(fac.slice(..fac.len() - 3)).is_err());
+        assert_eq!(
+            decode_factored(fac.slice(..3)).unwrap_err().field(),
+            "nb",
+            "a clipped group header names the field it died in"
+        );
+        let flat = encode_flat(&dets).unwrap();
+        assert!(decode_flat(flat.slice(..flat.len() - 1)).is_err());
+        let comp = encode_compact(&dets);
+        assert!(decode_compact(comp.slice(..comp.len() - 1)).is_err());
+    }
+
+    #[test]
+    fn watermark_vectors_roundtrip_and_compress_flat_runs() {
+        let cases: Vec<Vec<RClock>> = vec![
+            vec![],
+            vec![0],
+            vec![7; 32],
+            vec![5, 5, 5, 0, 0, 9, 9, 9, 9, 8],
+            (0..100).collect(),
+        ];
+        for wm in &cases {
+            let enc = encode_watermarks(wm);
+            assert_eq!(enc.len() as u64, watermarks_len(wm), "{wm:?}");
+            assert_eq!(&decode_watermarks(enc).unwrap(), wm, "{wm:?}");
+        }
+        // A 32-rank all-equal vector is 3 bytes, not 256.
+        assert_eq!(watermarks_len(&vec![7; 32]), 3);
+        // Truncation and a lying run length are both checked errors.
+        let enc = encode_watermarks(&[5, 5, 9]);
+        assert!(decode_watermarks(enc.slice(..enc.len() - 1)).is_err());
+        let mut lying = BytesMut::new();
+        codec::put_uvarint(&mut lying, 2); // n = 2
+        codec::put_uvarint(&mut lying, 3); // run of 3 > n
+        codec::put_uvarint(&mut lying, 0);
+        assert!(matches!(
+            decode_watermarks(lying.freeze()),
+            Err(PbCodecError::Overflow {
+                field: "wm_run",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn format_labels_and_dispatch_agree_with_the_free_functions() {
+        for f in [PbFormat::Flat, PbFormat::Factored, PbFormat::Compact] {
+            assert_eq!(PbFormat::parse(f.label()), Some(f));
+        }
+        assert_eq!(PbFormat::parse("gzip"), None);
+        let dets = vec![det(0, 1, 1), det(0, 2, 2), det(1, 1, 0)];
+        for f in [PbFormat::Flat, PbFormat::Factored, PbFormat::Compact] {
+            let enc = f.encode(&dets).unwrap();
+            assert_eq!(enc.len() as u64, f.wire_len(&dets), "{}", f.label());
+            assert_eq!(f.decode(enc).unwrap(), dets, "{}", f.label());
+        }
+        assert!(compact_len(&dets) < factored_len(&dets).min(flat_len(&dets)));
     }
 
     #[test]
@@ -334,9 +845,9 @@ mod tests {
     fn rank_at_the_u16_boundary_roundtrips() {
         let dets = vec![det(u16::MAX as Rank, 3, u16::MAX as Rank)];
         let enc = encode_factored(&dets).unwrap();
-        assert_eq!(decode_factored(enc), dets);
+        assert_eq!(decode_factored(enc).unwrap(), dets);
         let enc = encode_flat(&dets).unwrap();
-        assert_eq!(decode_flat(enc), dets);
+        assert_eq!(decode_flat(enc).unwrap(), dets);
     }
 
     #[test]
@@ -345,20 +856,25 @@ mod tests {
         // rank 0, corrupting the determinant stream for large clusters.
         let oversized = vec![det(u16::MAX as Rank + 1, 3, 0)];
         let err = encode_factored(&oversized).unwrap_err();
-        assert_eq!(err.field, "receiver");
-        assert_eq!(err.value, u16::MAX as u64 + 1);
-        assert_eq!(err.wire_bits, 16);
+        assert_eq!(
+            err,
+            PbCodecError::Overflow {
+                field: "receiver",
+                value: u16::MAX as u64 + 1,
+                wire_bits: 16,
+            }
+        );
         assert!(encode_flat(&oversized).is_err());
         // Same for the sender field inside the shared event body.
         let bad_sender = vec![det(0, 3, u16::MAX as Rank + 1)];
-        assert_eq!(encode_factored(&bad_sender).unwrap_err().field, "sender");
-        assert_eq!(encode_flat(&bad_sender).unwrap_err().field, "sender");
+        assert_eq!(encode_factored(&bad_sender).unwrap_err().field(), "sender");
+        assert_eq!(encode_flat(&bad_sender).unwrap_err().field(), "sender");
         // And for the u32 body fields.
         let bad_clock = vec![Determinant {
             clock: u32::MAX as u64 + 1,
             ..det(0, 1, 1)
         }];
-        assert_eq!(encode_flat(&bad_clock).unwrap_err().field, "clock");
+        assert_eq!(encode_flat(&bad_clock).unwrap_err().field(), "clock");
         let err = encode_flat(&bad_clock).unwrap_err();
         assert!(err.to_string().contains("clock"), "{err}");
     }
@@ -391,6 +907,14 @@ mod tests {
             let golden_l = encode_flat(dets).unwrap();
             let batched_l = enc.encode_flat(dets).unwrap();
             assert_eq!(&batched_l[..], &golden_l[..], "flat, {} dets", dets.len());
+            let golden_c = encode_compact(dets);
+            let batched_c = enc.encode_compact(dets).unwrap();
+            assert_eq!(
+                &batched_c[..],
+                &golden_c[..],
+                "compact, {} dets",
+                dets.len()
+            );
         }
         // Scratch reuse across calls must not leak bytes from a larger
         // earlier encode into a smaller later one (exercised above by
@@ -399,6 +923,10 @@ mod tests {
         assert_eq!(
             &enc.encode_flat(&small).unwrap()[..],
             &encode_flat(&small).unwrap()[..]
+        );
+        assert_eq!(
+            &enc.encode(PbFormat::Compact, &small).unwrap()[..],
+            &encode_compact(&small)[..]
         );
     }
 
@@ -424,10 +952,10 @@ mod tests {
             ),
         ];
         for (dets, field) in &cases {
-            assert_eq!(encode_factored(dets).unwrap_err().field, *field);
-            assert_eq!(enc.encode_factored(dets).unwrap_err().field, *field);
-            assert_eq!(encode_flat(dets).unwrap_err().field, *field);
-            assert_eq!(enc.encode_flat(dets).unwrap_err().field, *field);
+            assert_eq!(encode_factored(dets).unwrap_err().field(), *field);
+            assert_eq!(enc.encode_factored(dets).unwrap_err().field(), *field);
+            assert_eq!(encode_flat(dets).unwrap_err().field(), *field);
+            assert_eq!(enc.encode_flat(dets).unwrap_err().field(), *field);
         }
     }
 
@@ -442,7 +970,7 @@ mod tests {
         assert_eq!(factored_len(&long), expected_len);
         let enc = encode_factored(&long).unwrap();
         assert_eq!(enc.len() as u64, expected_len);
-        assert_eq!(decode_factored(enc), long);
+        assert_eq!(decode_factored(enc).unwrap(), long);
         // A run of exactly the maximum stays a single group.
         let exact: Vec<Determinant> = (0..GROUP_MAX_EVENTS)
             .map(|i| det(7, i as u64 + 1, 1))
@@ -451,6 +979,13 @@ mod tests {
             factored_len(&exact),
             GROUP_HEADER_BYTES + GROUP_MAX_EVENTS as u64 * EVENT_BODY_BYTES
         );
-        assert_eq!(decode_factored(encode_factored(&exact).unwrap()), exact);
+        assert_eq!(
+            decode_factored(encode_factored(&exact).unwrap()).unwrap(),
+            exact
+        );
+        // Compact has no group cap: one run header for the whole thing.
+        let comp = encode_compact(&long);
+        assert_eq!(comp.len() as u64, compact_len(&long));
+        assert_eq!(decode_compact(comp).unwrap(), long);
     }
 }

@@ -37,12 +37,20 @@ impl Technique {
         }
     }
 
-    /// Wire length of a piggyback under this technique's format.
-    pub fn wire_len(&self, dets: &[Determinant]) -> u64 {
+    /// The paper's historical wire format for this technique: Vcausal and
+    /// Manetho factor events by receiver rank, LogOn cannot (its partial
+    /// order interleaves receivers). Suites may override with
+    /// [`piggyback::PbFormat::Compact`].
+    pub fn default_format(&self) -> piggyback::PbFormat {
         match self {
-            Technique::Vcausal | Technique::Manetho => piggyback::factored_len(dets),
-            Technique::LogOn => piggyback::flat_len(dets),
+            Technique::Vcausal | Technique::Manetho => piggyback::PbFormat::Factored,
+            Technique::LogOn => piggyback::PbFormat::Flat,
         }
+    }
+
+    /// Wire length of a piggyback under this technique's default format.
+    pub fn wire_len(&self, dets: &[Determinant]) -> u64 {
+        self.default_format().wire_len(dets)
     }
 }
 
@@ -101,6 +109,16 @@ pub trait Reduction: Send + Sync {
     /// `clock <= stable[creator]` are garbage-collected (never piggybacked
     /// again; the EL can always provide them).
     fn apply_stable(&mut self, stable: &[RClock]);
+
+    /// Records what `peer` reported as *its* EL-stability vector (from a
+    /// GC notice): determinants with `clock <= stable[creator]` never
+    /// need to reach `peer` again — it already knows they are safely
+    /// logged — so [`Reduction::build`] can prune them from piggybacks on
+    /// that channel without touching the local store. Default: ignore
+    /// (the reduction keeps its historical behaviour).
+    fn note_peer_stable(&mut self, peer: Rank, stable: &[RClock]) {
+        let _ = (peer, stable);
+    }
 
     /// Every determinant currently retained (for checkpoint images and
     /// recovery reclaim responses).

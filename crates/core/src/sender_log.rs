@@ -25,6 +25,11 @@ pub struct LogEntry {
 pub struct SenderLog {
     per_dst: Vec<BTreeMap<Ssn, LogEntry>>,
     bytes: u64,
+    /// Per-destination replay-shipment marker: the recovery incarnation
+    /// last served and the next ssn to ship it. Retried reclaims of the
+    /// same incarnation resume from the marker instead of re-sending the
+    /// whole log; a new incarnation (later id) starts over.
+    shipped: Vec<Option<(u64, Ssn)>>,
 }
 
 impl SenderLog {
@@ -32,6 +37,7 @@ impl SenderLog {
         SenderLog {
             per_dst: vec![BTreeMap::new(); n],
             bytes: 0,
+            shipped: vec![None; n],
         }
     }
 
@@ -60,6 +66,27 @@ impl SenderLog {
         for e in dropped.values() {
             self.bytes -= e.payload.len();
         }
+    }
+
+    /// Where a replay to `dst` for `recovery_id` should start: the stored
+    /// marker when this incarnation was already (partially) served, else
+    /// the receiver's channel watermark `wm`.
+    pub fn replay_start(&self, dst: Rank, recovery_id: u64, wm: Ssn) -> Ssn {
+        match self.shipped[dst] {
+            Some((id, next)) if id == recovery_id => next.max(wm),
+            _ => wm,
+        }
+    }
+
+    /// Records that entries below `next` were shipped to `dst` for
+    /// `recovery_id`. Monotone within one incarnation; a different id
+    /// replaces the marker outright.
+    pub fn note_shipped(&mut self, dst: Rank, recovery_id: u64, next: Ssn) {
+        let next = match self.shipped[dst] {
+            Some((id, cur)) if id == recovery_id => cur.max(next),
+            _ => next,
+        };
+        self.shipped[dst] = Some((recovery_id, next));
     }
 
     /// Logged messages to `dst` with `ssn >= from`, ascending (the replay
@@ -123,5 +150,27 @@ mod tests {
         assert_eq!(got, vec![3, 4]);
         // Other destination untouched.
         assert_eq!(log.entries_from(1, 0).count(), 0);
+    }
+
+    #[test]
+    fn replay_markers_dedupe_within_one_incarnation() {
+        let mut log = SenderLog::new(2);
+        for ssn in 0..8 {
+            log.insert(1, ssn, 0, &payload(1));
+        }
+        // First reclaim of incarnation 7: everything from the watermark.
+        assert_eq!(log.replay_start(1, 7, 3), 3);
+        log.note_shipped(1, 7, 8);
+        // Retry of the same incarnation resumes past what was shipped.
+        assert_eq!(log.replay_start(1, 7, 3), 8);
+        // A later crash (new incarnation) starts over from its watermark.
+        assert_eq!(log.replay_start(1, 9, 3), 3);
+        log.note_shipped(1, 9, 5);
+        assert_eq!(log.replay_start(1, 9, 3), 5);
+        // The marker never regresses within an incarnation.
+        log.note_shipped(1, 9, 4);
+        assert_eq!(log.replay_start(1, 9, 3), 5);
+        // Other destinations carry independent markers.
+        assert_eq!(log.replay_start(0, 9, 0), 0);
     }
 }

@@ -11,6 +11,7 @@ use crate::coordinated::CoordinatedProtocol;
 use crate::costs::CausalCosts;
 use crate::el::EventLogger;
 use crate::pessimistic::PessimisticProtocol;
+use crate::piggyback::PbFormat;
 use crate::reduction::Technique;
 
 /// Causal message logging with a chosen piggyback-reduction technique,
@@ -26,6 +27,10 @@ pub struct CausalSuite {
     pub el_count: usize,
     /// Stable-clock gossip period between distributed EL shards.
     pub el_gossip: SimDuration,
+    /// Piggyback wire format. `None` resolves per rank at install time:
+    /// the `VLOG_PB_FORMAT` environment knob if set, else the
+    /// technique's historical format ([`Technique::default_format`]).
+    pub pb_format: Option<PbFormat>,
 }
 
 impl CausalSuite {
@@ -37,7 +42,21 @@ impl CausalSuite {
             costs: CausalCosts::default(),
             el_count: 1,
             el_gossip: SimDuration::from_millis(20),
+            pb_format: None,
         }
+    }
+
+    /// Pins the piggyback wire format (overrides both the technique
+    /// default and the `VLOG_PB_FORMAT` environment knob).
+    pub fn with_pb_format(mut self, format: PbFormat) -> Self {
+        self.pb_format = Some(format);
+        self
+    }
+
+    /// The format this suite resolves to for its protocol instances.
+    fn resolved_format(&self) -> PbFormat {
+        self.pb_format
+            .unwrap_or_else(|| PbFormat::from_env_or(self.technique.default_format()))
     }
 
     /// Enables uncoordinated round-robin checkpoints every `period`.
@@ -59,10 +78,18 @@ impl CausalSuite {
 
 impl Suite for CausalSuite {
     fn name(&self) -> String {
+        // The format shows up only when explicitly pinned to something
+        // other than the technique's historical default, so baseline
+        // suite names (and every report keyed on them) are unchanged.
+        let fmt = match self.pb_format {
+            Some(f) if f != self.technique.default_format() => format!(", {}", f.label()),
+            _ => String::new(),
+        };
         format!(
-            "MPICH-Vcausal ({}{})",
+            "MPICH-Vcausal ({}{}{})",
             self.technique.label(),
-            if self.el { ", EL" } else { ", no EL" }
+            if self.el { ", EL" } else { ", no EL" },
+            fmt
         )
     }
 
@@ -92,6 +119,7 @@ impl Suite for CausalSuite {
     ) -> Box<dyn VProtocol> {
         Box::new(CausalProtocol::new(
             self.technique,
+            self.resolved_format(),
             self.el,
             rank,
             topo.n_ranks(),

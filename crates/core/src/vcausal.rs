@@ -39,6 +39,11 @@ pub struct VcausalRed {
     sent: Vec<Vec<RClock>>,
     /// EL stability watermarks.
     stable: Vec<RClock>,
+    /// `peer_stable[peer][creator]`: stability `peer` itself reported
+    /// (via GC notices). Send-side pruning floor for that channel only —
+    /// the peer already knows these events are safely logged, so they
+    /// never need to reach it again.
+    peer_stable: Vec<Vec<RClock>>,
 }
 
 impl VcausalRed {
@@ -49,6 +54,7 @@ impl VcausalRed {
             heads: vec![0; n],
             sent: vec![vec![0; n]; n],
             stable: vec![0; n],
+            peer_stable: vec![vec![0; n]; n],
         }
     }
 
@@ -102,7 +108,9 @@ impl Reduction for VcausalRed {
         let mut out = Vec::new();
         let mut visits = 0u64;
         for c in 0..self.n {
-            let wm = self.sent[dst][c].max(self.stable[c]);
+            let wm = self.sent[dst][c]
+                .max(self.stable[c])
+                .max(self.peer_stable[dst][c]);
             // Sequences are ascending: walk back from the newest entry.
             let seq = &self.seqs[c];
             let mut start = seq.len();
@@ -127,6 +135,12 @@ impl Reduction for VcausalRed {
                     self.seqs[c].pop_front();
                 }
             }
+        }
+    }
+
+    fn note_peer_stable(&mut self, peer: Rank, stable: &[RClock]) {
+        for c in 0..self.n {
+            self.peer_stable[peer][c] = self.peer_stable[peer][c].max(stable[c]);
         }
     }
 
@@ -222,6 +236,29 @@ mod tests {
         r.apply_stable(&[0, 3]);
         let (pb, _) = r.build(1, 0);
         assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn peer_stability_prunes_that_channel_only() {
+        let mut r = VcausalRed::new(3);
+        for k in 1..=6 {
+            r.add_local(det(0, k));
+        }
+        // Rank 1 reported (via a GC notice) that rank 0's events up to
+        // clock 4 are EL-stable: piggybacks to 1 skip them...
+        r.note_peer_stable(1, &[4, 0, 0]);
+        let (to_1, _) = r.build(1, 6);
+        assert_eq!(to_1.iter().map(|d| d.clock).collect::<Vec<_>>(), [5, 6]);
+        // ...while rank 2 still gets everything, and the local store
+        // keeps all six (peer knowledge is not global stability).
+        let (to_2, _) = r.build(2, 6);
+        assert_eq!(to_2.len(), 6);
+        assert_eq!(r.retained_count(), 6);
+        // Stale (lower) reports never regress the floor.
+        r.note_peer_stable(1, &[2, 0, 0]);
+        r.add_local(det(0, 7));
+        let (again, _) = r.build(1, 7);
+        assert_eq!(again.iter().map(|d| d.clock).collect::<Vec<_>>(), [7]);
     }
 
     #[test]

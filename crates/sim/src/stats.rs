@@ -118,6 +118,11 @@ pub struct Stats {
     pub bytes: WireSize,
     /// Message-count histogram over power-of-two wire-size buckets.
     pub msg_sizes: MsgHistogram,
+    /// Companion histogram over per-message *piggyback* bytes, recorded
+    /// only for messages that carry causality piggyback. Shows the shape
+    /// of the metadata (is it one fat blob per burst or a trickle?)
+    /// where `bytes.piggyback` only shows the volume.
+    pub pb_sizes: MsgHistogram,
     /// Named additive counters (protocol-specific). A key belongs to
     /// exactly one of `counters`/`gauges` — additive keys are written
     /// through [`Stats::add`]/[`Stats::bump`], never [`Stats::set_max`].
@@ -144,6 +149,9 @@ impl Stats {
         self.bytes.piggyback += size.piggyback;
         self.bytes.control += size.control;
         self.msg_sizes.record(size.total());
+        if size.piggyback > 0 {
+            self.pb_sizes.record(size.piggyback);
+        }
     }
 
     /// Adds `v` to the named counter, creating it at zero if absent.
@@ -212,6 +220,7 @@ impl Stats {
         self.bytes.piggyback += other.bytes.piggyback;
         self.bytes.control += other.bytes.control;
         self.msg_sizes.merge(&other.msg_sizes);
+        self.pb_sizes.merge(&other.pb_sizes);
         for (k, v) in other.counters.iter() {
             *self.counters.entry(k).or_insert(0) += v;
         }
@@ -332,6 +341,39 @@ mod tests {
         assert_eq!(s.msg_sizes.count(), 1);
         assert_eq!(s.msg_sizes.bucket(7), 1); // 100 bytes in 65..=128
         assert_eq!(format!("{:?}", s.msg_sizes), "{65..=128: 1}");
+    }
+
+    #[test]
+    fn piggyback_histogram_counts_only_carrying_messages() {
+        let mut s = Stats::new();
+        s.record_message(WireSize {
+            header: 10,
+            payload: 90,
+            piggyback: 0,
+            control: 0,
+        });
+        s.record_message(WireSize {
+            header: 10,
+            payload: 0,
+            piggyback: 100,
+            control: 0,
+        });
+        // Both land in msg_sizes; only the carrier lands in pb_sizes,
+        // bucketed by its piggyback bytes alone (100 -> 65..=128).
+        assert_eq!(s.msg_sizes.count(), 2);
+        assert_eq!(s.pb_sizes.count(), 1);
+        assert_eq!(s.pb_sizes.bucket(7), 1);
+
+        let mut other = Stats::new();
+        other.record_message(WireSize {
+            header: 0,
+            payload: 0,
+            piggyback: 3,
+            control: 0,
+        });
+        s.merge(&other);
+        assert_eq!(s.pb_sizes.count(), 2);
+        assert_eq!(s.pb_sizes.bucket(2), 1);
     }
 
     #[test]

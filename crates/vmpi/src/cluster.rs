@@ -218,6 +218,13 @@ impl RunReport {
         &self.stats.msg_sizes
     }
 
+    /// Companion histogram over per-message piggyback bytes (carrying
+    /// messages only): the shape of the causal metadata on the wire,
+    /// where [`RunReport::piggyback_percent`] is only its volume.
+    pub fn pb_histogram(&self) -> &vlog_sim::MsgHistogram {
+        &self.stats.pb_sizes
+    }
+
     // ---- Event Logger saturation gauges --------------------------------
     //
     // Recorded by the EL server actors and the logging protocols (see

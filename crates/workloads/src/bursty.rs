@@ -36,6 +36,10 @@ const TAG_REP: u32 = 71;
 /// Salt separating the client-to-server hash from the arrival draws.
 const SERVER_HASH_SALT: u64 = 0x5e4e;
 
+/// Salt separating the *virtual*-client arrival draws (aggregated mode)
+/// from the physical schedule and the server hash.
+const AGG_SALT: u64 = 0xa99a;
+
 /// One bursty service configuration.
 #[derive(Debug, Clone)]
 pub struct BurstyConfig {
@@ -65,6 +69,9 @@ pub struct BurstyConfig {
     pub seed: u64,
     /// Offer checkpoints (required to survive fault injection).
     pub checkpoints: bool,
+    /// Virtual clients modeled per physical client rank (aggregated
+    /// mode; 1 = classic). See [`BurstyConfig::aggregated`].
+    pub clients_per_rank: u64,
 }
 
 impl BurstyConfig {
@@ -86,7 +93,31 @@ impl BurstyConfig {
             state_bytes: 2 << 20,
             seed,
             checkpoints: true,
+            clients_per_rank: 1,
         }
+    }
+
+    /// Models `per_rank` virtual clients behind every physical client
+    /// rank (a load-balancer front for a huge population). The physical
+    /// message schedule — bursts, think times, wire bytes per request —
+    /// is *identical* to the classic shape; what changes is that every
+    /// request carries a multiplicity aggregating its share of the
+    /// virtual arrivals (an 8-byte count inside the unchanged request
+    /// payload), and the server's service cost scales with it. The
+    /// per-request flops are divided by `per_rank` so total service work
+    /// stays comparable across aggregation factors: the regime isolates
+    /// what the *piggyback* does as the modeled population grows.
+    pub fn aggregated(mut self, per_rank: u64) -> Self {
+        assert!(per_rank >= 1, "aggregation factor must be >= 1");
+        self.clients_per_rank = per_rank;
+        self.flops_per_req /= per_rank as f64;
+        self
+    }
+
+    /// Clients the configuration models: physical clients times the
+    /// aggregation factor.
+    pub fn modeled_clients(&self) -> u64 {
+        (self.np - self.servers) as u64 * self.clients_per_rank
     }
 
     /// Shards the service across `servers` server ranks; every client is
@@ -129,6 +160,70 @@ impl BurstyConfig {
         (burst.max(1), think)
     }
 
+    /// Burst size of virtual client `vclient`'s round — same exponential
+    /// shape as the physical draws, salted so the virtual population is
+    /// statistically independent of the physical schedule.
+    fn virtual_burst(&self, vclient: u64, round: u64) -> u64 {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed ^ AGG_SALT, vclient, round));
+        let u: f64 = rng.random();
+        let cap = (self.mean_burst * 16.0).max(1.0);
+        ((1.0 + (-(1.0 - u).ln()) * self.mean_burst).min(cap) as u64).max(1)
+    }
+
+    /// Virtual requests client `rank`'s round aggregates: the sum over
+    /// its `clients_per_rank` virtual clients' independent draws.
+    fn virtual_round_total(&self, rank: usize, round: u64) -> u64 {
+        let base = (rank - self.servers) as u64 * self.clients_per_rank;
+        (0..self.clients_per_rank)
+            .map(|k| self.virtual_burst(base + k, round))
+            .sum()
+    }
+
+    /// Multiplicities carried by the `burst` physical requests of client
+    /// `rank`'s round: the round's virtual total distributed base +
+    /// remainder-first, so the sum is exact. All ones in classic mode.
+    fn request_multiplicities(&self, rank: usize, round: u64, burst: u64) -> Vec<u64> {
+        if self.clients_per_rank == 1 {
+            return vec![1; burst as usize];
+        }
+        let vtotal = self.virtual_round_total(rank, round);
+        let base = vtotal / burst;
+        let rem = vtotal % burst;
+        (0..burst).map(|i| base + u64::from(i < rem)).collect()
+    }
+
+    /// The request payload carrying multiplicity `mult`. Classic mode
+    /// stays byte-for-byte the synthetic payload it always was;
+    /// aggregated mode embeds the count in the first 8 bytes without
+    /// changing the wire length.
+    fn request_payload(&self, mult: u64) -> Payload {
+        if self.clients_per_rank == 1 {
+            return Payload::synthetic(self.req_bytes);
+        }
+        let mut p = Payload::new(mult.to_le_bytes().to_vec());
+        p.pad = self.req_bytes.saturating_sub(8);
+        p
+    }
+
+    /// Multiplicity a server reads back out of a request payload.
+    fn request_mult(payload: &Payload) -> u64 {
+        match payload.data.as_ref().get(..8) {
+            Some(head) => u64::from_le_bytes(head.try_into().unwrap()),
+            None => 1,
+        }
+    }
+
+    /// Requests the configuration *models*: the virtual total in
+    /// aggregated mode, the physical total otherwise.
+    pub fn modeled_requests(&self) -> u64 {
+        if self.clients_per_rank == 1 {
+            return self.total_requests();
+        }
+        self.clients()
+            .flat_map(|c| (0..self.rounds).map(move |r| self.virtual_round_total(c, r)))
+            .sum()
+    }
+
     /// Total requests the whole run serves (the servers derive their
     /// termination conditions from the same pure arrival process).
     pub fn total_requests(&self) -> u64 {
@@ -162,7 +257,16 @@ impl Workload for BurstyConfig {
     }
 
     fn label(&self) -> String {
-        if self.servers == 1 {
+        if self.clients_per_rank > 1 {
+            // Lead with the modeled population: that is the regime.
+            format!(
+                "{}c.{}s.x{}.agg{}",
+                self.modeled_clients(),
+                self.servers,
+                self.rounds,
+                self.clients_per_rank
+            )
+        } else if self.servers == 1 {
             format!("{}c.x{}", self.np - self.servers, self.rounds)
         } else {
             format!(
@@ -187,7 +291,7 @@ impl Workload for BurstyConfig {
     }
 
     fn total_flops(&self) -> f64 {
-        self.total_requests() as f64 * self.flops_per_req
+        self.modeled_requests() as f64 * self.flops_per_req
     }
 
     fn hub_rank(&self) -> usize {
@@ -217,7 +321,8 @@ impl Workload for BurstyConfig {
                                 tag: Some(TAG_REQ),
                             })
                             .await;
-                        mpi.compute(cfg.flops_per_req).await;
+                        let mult = BurstyConfig::request_mult(&req.payload);
+                        mpi.compute(cfg.flops_per_req * mult as f64).await;
                         mpi.send(req.src, TAG_REP, Payload::synthetic(cfg.reply_bytes))
                             .await;
                         served += 1;
@@ -234,9 +339,8 @@ impl Workload for BurstyConfig {
                         }
                         let (burst, think) = cfg.draw(me, round);
                         mpi.elapse(think).await;
-                        for _ in 0..burst {
-                            mpi.send(server, TAG_REQ, Payload::synthetic(cfg.req_bytes))
-                                .await;
+                        for mult in cfg.request_multiplicities(me, round, burst) {
+                            mpi.send(server, TAG_REQ, cfg.request_payload(mult)).await;
                         }
                         for _ in 0..burst {
                             mpi.recv_from(server, TAG_REP).await;
@@ -253,14 +357,21 @@ impl Workload for BurstyConfig {
         } else {
             0.0
         };
+        let aggregated =
+            (self.clients_per_rank > 1).then(|| (self.modeled_clients(), self.modeled_requests()));
         WorkloadProgram::with_probe(
             spec,
             Box::new(move |_| {
-                vec![
+                let mut probes = vec![
                     ("requests", total_f),
                     ("mean_burst", total_f / (clients * rounds).max(1) as f64),
                     ("hot_server_share", hot_share),
-                ]
+                ];
+                if let Some((modeled_clients, modeled_requests)) = aggregated {
+                    probes.push(("modeled_clients", modeled_clients as f64));
+                    probes.push(("modeled_requests", modeled_requests as f64));
+                }
+                probes
             }),
         )
     }
@@ -342,5 +453,66 @@ mod tests {
     #[should_panic(expected = "at least 5 ranks")]
     fn too_many_servers_are_rejected() {
         let _ = BurstyConfig::new(4, 4, 1).with_servers(4);
+    }
+
+    #[test]
+    fn aggregation_keeps_the_physical_schedule_identical() {
+        let classic = BurstyConfig::new(24, 3, 11).with_servers(3);
+        let agg = BurstyConfig::new(24, 3, 11).with_servers(3).aggregated(480);
+        // Same bursts, same think times, same server hash: the wire
+        // schedule is untouched by the aggregation factor.
+        for rank in classic.clients() {
+            assert_eq!(classic.server_of(rank), agg.server_of(rank));
+            for round in 0..classic.rounds {
+                assert_eq!(classic.draw(rank, round), agg.draw(rank, round));
+            }
+        }
+        assert_eq!(classic.total_requests(), agg.total_requests());
+        // Request payloads keep the wire length, and carry the count.
+        let p = agg.request_payload(1234);
+        assert_eq!(p.len(), agg.req_bytes);
+        assert_eq!(BurstyConfig::request_mult(&p), 1234);
+        // Classic payloads read back as multiplicity one.
+        assert_eq!(BurstyConfig::request_mult(&classic.request_payload(1)), 1);
+        assert_eq!(classic.request_payload(1), Payload::synthetic(256));
+    }
+
+    #[test]
+    fn multiplicities_distribute_the_virtual_total_exactly() {
+        let agg = BurstyConfig::new(24, 3, 11).with_servers(3).aggregated(48);
+        let mut modeled = 0u64;
+        for rank in agg.clients() {
+            for round in 0..agg.rounds {
+                let (burst, _) = agg.draw(rank, round);
+                let mults = agg.request_multiplicities(rank, round, burst);
+                assert_eq!(mults.len() as u64, burst);
+                // Remainder-first: multiplicities differ by at most one
+                // and are non-increasing.
+                for w in mults.windows(2) {
+                    assert!(w[0] >= w[1] && w[0] - w[1] <= 1);
+                }
+                modeled += mults.iter().sum::<u64>();
+            }
+        }
+        assert_eq!(modeled, agg.modeled_requests());
+        assert_eq!(agg.modeled_clients(), 21 * 48);
+        // Every virtual client fires at least once per round.
+        assert!(agg.modeled_requests() >= agg.modeled_clients() * agg.rounds);
+    }
+
+    #[test]
+    fn aggregated_labels_and_flops_scale_with_the_population() {
+        let base = BurstyConfig::new(24, 3, 11).with_servers(3);
+        let agg = base.clone().aggregated(4800);
+        assert_eq!(agg.label(), "100800c.3s.x3.agg4800");
+        assert_eq!(base.label(), "21c.3s.x3");
+        // Per-request flops shrink with the factor so total service work
+        // stays in the same ballpark as the classic shape.
+        assert!((agg.flops_per_req - base.flops_per_req / 4800.0).abs() < 1e-9);
+        let ratio = agg.total_flops() / base.total_flops();
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "aggregated work drifted {ratio}x from classic"
+        );
     }
 }

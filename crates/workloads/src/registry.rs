@@ -38,6 +38,11 @@ pub enum RegistryScale {
     /// fault plan (see
     /// [`faults::hub_failure`](crate::runner::faults::hub_failure)).
     Large,
+    /// `Large` plus the aggregated-bursty ladder: the same physical
+    /// cluster and message schedule modeling 1k, 10k and 100k clients
+    /// behind the client ranks (see [`BurstyConfig::aggregated`]). The
+    /// regime behind REPORT.md's piggyback-scaling table.
+    Huge,
 }
 
 /// One point on the fabric/EL sweep grid: a named network profile
@@ -81,7 +86,7 @@ pub fn net_axes(scale: RegistryScale) -> Vec<NetAxis> {
                 el_count: 2,
             });
         }
-        RegistryScale::Default | RegistryScale::Large => {
+        RegistryScale::Default | RegistryScale::Large | RegistryScale::Huge => {
             v.push(NetAxis {
                 profile: NetProfile::fast_ethernet_2005(),
                 el_count: 4,
@@ -141,7 +146,7 @@ pub fn registry(scale: RegistryScale) -> Vec<Arc<dyn Workload>> {
             v.push(Arc::new(FftPipeConfig::new(8, 3, 1)));
             v.push(Arc::new(FftPipeConfig::new(8, 3, 8)));
         }
-        RegistryScale::Large => {
+        RegistryScale::Large | RegistryScale::Huge => {
             // NAS at 16 ranks: the paper's upper rank count.
             v.push(Arc::new(NasConfig::new(NasBench::CG, Class::S, 16)));
             v.push(Arc::new(NasConfig::new(NasBench::FT, Class::S, 16)));
@@ -160,6 +165,17 @@ pub fn registry(scale: RegistryScale) -> Vec<Arc<dyn Workload>> {
             v.push(Arc::new(FftPipeConfig::new(16, 2, 1)));
             v.push(Arc::new(FftPipeConfig::new(16, 2, 8)));
             v.push(Arc::new(FftPipeConfig::new(16, 2, 32)));
+            if scale == RegistryScale::Huge {
+                // The aggregated-client ladder: identical 24-rank wire
+                // schedule, modeled population climbing 1k -> 100k.
+                for per_rank in [48, 480, 4800] {
+                    v.push(Arc::new(
+                        BurstyConfig::new(24, 3, 11)
+                            .with_servers(3)
+                            .aggregated(per_rank),
+                    ));
+                }
+            }
         }
     }
     for w in &v {
@@ -191,6 +207,7 @@ mod tests {
             RegistryScale::Smoke,
             RegistryScale::Default,
             RegistryScale::Large,
+            RegistryScale::Huge,
         ] {
             let fams: BTreeSet<&str> = registry(scale).iter().map(|w| w.family()).collect();
             for f in FAMILIES {
@@ -205,6 +222,7 @@ mod tests {
             RegistryScale::Smoke,
             RegistryScale::Default,
             RegistryScale::Large,
+            RegistryScale::Huge,
         ] {
             let entries = registry(scale);
             let labels: BTreeSet<String> = entries.iter().map(|w| w.label()).collect();
@@ -214,7 +232,11 @@ mod tests {
 
     #[test]
     fn registered_workloads_have_sane_metadata() {
-        for scale in [RegistryScale::Default, RegistryScale::Large] {
+        for scale in [
+            RegistryScale::Default,
+            RegistryScale::Large,
+            RegistryScale::Huge,
+        ] {
             for w in registry(scale) {
                 assert!(w.np() >= 2, "{}", w.label());
                 assert!(w.state_bytes() > 0, "{}", w.label());
@@ -247,11 +269,43 @@ mod tests {
     }
 
     #[test]
+    fn huge_scale_reaches_six_figure_modeled_populations() {
+        let huge = registry(RegistryScale::Huge);
+        let large = registry(RegistryScale::Large);
+        // Huge strictly extends Large with the aggregated ladder.
+        let large_labels: BTreeSet<String> = large.iter().map(|w| w.label()).collect();
+        for w in &large {
+            assert!(large_labels.contains(&w.label()));
+        }
+        let agg_labels: Vec<String> = huge
+            .iter()
+            .map(|w| w.label())
+            .filter(|l| l.contains(".agg"))
+            .collect();
+        assert_eq!(
+            agg_labels,
+            vec![
+                "1008c.3s.x3.agg48",
+                "10080c.3s.x3.agg480",
+                "100800c.3s.x3.agg4800"
+            ],
+            "aggregated ladder drifted"
+        );
+        assert_eq!(huge.len(), large.len() + agg_labels.len());
+        // The whole ladder runs the same physical cluster size.
+        assert!(huge
+            .iter()
+            .filter(|w| w.label().contains(".agg"))
+            .all(|w| w.np() == 24));
+    }
+
+    #[test]
     fn net_axes_lead_with_the_paper_baseline_and_stay_unique() {
         for scale in [
             RegistryScale::Smoke,
             RegistryScale::Default,
             RegistryScale::Large,
+            RegistryScale::Huge,
         ] {
             let axes = net_axes(scale);
             assert_eq!(axes[0].profile.name, "fast-ethernet-2005");

@@ -14,13 +14,15 @@
 use std::sync::Arc;
 
 use vlog_bench::{run_many, SuiteKind};
-use vlog_core::{CausalSuite, CoordinatedSuite, PessimisticSuite, Technique};
+use vlog_core::{CausalSuite, CoordinatedSuite, PbFormat, PessimisticSuite, Technique};
 use vlog_sim::{diff, SimDuration};
 use vlog_vmpi::{
     app, run_cluster, AppSpec, ClusterConfig, FaultPlan, Payload, RecvSelector, RunReport, Suite,
 };
 use vlog_workloads::runner::faults;
-use vlog_workloads::{net_axes, registry, run_workload, NetAxis, RegistryScale, Workload};
+use vlog_workloads::{
+    net_axes, registry, run_workload, BurstyConfig, NetAxis, RegistryScale, Workload,
+};
 
 const N: usize = 3;
 const ITERS: u64 = 15;
@@ -329,6 +331,72 @@ fn large_registry_survives_hub_failures_on_every_suite_deterministically() {
         let sharded = run_many(jobs.clone(), threads, runner);
         diff::assert_reports_identical(
             &format!("large-registry-hub-failure-sweep-{threads}-threads-vs-1"),
+            &sequential,
+            &sharded,
+        );
+    }
+}
+
+/// Compact-format × aggregated-client conformance: the bursty service
+/// with thousands of modeled clients folded onto a handful of physical
+/// ranks, under Vcausal+EL with the compact piggyback wire format (and
+/// its send-side stability pruning), fault-free and through a
+/// hub-server failure. Reports must be byte-identical on 1, 2 and 4
+/// `run_many` threads — the contract behind REPORT.md's table 7: the
+/// aggregated regime and the compact codec introduce no unseeded state.
+#[test]
+fn compact_aggregated_bursty_is_deterministic_across_thread_counts() {
+    let w: Arc<dyn Workload> = Arc::new(BurstyConfig::new(6, 2, 11).with_servers(2).aggregated(64));
+    let jobs: Vec<bool> = vec![false, true];
+    let runner = |with_fault: bool| {
+        let suite = Arc::new(
+            CausalSuite::new(Technique::Vcausal, true)
+                .with_checkpoints(SimDuration::from_millis(6))
+                .with_pb_format(PbFormat::Compact),
+        );
+        let mut cfg = ClusterConfig::new(w.np());
+        cfg.detect_delay = SimDuration::from_millis(8);
+        cfg.event_limit = Some(50_000_000);
+        let plan = if with_fault {
+            faults::hub_failure(w.as_ref(), SimDuration::from_millis(5))
+        } else {
+            FaultPlan::none()
+        };
+        let run = run_workload(w.as_ref(), &cfg, suite, &plan);
+        assert!(
+            run.report.completed,
+            "{} (fault={with_fault}) did not complete under the compact suite",
+            run.label
+        );
+        assert!(
+            run.report.stats.bytes.piggyback > 0,
+            "{} moved no piggyback bytes",
+            run.label
+        );
+        if with_fault {
+            let recoveries: usize = run
+                .report
+                .rank_stats
+                .iter()
+                .map(|s| s.recovery_total.len())
+                .sum();
+            assert!(
+                recoveries >= 1,
+                "{}: hub fault never fired — the run ended before the kill",
+                run.label
+            );
+        }
+        format!(
+            "agg-compact fault={with_fault} extra={:?} {}",
+            run.extra,
+            fingerprint(&run.report)
+        )
+    };
+    let sequential = run_many(jobs.clone(), 1, runner);
+    for threads in [2usize, 4] {
+        let sharded = run_many(jobs.clone(), threads, runner);
+        diff::assert_reports_identical(
+            &format!("compact-aggregated-sweep-{threads}-threads-vs-1"),
             &sequential,
             &sharded,
         );

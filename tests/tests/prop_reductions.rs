@@ -184,12 +184,12 @@ proptest! {
         // wire range, so encoding cannot fail.
         let flat = encode_flat(&dets).expect("in-range determinants encode");
         prop_assert_eq!(flat.len() as u64, flat_len(&dets));
-        prop_assert_eq!(decode_flat(flat), dets.clone());
+        prop_assert_eq!(decode_flat(flat).unwrap(), dets.clone());
         // Factored groups runs of equal receiver; canonicalize first.
         dets.sort_by_key(|d| (d.receiver, d.clock));
         let fac = encode_factored(&dets).expect("in-range determinants encode");
         prop_assert_eq!(fac.len() as u64, factored_len(&dets));
-        prop_assert_eq!(decode_factored(fac), dets);
+        prop_assert_eq!(decode_factored(fac).unwrap(), dets);
     }
 
     #[test]
