@@ -149,6 +149,12 @@ pub struct CausalProtocol {
     reclaim_timer: Option<vlog_sim::TimerHandle>,
     /// Ack-clocked record batcher on the ship-to-EL path.
     batcher: ElBatcher,
+    /// Monotone count of record batches put on the wire — the causality
+    /// log's batch sequence numbers (acks arrive one per batch, in
+    /// order, so the oldest outstanding seq pairs with each ack).
+    batches_sent: u64,
+    /// Outstanding batch seqs, oldest first (≤1 entry in steady state).
+    el_outstanding: std::collections::VecDeque<u64>,
 }
 
 impl CausalProtocol {
@@ -178,6 +184,8 @@ impl CausalProtocol {
             rec: None,
             reclaim_timer: None,
             batcher: ElBatcher::new(),
+            batches_sent: 0,
+            el_outstanding: std::collections::VecDeque::new(),
         }
     }
 
@@ -210,6 +218,15 @@ impl CausalProtocol {
 
     fn send_batch(&mut self, ctx: &mut Ctx<'_>, batch: Vec<Determinant>) {
         if let Some(el) = self.el_actor(ctx) {
+            self.batches_sent += 1;
+            let seq = self.batches_sent;
+            self.el_outstanding.push_back(seq);
+            vlog_sim::event!("det-batch-shipped" { rank = self.rank, seq = seq });
+            vlog_sim::causality::expect(
+                vlog_sim::ckey!("det-batch-acked", rank = self.rank, seq = seq),
+                vlog_sim::ckey!("det-batch-shipped", rank = self.rank, seq = seq),
+                self.rank as u64,
+            );
             let me = ctx.core.actor();
             ctx.core.control_to_actor(
                 ctx.sim,
@@ -234,6 +251,17 @@ impl CausalProtocol {
     fn handle_reshard(&mut self, ctx: &mut Ctx<'_>, _reshard: ElReshard) {
         if self.el_actor(ctx).is_none() {
             return;
+        }
+        // The dead shard will never acknowledge the in-flight batches:
+        // their ack expectations are moot, not dangling — the records
+        // are re-offered to the replacement shard below under fresh
+        // batch seqs.
+        for seq in self.el_outstanding.drain(..) {
+            vlog_sim::causality::cancel(vlog_sim::ckey!(
+                "det-batch-acked",
+                rank = self.rank,
+                seq = seq
+            ));
         }
         let mut handoff: BTreeMap<RClock, Determinant> = BTreeMap::new();
         for det in self.batcher.take_unacked() {
@@ -312,6 +340,11 @@ impl CausalProtocol {
             if peer == self.rank || already.contains(&peer) {
                 continue;
             }
+            vlog_sim::causality::expect(
+                vlog_sim::ckey!("reclaim-resp", victim = self.rank, from = peer),
+                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                self.rank as u64,
+            );
             ctx.core.control_to_rank(
                 ctx.sim,
                 peer,
@@ -326,6 +359,11 @@ impl CausalProtocol {
         }
         let need_el = self.el && !self.rec.as_ref().is_some_and(|r| r.resp_el);
         if need_el {
+            vlog_sim::causality::expect(
+                vlog_sim::ckey!("el-query-resp", victim = self.rank),
+                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                self.rank as u64,
+            );
             if let Some(el) = self.el_actor(ctx) {
                 let me = ctx.core.actor();
                 ctx.core.control_to_actor(
@@ -386,6 +424,11 @@ impl CausalProtocol {
                         if rec.next > rec.max_clock {
                             Step::Done
                         } else {
+                            vlog_sim::causality::expect(
+                                vlog_sim::ckey!("det-replay", rank = self.rank, clock = rec.next),
+                                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                                self.rank as u64,
+                            );
                             Step::Wait
                         }
                     }
@@ -394,7 +437,22 @@ impl CausalProtocol {
                             rec.next += 1;
                             Step::Deliver(det, supply)
                         }
-                        None => Step::Wait, // wait for the payload re-send
+                        None => {
+                            // Stalled on the payload re-send: the next
+                            // determinant is known but its message has
+                            // not been re-supplied by the sender's log.
+                            vlog_sim::causality::expect(
+                                vlog_sim::ckey!(
+                                    "replay-supply",
+                                    rank = self.rank,
+                                    sender = det.sender,
+                                    ssn = det.ssn
+                                ),
+                                vlog_sim::ckey!("det-replay", rank = self.rank, clock = det.clock),
+                                self.rank as u64,
+                            );
+                            Step::Wait // wait for the payload re-send
+                        }
                     },
                 }
             };
@@ -405,6 +463,12 @@ impl CausalProtocol {
                 }
                 Step::Wait => return,
                 Step::Deliver(det, supply) => {
+                    vlog_sim::event!("replay-consumed" { rank = self.rank, clock = det.clock }
+                    caused_by "replay-supply" {
+                        rank = self.rank,
+                        sender = det.sender,
+                        ssn = det.ssn
+                    });
                     self.rclock = det.clock;
                     if self.el && det.clock > self.stable[self.rank] {
                         self.ship_to_el(ctx, det);
@@ -480,11 +544,14 @@ impl CausalProtocol {
                 let _ = from_clock;
             }
             CausalCtl::ReclaimResp { from, dets } => {
+                vlog_sim::event!("reclaim-resp" { victim = self.rank, from = from });
                 self.red.absorb(&dets);
                 if let Some(rec) = self.rec.as_mut() {
                     for d in &dets {
                         if d.receiver == self.rank && d.clock > rec.wm {
                             rec.collected.insert(d.clock, *d);
+                            vlog_sim::event!("det-replay" { rank = self.rank, clock = d.clock }
+                                caused_by "reclaim-resp" { victim = self.rank, from = from });
                         }
                     }
                     rec.resp_from.insert(from);
@@ -496,6 +563,10 @@ impl CausalProtocol {
                 received,
                 stable,
             } => {
+                vlog_sim::causality::consume(
+                    vlog_sim::ckey!("gc-notice", from = from, to = self.rank),
+                    vlog_sim::ckey!("gc-handle", rank = self.rank),
+                );
                 self.slog.prune_below(from, received[self.rank]);
                 // Send-side pruning: `from` vouches these clocks are
                 // EL-stable, so piggybacks *to it* can skip them. Peer
@@ -513,6 +584,12 @@ impl CausalProtocol {
                     ctx.core.node(),
                     SimDuration::from_nanos(self.costs.el_ack_ns),
                 );
+                // One ack per record batch, in order: pair it with the
+                // oldest outstanding seq.
+                if let Some(seq) = self.el_outstanding.pop_front() {
+                    vlog_sim::event!("det-batch-acked" { rank = self.rank, seq = seq }
+                        caused_by "det-batch-shipped" { rank = self.rank, seq = seq });
+                }
                 self.apply_stable_vec(&stable);
                 // The ack clocks the batcher: flush whatever coalesced
                 // behind the just-acknowledged batch.
@@ -522,12 +599,15 @@ impl CausalProtocol {
                 ctx.phase_boundary(ProtoPhase::AckReceived);
             }
             ElReply::QueryResp { dets, stable } => {
+                vlog_sim::event!("el-query-resp" { victim = self.rank });
                 self.apply_stable_vec(&stable);
                 if let Some(rec) = self.rec.as_mut() {
                     for d in &dets {
                         debug_assert_eq!(d.receiver, self.rank);
                         if d.clock > rec.wm {
                             rec.collected.insert(d.clock, *d);
+                            vlog_sim::event!("det-replay" { rank = self.rank, clock = d.clock }
+                                caused_by "el-query-resp" { victim = self.rank });
                         }
                     }
                     rec.resp_el = true;
@@ -592,6 +672,11 @@ impl VProtocol for CausalProtocol {
         if self.rec.is_some() {
             // Buffer everything while recovering: replay supply or
             // post-replay live traffic; sorted out when collection ends.
+            vlog_sim::event!("replay-supply" {
+                rank = self.rank,
+                sender = msg.src,
+                ssn = msg.ssn
+            });
             let key = (msg.src, msg.ssn);
             let supply = SupplyMsg {
                 tag: msg.tag,
@@ -713,6 +798,7 @@ impl VProtocol for CausalProtocol {
         let wire = 8 + 8 * self.n as u64 + watermarks_len(&self.stable);
         for peer in 0..self.n {
             if peer != self.rank {
+                vlog_sim::event!("gc-notice" { from = self.rank, to = peer });
                 ctx.core.control_to_rank(
                     ctx.sim,
                     peer,
@@ -741,6 +827,8 @@ impl VProtocol for CausalProtocol {
             },
             None => 0,
         };
+        vlog_sim::event!("recovery-started" { rank = self.rank }
+            caused_by "image-fetched" { rank = self.rank });
         self.rec = Some(Recovery {
             started: ctx.sim.now(),
             wm,

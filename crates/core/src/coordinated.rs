@@ -118,6 +118,13 @@ impl CoordinatedProtocol {
     /// to every peer) — exactly once per distinct id.
     fn close_finished(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         if self.closed_after_finish.insert(id) || self.buggy_storm {
+            // Once-only by design: a second production of the same
+            // (rank, id) key is exactly the marker-storm bug, and the
+            // causality log's duplicate detector names it.
+            vlog_sim::causality::produced_unique(
+                vlog_sim::ckey!("snapshot-close-finished", rank = self.rank, id = id),
+                None,
+            );
             self.send_markers(ctx, id);
         }
     }
@@ -126,6 +133,7 @@ impl CoordinatedProtocol {
         let sent = ctx.core.next_ssn_watermarks();
         for peer in 0..self.n {
             if peer != self.rank {
+                vlog_sim::event!("marker" { from = self.rank, to = peer, id = id });
                 ctx.core.control_to_rank(
                     ctx.sim,
                     peer,
@@ -156,12 +164,20 @@ impl CoordinatedProtocol {
             phase.open[src] = false;
             if !phase.shipped && !phase.open.iter().any(|&o| o) {
                 phase.shipped = true;
+                vlog_sim::event!(
+                    "snapshot-shipped" { rank = self.rank, id = phase.id }
+                    caused_by "snapshot-taken" { rank = self.rank, id = phase.id }
+                );
                 ctx.core.request_ship();
             }
         }
     }
 
     fn on_marker(&mut self, ctx: &mut Ctx<'_>, m: MarkerCtl) {
+        vlog_sim::causality::consume(
+            vlog_sim::ckey!("marker", from = m.from, to = self.rank, id = m.id),
+            vlog_sim::ckey!("marker-handled", rank = self.rank),
+        );
         if let Some(phase) = self.phase.as_ref() {
             if phase.id == m.id {
                 self.phase.as_mut().unwrap().upto[m.from] = Some(m.upto_ssn);
@@ -239,6 +255,19 @@ impl VProtocol for CoordinatedProtocol {
 
     fn on_image_assembled(&mut self, ctx: &mut Ctx<'_>, version: u64) {
         let id = self.pending.take().unwrap_or(version);
+        vlog_sim::event!("snapshot-taken" { rank = self.rank, id = id });
+        // The image cannot ship until every peer's marker for this id
+        // arrives: declare those edges so a marker lost to a missing
+        // sender shows up as the dangling cause of a stuck snapshot.
+        for src in 0..self.n {
+            if src != self.rank {
+                vlog_sim::causality::expect(
+                    vlog_sim::ckey!("marker", from = src, to = self.rank, id = id),
+                    vlog_sim::ckey!("snapshot-taken", rank = self.rank, id = id),
+                    self.rank as u64,
+                );
+            }
+        }
         self.send_markers(ctx, id);
         let mut phase = Phase {
             id,

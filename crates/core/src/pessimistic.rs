@@ -76,6 +76,10 @@ pub struct PessimisticProtocol {
     reclaim_timer: Option<vlog_sim::TimerHandle>,
     /// Ack-clocked record batcher on the ship-to-EL path.
     batcher: ElBatcher,
+    /// Monotone batch seq for the causality log (see `CausalProtocol`).
+    batches_sent: u64,
+    /// Outstanding batch seqs, oldest first.
+    el_outstanding: std::collections::VecDeque<u64>,
 }
 
 impl PessimisticProtocol {
@@ -93,6 +97,8 @@ impl PessimisticProtocol {
             rec: None,
             reclaim_timer: None,
             batcher: ElBatcher::new(),
+            batches_sent: 0,
+            el_outstanding: std::collections::VecDeque::new(),
         }
     }
 
@@ -118,6 +124,15 @@ impl PessimisticProtocol {
     }
 
     fn send_batch(&mut self, ctx: &mut Ctx<'_>, batch: Vec<Determinant>) {
+        self.batches_sent += 1;
+        let seq = self.batches_sent;
+        self.el_outstanding.push_back(seq);
+        vlog_sim::event!("det-batch-shipped" { rank = self.rank, seq = seq });
+        vlog_sim::causality::expect(
+            vlog_sim::ckey!("det-batch-acked", rank = self.rank, seq = seq),
+            vlog_sim::ckey!("det-batch-shipped", rank = self.rank, seq = seq),
+            self.rank as u64,
+        );
         let el = self.el_actor(ctx);
         let me = ctx.core.actor();
         ctx.core.control_to_actor(
@@ -137,6 +152,15 @@ impl PessimisticProtocol {
     /// shard may have lost is exactly the batcher's unacknowledged
     /// records — re-offer them toward the re-published shard.
     fn handle_reshard(&mut self, ctx: &mut Ctx<'_>, _reshard: ElReshard) {
+        // The dead shard never acks the in-flight batches (see
+        // `CausalProtocol::handle_reshard`).
+        for seq in self.el_outstanding.drain(..) {
+            vlog_sim::causality::cancel(vlog_sim::ckey!(
+                "det-batch-acked",
+                rank = self.rank,
+                seq = seq
+            ));
+        }
         for det in self.batcher.take_unacked() {
             if let Some(batch) = self.batcher.offer(det) {
                 self.send_batch(ctx, batch);
@@ -157,6 +181,11 @@ impl PessimisticProtocol {
             if peer == self.rank || already.contains(&peer) {
                 continue;
             }
+            vlog_sim::causality::expect(
+                vlog_sim::ckey!("reclaim-resp", victim = self.rank, from = peer),
+                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                self.rank as u64,
+            );
             ctx.core.control_to_rank(
                 ctx.sim,
                 peer,
@@ -170,6 +199,11 @@ impl PessimisticProtocol {
             );
         }
         if !self.rec.as_ref().is_some_and(|r| r.resp_el) {
+            vlog_sim::causality::expect(
+                vlog_sim::ckey!("el-query-resp", victim = self.rank),
+                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                self.rank as u64,
+            );
             let el = self.el_actor(ctx);
             let me = ctx.core.actor();
             ctx.core.control_to_actor(
@@ -227,6 +261,11 @@ impl PessimisticProtocol {
                         if rec.next > rec.max_clock {
                             Step::Done
                         } else {
+                            vlog_sim::causality::expect(
+                                vlog_sim::ckey!("det-replay", rank = self.rank, clock = rec.next),
+                                vlog_sim::ckey!("recovery-started", rank = self.rank),
+                                self.rank as u64,
+                            );
                             Step::Wait
                         }
                     }
@@ -235,7 +274,19 @@ impl PessimisticProtocol {
                             rec.next += 1;
                             Step::Deliver(det, supply)
                         }
-                        None => Step::Wait,
+                        None => {
+                            vlog_sim::causality::expect(
+                                vlog_sim::ckey!(
+                                    "replay-supply",
+                                    rank = self.rank,
+                                    sender = det.sender,
+                                    ssn = det.ssn
+                                ),
+                                vlog_sim::ckey!("det-replay", rank = self.rank, clock = det.clock),
+                                self.rank as u64,
+                            );
+                            Step::Wait
+                        }
                     },
                 }
             };
@@ -246,6 +297,12 @@ impl PessimisticProtocol {
                 }
                 Step::Wait => return,
                 Step::Deliver(det, supply) => {
+                    vlog_sim::event!("replay-consumed" { rank = self.rank, clock = det.clock }
+                    caused_by "replay-supply" {
+                        rank = self.rank,
+                        sender = det.sender,
+                        ssn = det.ssn
+                    });
                     self.rclock = det.clock;
                     // Determinants collected from the EL are stable by
                     // definition of the pessimistic protocol.
@@ -308,6 +365,11 @@ impl VProtocol for PessimisticProtocol {
 
     fn on_app_msg(&mut self, ctx: &mut Ctx<'_>, msg: &mut AppMsg) -> RecvGate {
         if self.rec.is_some() {
+            vlog_sim::event!("replay-supply" {
+                rank = self.rank,
+                sender = msg.src,
+                ssn = msg.ssn
+            });
             let key = (msg.src, msg.ssn);
             let supply = SupplyMsg {
                 tag: msg.tag,
@@ -341,6 +403,10 @@ impl VProtocol for PessimisticProtocol {
                             ctx.core.node(),
                             SimDuration::from_nanos(self.costs.el_ack_ns),
                         );
+                        if let Some(seq) = self.el_outstanding.pop_front() {
+                            vlog_sim::event!("det-batch-acked" { rank = self.rank, seq = seq }
+                                caused_by "det-batch-shipped" { rank = self.rank, seq = seq });
+                        }
                         let prev = self.stable_own;
                         self.stable_own = self.stable_own.max(stable[self.rank]);
                         // Monotone watermark; the merge law is `max`.
@@ -356,11 +422,15 @@ impl VProtocol for PessimisticProtocol {
                         ctx.phase_boundary(ProtoPhase::AckReceived);
                     }
                     ElReply::QueryResp { dets, stable } => {
+                        vlog_sim::event!("el-query-resp" { victim = self.rank });
                         self.stable_own = self.stable_own.max(stable[self.rank]);
                         if let Some(rec) = self.rec.as_mut() {
                             for d in &dets {
                                 if d.clock > rec.wm {
                                     rec.collected.insert(d.clock, *d);
+                                    vlog_sim::event!(
+                                        "det-replay" { rank = self.rank, clock = d.clock }
+                                        caused_by "el-query-resp" { victim = self.rank });
                                 }
                             }
                             rec.resp_el = true;
@@ -407,12 +477,17 @@ impl VProtocol for PessimisticProtocol {
                         }
                     }
                     CausalCtl::ReclaimResp { from, .. } => {
+                        vlog_sim::event!("reclaim-resp" { victim = self.rank, from = from });
                         if let Some(rec) = self.rec.as_mut() {
                             rec.resp_from.insert(from);
                             self.maybe_finish_collection(ctx);
                         }
                     }
                     CausalCtl::GcNotice { from, received, .. } => {
+                        vlog_sim::causality::consume(
+                            vlog_sim::ckey!("gc-notice", from = from, to = self.rank),
+                            vlog_sim::ckey!("gc-handle", rank = self.rank),
+                        );
                         self.slog.prune_below(from, received[self.rank]);
                     }
                 }
@@ -481,6 +556,7 @@ impl VProtocol for PessimisticProtocol {
         let wire = 8 + 8 * self.n as u64 + crate::piggyback::watermarks_len(&stable);
         for peer in 0..self.n {
             if peer != self.rank {
+                vlog_sim::event!("gc-notice" { from = self.rank, to = peer });
                 ctx.core.control_to_rank(
                     ctx.sim,
                     peer,
@@ -508,6 +584,8 @@ impl VProtocol for PessimisticProtocol {
             },
             None => 0,
         };
+        vlog_sim::event!("recovery-started" { rank = self.rank }
+            caused_by "image-fetched" { rank = self.rank });
         self.rec = Some(Recovery {
             started: ctx.sim.now(),
             wm,

@@ -226,6 +226,11 @@ impl Scenario {
         // Bounded run: a stall empties the calendar and returns early; a
         // storm hits the event cap. Either way `completed` stays false.
         cfg.event_limit = Some(2_000_000);
+        // Every explored schedule also checks the causality log: a
+        // schedule that completes but leaves a dangling or absent cause
+        // is a violation, and a stalled schedule's report names the
+        // event the run was waiting for.
+        cfg.export_liveness = true;
         Scenario {
             name,
             suite,
@@ -276,15 +281,29 @@ impl Scenario {
             }
             Ok(report) => report,
         };
+        let liveness = report.liveness.as_ref();
         let violation = if report.stats.messages > self.message_ceiling {
             Some(format!(
                 "message storm: {} messages exceeds ceiling {}",
                 report.stats.messages, self.message_ceiling
             ))
         } else if !report.completed {
+            // A stall names its dangling cause: the causality log knows
+            // which declared edge never fired.
+            let why = liveness
+                .map(|l| format!("; liveness: {}", l.summary()))
+                .unwrap_or_default();
             Some(format!(
-                "stalled: run did not complete (events={}, makespan={:?})",
+                "stalled: run did not complete (events={}, makespan={:?}){why}",
                 report.events, report.makespan
+            ))
+        } else if liveness.is_some_and(|l| !l.is_clean()) {
+            // `no_dangling_causes`: even a run that completed must leave
+            // no declared cause unfired, no consumed cause unproduced
+            // and no once-only event duplicated.
+            Some(format!(
+                "dangling causes: {}",
+                liveness.map(|l| l.summary()).unwrap_or_default()
             ))
         } else {
             let recoveries: usize = report

@@ -590,6 +590,7 @@ impl Sim {
         self.net.reset_node(node);
         self.cpu_free[node] = self.now;
         self.stats.bump("node_crashes");
+        crate::event!("node-crashed" { node = node });
     }
 
     // ------------------------------------------------------------------
@@ -696,9 +697,11 @@ impl Sim {
                 // current generation: stale ones were detached wholesale
                 // when the incarnation died.
                 self.unregister_timer(actor, key);
+                crate::event!("timer-fired" { actor = actor, token = token });
                 self.with_actor(actor, Some(gen), |a, sim, me| a.on_timer(sim, me, token));
             }
             Event::Deliver { actor, gen, msg } => {
+                crate::event!("sim-deliver" { actor = actor });
                 let matched =
                     self.with_actor(actor, Some(gen), |a, sim, me| a.on_deliver(sim, me, msg));
                 if !matched {

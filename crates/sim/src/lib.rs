@@ -25,6 +25,10 @@
 //! * kernel **self-profiling**: per-phase wall-clock counters behind the
 //!   `VLOG_PROFILE` knob ([`profiler`]) — wall time never enters the
 //!   deterministic statistics,
+//! * a **causality log** with liveness detectors behind the
+//!   `VLOG_CAUSALITY` knob ([`causality`]): protocol layers record
+//!   `event! { ... caused_by ... }` edges and dangling/absent-cause
+//!   analysis turns a hang into a named diagnosis,
 //! * shared harness utilities: centralized `VLOG_*` env-knob parsing
 //!   ([`env_knob`]) and first-divergence report diffing ([`diff`]).
 //!
@@ -53,6 +57,7 @@
 //! ```
 
 pub mod calendar;
+pub mod causality;
 pub mod diff;
 pub mod env_knob;
 pub mod exec;

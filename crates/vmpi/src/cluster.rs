@@ -63,6 +63,18 @@ pub struct ClusterConfig {
     /// forever. Exists so the schedule explorer's self-test can prove
     /// the harness *finds* the bug.
     pub buggy_restart_window: bool,
+    /// Arms a sim-time hang detector: if the run has not completed by
+    /// this deadline, a watchdog timer analyzes the causality log,
+    /// dumps the dangling-cause set to stderr and stops the simulation
+    /// — a named diagnosis instead of a silent timeout. `None` (the
+    /// default) schedules no watchdog event at all, keeping ordinary
+    /// runs' schedules untouched.
+    pub liveness_watchdog: Option<SimDuration>,
+    /// Collect the causality log on the run's thread and attach the
+    /// analyzed [`vlog_sim::causality::LivenessReport`] to the
+    /// [`RunReport`]. Off by default: liveness never reaches a report
+    /// (or a determinism fingerprint) unless a harness asks.
+    pub export_liveness: bool,
 }
 
 impl ClusterConfig {
@@ -78,6 +90,8 @@ impl ClusterConfig {
             detect_delay: SimDuration::from_millis(100),
             schedule_policy: None,
             buggy_restart_window: false,
+            liveness_watchdog: None,
+            export_liveness: false,
         }
     }
 
@@ -196,6 +210,10 @@ pub struct RunReport {
     pub rank_stats: Vec<RankStats>,
     /// Number of simulation events dispatched.
     pub events: u64,
+    /// Analyzed causality log, present only when
+    /// [`ClusterConfig::export_liveness`] (or `VLOG_CAUSALITY`)
+    /// requested it — never part of a determinism fingerprint.
+    pub liveness: Option<vlog_sim::causality::LivenessReport>,
 }
 
 impl RunReport {
@@ -298,6 +316,35 @@ impl RunReport {
     }
 }
 
+/// The hang detector: a sim-time deadline armed through the kernel's
+/// cancellable timer machinery on a stable node. If the cluster has
+/// not completed when the timer fires, the watchdog analyzes the
+/// causality log, dumps the dangling-cause set to stderr and stops the
+/// simulation — the run then reports `completed = false` with the
+/// diagnosis already printed. A deadline that fires after completion
+/// is a no-op (the calendar simply drains).
+struct LivenessWatchdog {
+    all_done: Arc<AtomicBool>,
+    label: String,
+}
+
+impl vlog_sim::Actor for LivenessWatchdog {
+    fn on_deliver(&mut self, _: &mut Sim, _: vlog_sim::ActorId, _: vlog_sim::Delivery) {}
+
+    fn on_timer(&mut self, sim: &mut Sim, _me: vlog_sim::ActorId, _token: u64) {
+        if self.all_done.load(Ordering::Relaxed) {
+            return;
+        }
+        let report = vlog_sim::causality::analyze();
+        eprint!(
+            "{}",
+            vlog_sim::causality::render(&format!("{} watchdog", self.label), &report)
+        );
+        sim.stats_mut().bump("liveness_watchdog_fired");
+        sim.stop();
+    }
+}
+
 /// A fully built, not-yet-executed cluster run. Owns the simulation and
 /// every harness-side handle; `Send`, so it can be handed to a worker
 /// thread and executed there (see the compile-time assertion below).
@@ -307,6 +354,7 @@ pub struct ClusterRun {
     rank_stats: Vec<SharedRankStats>,
     all_done: Arc<AtomicBool>,
     time_limit: Option<SimDuration>,
+    export_liveness: bool,
 }
 
 // Compile-time guarantee: a complete cluster run — kernel, actors,
@@ -508,18 +556,40 @@ impl ClusterRun {
             });
         }
 
+        // Hang detector: an absolute sim-time deadline on a stable node.
+        // Config-gated — unarmed runs schedule no extra event, so their
+        // dispatch sequence (and thus every report) is untouched.
+        if let Some(deadline) = cfg.liveness_watchdog {
+            let watchdog = sim.add_actor(
+                stable_a,
+                Box::new(LivenessWatchdog {
+                    all_done: all_done.clone(),
+                    label: suite.name(),
+                }),
+            );
+            sim.set_timer(watchdog, deadline, 0);
+        }
+
         ClusterRun {
             sim,
             suite_name: suite.name(),
             rank_stats,
             all_done,
             time_limit: cfg.time_limit,
+            export_liveness: cfg.export_liveness,
         }
     }
 
     /// Executes the run to completion (or to the configured time limit)
     /// and reports.
     pub fn run(mut self) -> RunReport {
+        // A fresh causality log per run: worker threads are pooled by
+        // the sweep driver, so a previous run's edges must never leak
+        // into this one's analysis.
+        vlog_sim::causality::reset();
+        if self.export_liveness {
+            vlog_sim::causality::set_thread_enabled(true);
+        }
         let completed = match self.time_limit {
             Some(tl) => {
                 self.sim.run_until(SimTime::ZERO + tl);
@@ -548,6 +618,22 @@ impl ClusterRun {
             );
         }
 
+        // Liveness analysis reaches the report only on explicit request
+        // (config export or the VLOG_CAUSALITY knob): a force-enabled
+        // determinism sweep collects the log but exports nothing, so
+        // its reports stay byte-identical to an uninstrumented run's.
+        let want_liveness = self.export_liveness || vlog_sim::causality::report_each_run();
+        let liveness = want_liveness.then(vlog_sim::causality::analyze);
+        if vlog_sim::causality::report_each_run() {
+            if let Some(report) = &liveness {
+                eprint!("{}", vlog_sim::causality::render(&self.suite_name, report));
+            }
+        }
+        vlog_sim::causality::reset();
+        if self.export_liveness {
+            vlog_sim::causality::set_thread_enabled(false);
+        }
+
         RunReport {
             suite: self.suite_name,
             makespan,
@@ -559,6 +645,7 @@ impl ClusterRun {
                 .map(|s| s.lock().unwrap().clone())
                 .collect(),
             events,
+            liveness,
         }
     }
 }
@@ -626,6 +713,7 @@ mod tests {
             stats,
             rank_stats: Vec::new(),
             events: 0,
+            liveness: None,
         };
         assert_eq!(report.el_peak_queue_depth(), 7);
         assert_eq!(report.el_peak_outstanding(), 3);
@@ -649,6 +737,7 @@ mod tests {
             stats: Stats::new(),
             rank_stats: Vec::new(),
             events: 0,
+            liveness: None,
         };
         assert_eq!(report.el_peak_queue_depth(), 0);
         assert_eq!(report.el_peak_outstanding(), 0);

@@ -353,6 +353,11 @@ impl DaemonCore {
             self.recovering = false;
             let dt = sim.now().saturating_since(self.recover_start);
             self.stats.local().recovery_total.push(dt);
+            // Recovery got everything it needed: any still-pending
+            // replay/reclaim expectations are moot, not dangling.
+            vlog_sim::causality::cancel_owner(self.rank as u64);
+            vlog_sim::event!("recovery-complete" { rank = self.rank }
+                caused_by "image-fetched" { rank = self.rank });
         }
     }
 
@@ -559,6 +564,16 @@ impl Vdaemon {
             BootMode::Recover { version } => {
                 self.core.recovering = true;
                 self.core.recover_start = sim.now();
+                // A recovery boot supersedes the dead incarnation: its
+                // pending expectations are moot, and this incarnation
+                // cannot progress until its checkpoint image arrives.
+                vlog_sim::causality::cancel_owner(self.core.rank as u64);
+                vlog_sim::event!("restart-boot" { rank = self.core.rank });
+                vlog_sim::causality::expect(
+                    vlog_sim::ckey!("image-fetched", rank = self.core.rank),
+                    vlog_sim::ckey!("restart-boot", rank = self.core.rank),
+                    self.core.rank as u64,
+                );
                 let Some((server, _)) = self.core.topo_view().ckpt_server() else {
                     // No checkpoint infrastructure: restart from scratch.
                     self.finish_restart(sim, None);
@@ -598,6 +613,8 @@ impl Vdaemon {
             }
             None => (None, None),
         };
+        vlog_sim::event!("image-fetched" { rank = self.core.rank }
+            caused_by "restart-boot" { rank = self.core.rank });
         {
             let mut ctx = Ctx {
                 sim,
@@ -1116,6 +1133,12 @@ impl Actor for Vdaemon {
                 match *internal {
                     Internal::AppFinished => {
                         self.core.finished = true;
+                        // Nothing waits on a finished rank's progress:
+                        // withdraw its pending expectations (e.g. a
+                        // final determinant batch whose ack is still in
+                        // flight when the program completes).
+                        vlog_sim::causality::cancel_owner(self.core.rank as u64);
+                        vlog_sim::event!("rank-finished" { rank = self.core.rank });
                         {
                             let mut ctx = Ctx {
                                 sim,

@@ -237,6 +237,7 @@ mod tests {
                 stats: Stats::new(),
                 rank_stats: Vec::new(),
                 events: 0,
+                liveness: None,
             },
             total_flops: flops,
             extra: Vec::new(),

@@ -206,6 +206,32 @@ fn profiling_does_not_perturb_reports_across_thread_counts() {
     vlog_sim::profiler::set_enabled(false);
 }
 
+/// The causality log must observe, never perturb: the same eight-suite
+/// sweep (fault-free and faulted) with causality recording
+/// force-enabled must report byte-identically to the plain sweep, on
+/// 1, 2 and 4 worker threads. Recording is thread-local and
+/// analysis-free during the run; nothing reaches a `RunReport` unless
+/// a harness exports it — this pins that contract, the same one the
+/// profiler test above pins for timing scopes.
+#[test]
+fn causality_log_does_not_perturb_reports_across_thread_counts() {
+    let jobs: Vec<(usize, bool)> = (0..8usize)
+        .flat_map(|idx| [(idx, false), (idx, true)])
+        .collect();
+    let runner = |(idx, with_fault): (usize, bool)| run_once(suite_for(idx), with_fault);
+    let plain = run_many(jobs.clone(), 1, runner);
+    vlog_sim::causality::set_enabled(true);
+    for threads in [1usize, 2, 4] {
+        let logged = run_many(jobs.clone(), threads, runner);
+        diff::assert_reports_identical(
+            &format!("causality-{threads}-threads-vs-plain"),
+            &plain,
+            &logged,
+        );
+    }
+    vlog_sim::causality::set_enabled(false);
+}
+
 /// Registry conformance: every registered workload, under every one of
 /// the eight suite configurations, with a rank killed mid-run, must
 /// (a) run to completion (the protocols recover it), (b) move piggyback

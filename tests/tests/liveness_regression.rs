@@ -1,0 +1,168 @@
+//! Regression: the causality log must *diagnose* the two historical
+//! PR-5 protocol bugs by name, without schedule exploration.
+//!
+//! The schedule explorer (PR 6) can re-find these bugs, but its verdict
+//! is "this run stalled / stormed" — the *why* took a human reading
+//! traces. The causality log closes that gap: a single buggy run, no
+//! perturbation search, and the liveness report names the exact
+//! recovery edge the stall is waiting on (restart-window bug) or the
+//! once-only event the storm keeps re-firing (marker-storm bug).
+//!
+//! The clean controls run the identical configurations minus the buggy
+//! flag and must come back liveness-clean — the detectors' value rests
+//! on a zero false-positive rate.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use vlog_core::{CausalSuite, CoordinatedSuite, Technique};
+use vlog_sim::{causality, SimDuration};
+use vlog_vmpi::{ClusterConfig, FaultPlan};
+use vlog_workloads::{run_workload, BurstyConfig, Class, NasBench, NasConfig, Workload};
+
+fn causal_suite() -> Arc<CausalSuite> {
+    Arc::new(
+        CausalSuite::new(Technique::Vcausal, true).with_checkpoints(SimDuration::from_millis(6)),
+    )
+}
+
+/// FT.S/8 with a rank killed mid-transpose: the restart-window repro
+/// from `restart_window_regression.rs`, here with the causality log
+/// exported and a sim-time watchdog armed.
+fn ft8_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(8);
+    cfg.detect_delay = SimDuration::from_millis(8);
+    cfg.export_liveness = true;
+    // The clean control recovers in ~550ms of sim time; the deadline
+    // leaves a ~4x margin so only a genuine stall can reach it.
+    cfg.liveness_watchdog = Some(SimDuration::from_secs(2));
+    cfg
+}
+
+#[test]
+fn stalled_restart_window_names_the_dangling_recovery_edge() {
+    let victim = 1;
+    let w = NasConfig::new(NasBench::FT, Class::S, 8);
+    let mut cfg = ft8_cfg();
+    cfg.buggy_restart_window = true;
+    let plan = FaultPlan::kill_at(SimDuration::from_millis(5), victim);
+    let run = run_workload(&w, &cfg, causal_suite(), &plan);
+    // The watchdog, not an event cap, ends the stalled run: the sim
+    // stops at the deadline with a diagnosis instead of panicking.
+    assert!(
+        !run.report.completed,
+        "buggy restart window unexpectedly recovered"
+    );
+    assert!(
+        run.report.stats.get("liveness_watchdog_fired") >= 1,
+        "stalled run ended without the watchdog firing"
+    );
+    let live = run.report.liveness.as_ref().expect("liveness exported");
+    assert!(
+        !live.is_clean(),
+        "stalled run reported a clean liveness log"
+    );
+    // The diagnosis: the victim's replay is waiting on a recovery edge
+    // that can no longer fire — a replay supply or determinant the
+    // corrupted watermarks told the peers not to re-send.
+    let named = live.dangling.iter().any(|d| {
+        d.owner == victim as u64
+            && matches!(
+                d.cause.kind(),
+                "replay-supply" | "det-replay" | "reclaim-resp" | "el-query-resp"
+            )
+    });
+    assert!(
+        named,
+        "dangling set does not name the victim's stuck recovery edge:\n{}",
+        causality::render("restart-window", live)
+    );
+}
+
+#[test]
+fn clean_restart_window_run_is_liveness_clean() {
+    let victim = 1;
+    let w = NasConfig::new(NasBench::FT, Class::S, 8);
+    let cfg = ft8_cfg();
+    let plan = FaultPlan::kill_at(SimDuration::from_millis(5), victim);
+    let run = run_workload(&w, &cfg, causal_suite(), &plan);
+    assert!(run.report.completed, "clean FT.S/8 control did not recover");
+    assert_eq!(
+        run.report.stats.get("liveness_watchdog_fired"),
+        0,
+        "watchdog fired on a run that completed"
+    );
+    let live = run.report.liveness.as_ref().expect("liveness exported");
+    assert!(
+        live.is_clean(),
+        "clean faulted run has liveness findings (false positives):\n{}",
+        causality::render("clean-control", live)
+    );
+    assert!(live.produced_events > 0, "causality log recorded nothing");
+}
+
+/// Runs the bursty service under the coordinated suite and returns
+/// `(completed, liveness)`. The storm burns the event cap before the
+/// run ends — the cap trips as a panic, in which case the thread-local
+/// causality log (reset at run start, never torn down on unwind) is
+/// analyzed directly: the diagnosis survives the crash of its own run.
+fn bursty_coordinated(storm_bug: bool) -> (bool, causality::LivenessReport) {
+    let w = BurstyConfig::new(8, 3, 11).with_servers(2);
+    let mut cfg = ClusterConfig::new(w.np());
+    cfg.event_limit = Some(2_000_000);
+    cfg.export_liveness = true;
+    let suite = CoordinatedSuite::new(SimDuration::from_millis(2));
+    let suite = if storm_bug {
+        Arc::new(suite.with_storm_bug())
+    } else {
+        Arc::new(suite)
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_workload(&w, &cfg, suite, &FaultPlan::none())
+    }));
+    match result {
+        Ok(run) => (
+            run.report.completed,
+            run.report.liveness.clone().expect("liveness exported"),
+        ),
+        Err(_) => {
+            let live = causality::analyze();
+            causality::reset();
+            causality::set_thread_enabled(false);
+            (false, live)
+        }
+    }
+}
+
+#[test]
+fn marker_storm_shows_as_a_duplicated_once_only_close() {
+    let (_completed, live) = bursty_coordinated(true);
+    // The diagnosis: closing a finished rank's channels is declared
+    // once-only per (rank, id); the storm re-fires it per marker.
+    let dup = live
+        .duplicates
+        .iter()
+        .find(|d| d.key.kind() == "snapshot-close-finished");
+    match dup {
+        Some(d) => assert!(
+            d.count > 1,
+            "duplicate record with non-duplicate count: {d:?}"
+        ),
+        None => panic!(
+            "storm run did not flag snapshot-close-finished as duplicated:\n{}",
+            causality::render("marker-storm", &live)
+        ),
+    }
+}
+
+#[test]
+fn clean_coordinated_bursty_run_is_liveness_clean() {
+    let (completed, live) = bursty_coordinated(false);
+    assert!(completed, "clean coordinated bursty did not complete");
+    assert!(
+        live.is_clean(),
+        "clean coordinated run has liveness findings (false positives):\n{}",
+        causality::render("clean-control", &live)
+    );
+    assert!(live.produced_events > 0, "causality log recorded nothing");
+}
